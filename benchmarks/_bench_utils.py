@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness (see conftest.py)."""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict
+
+#: Scale factor applied to grande/realworld benchmark event counts.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_collected: Dict[str, Dict[str, dict]] = defaultdict(dict)
+
+
+def record_result(table: str, row: str, values: dict) -> None:
+    """Record one row of a reproduced table/figure."""
+    _collected[table][row] = values
+
+
+def write_results() -> None:
+    """Write every recorded table to ``benchmarks/results/<table>.tsv``."""
+    if not _collected:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for table, rows in _collected.items():
+        lines = []
+        for row, values in rows.items():
+            if not lines:
+                lines.append("row\t" + "\t".join(values))
+            lines.append(row + "\t" + "\t".join(str(v) for v in values.values()))
+        (RESULTS_DIR / ("%s.tsv" % table)).write_text("\n".join(lines) + "\n")
+
+
+def scaled(spec_category: str) -> float:
+    """Return the scale to use for a benchmark of the given category."""
+    return 1.0 if spec_category == "contest" else BENCH_SCALE

@@ -1,0 +1,67 @@
+"""Ablation: what windowing costs the *same* detector (DESIGN.md item 2).
+
+The paper's argument against windowed tools is indirect (RVPredict misses
+races that WCP finds).  Because our windowing wrapper can window any
+detector, we can make the argument direct: take the linear-time WCP
+detector itself, deny it the whole trace, and count how many of its own
+races disappear as the window shrinks.
+"""
+
+import pytest
+
+from repro.analysis import WindowedDetector
+from repro.bench import BENCHMARKS
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+
+from _bench_utils import record_result, scaled
+
+PROGRAMS = ["moldyn", "eclipse", "lusearch"]
+FRACTIONS = [0.02, 0.1, 0.5]
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_windowed_wcp_loses_races(benchmark, name, fraction):
+    spec = BENCHMARKS[name]
+    trace = spec.generate(scale=scaled(spec.category), seed=0)
+    window = max(20, int(len(trace) * fraction))
+
+    full = WCPDetector().run(trace).count()
+    windowed_report = benchmark.pedantic(
+        lambda: WindowedDetector(WCPDetector(), window).run(trace),
+        iterations=1, rounds=1,
+    )
+    windowed = windowed_report.count()
+
+    # Small windows lose most of the (mostly distant) races.
+    assert windowed <= full
+    if fraction <= 0.1:
+        assert windowed < full
+
+    record_result("ablation_windowing", "%s_f%.2f" % (name, fraction), {
+        "window": window,
+        "full_wcp_races": full,
+        "windowed_wcp_races": windowed,
+        "lost": full - windowed,
+    })
+
+
+@pytest.mark.parametrize("name", ["eclipse"])
+def test_windowed_hb_loses_races_too(benchmark, name):
+    # The same effect on the HB baseline: the paper notes that earlier
+    # evaluations compared against *windowed* HB, overstating their gains.
+    spec = BENCHMARKS[name]
+    trace = spec.generate(scale=scaled(spec.category), seed=0)
+    window = max(20, len(trace) // 20)
+    full = HBDetector().run(trace).count()
+    windowed = benchmark(
+        lambda: WindowedDetector(HBDetector(), window).run(trace)
+    ).count()
+    assert windowed < full
+    record_result("ablation_windowing", "%s_hb" % name, {
+        "window": window,
+        "full_wcp_races": full,
+        "windowed_wcp_races": windowed,
+        "lost": full - windowed,
+    })

@@ -1,0 +1,67 @@
+"""Figure 7: windowed-predictor race counts across window sizes and timeouts.
+
+The paper sweeps RVPredict's window size over {1K, 2K, 5K, 10K} and its
+solver timeout over {60s, 120s, 240s} on eclipse, ftpserver and derby, and
+observes "no clear pattern": small windows cannot contain the races, large
+windows blow up the solver.  We reproduce the sweep with the MCM predictor
+on the scaled traces, using window sizes that are the same *fractions* of
+the trace and proportionally scaled timeouts.
+
+Assertions capture the robust part of the figure: for every configuration
+the predictor reports at most as many races as un-windowed WCP, and no
+configuration recovers all of them.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS
+from repro.core.wcp import WCPDetector
+from repro.mcm import MCMPredictor
+
+from _bench_utils import record_result, scaled
+
+PROGRAMS = ["eclipse", "ftpserver", "derby"]
+
+#: Window sizes as fractions of the trace (the paper's 1K..10K on 49K-87M
+#: event traces) and solver timeouts in seconds (scaled from 60-240s).
+WINDOW_FRACTIONS = [0.02, 0.05, 0.125]
+TIMEOUTS_S = [1.0, 2.0, 4.0]
+
+_wcp_cache = {}
+_trace_cache = {}
+
+
+def _trace(name):
+    if name not in _trace_cache:
+        spec = BENCHMARKS[name]
+        _trace_cache[name] = spec.generate(scale=scaled(spec.category), seed=0)
+        _wcp_cache[name] = WCPDetector().run(_trace_cache[name]).count()
+    return _trace_cache[name], _wcp_cache[name]
+
+
+@pytest.mark.parametrize("timeout_s", TIMEOUTS_S)
+@pytest.mark.parametrize("fraction", WINDOW_FRACTIONS)
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_predictor_parameter_sweep(benchmark, program, fraction, timeout_s):
+    trace, wcp_races = _trace(program)
+    window = max(50, int(len(trace) * fraction))
+    predictor = MCMPredictor(
+        window_size=window,
+        solver_timeout_s=timeout_s,
+        max_states_per_query=15_000,
+    )
+    report = benchmark.pedantic(lambda: predictor.run(trace), iterations=1, rounds=1)
+
+    assert report.count() <= wcp_races
+    assert report.count() < wcp_races, (
+        "windowing should lose some of the distant races on %s" % program
+    )
+
+    record_result("figure7", "%s_w%.3f_t%.0fs" % (program, fraction, timeout_s), {
+        "program": program,
+        "window_events": window,
+        "timeout_s": timeout_s,
+        "predictor_races": report.count(),
+        "wcp_races": wcp_races,
+        "windows_timed_out": int(report.stats["windows_timed_out"]),
+    })

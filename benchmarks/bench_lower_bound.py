@@ -1,0 +1,51 @@
+"""The linear-space lower bound (Theorem 4, Figure 8) and Table 1 column 11.
+
+Two sides of the same coin:
+
+* on the adversarial trace family the WCP detector's FIFO queues grow
+  linearly with the trace (a constant *fraction* of the events), matching
+  the Omega(n) space lower bound;
+* on the realistic benchmark traces the same queues stay a small fraction
+  of the trace (column 11 of Table 1 reports <= 3% for most benchmarks and
+  10% for bufwriter).
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS, lower_bound_trace
+from repro.core.wcp import WCPDetector
+
+from _bench_utils import record_result, scaled
+
+SIZES = [50, 100, 200, 400]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_adversarial_queue_growth(benchmark, n):
+    trace = lower_bound_trace(n)
+    report = benchmark(lambda: WCPDetector().run(trace))
+    fraction = report.stats["max_queue_fraction"]
+
+    # The queue stays a constant, large fraction of the trace: linear space.
+    assert fraction > 0.3
+    record_result("lower_bound", "n_%d" % n, {
+        "events": len(trace),
+        "max_queue_total": int(report.stats["max_queue_total"]),
+        "queue_fraction": round(fraction, 3),
+    })
+
+
+@pytest.mark.parametrize("name", ["bufwriter", "mergesort", "derby", "eclipse", "lusearch"])
+def test_benchmark_queues_stay_small(benchmark, name):
+    spec = BENCHMARKS[name]
+    trace = spec.generate(scale=scaled(spec.category), seed=0)
+    report = benchmark(lambda: WCPDetector().run(trace))
+    fraction = report.stats["max_queue_fraction"]
+
+    # Column 11: realistic workloads keep the queues to a few percent.
+    assert fraction < 0.15
+    record_result("table1_queue_fraction", name, {
+        "events": len(trace),
+        "queue_fraction": round(fraction, 4),
+        "paper_queue_pct": spec.paper.queue_pct,
+    })

@@ -1,0 +1,68 @@
+"""Scalability (Table 1 columns 12-15 and the linear-time claim, Theorem 3).
+
+Two experiments:
+
+* ``test_wcp_time_comparable_to_hb`` -- on each of the larger benchmarks,
+  WCP's analysis time stays within a small constant factor of HB's (the
+  paper reports factors below ~2 on all benchmarks).
+* ``test_linear_scaling_in_trace_length`` -- doubling the trace length
+  roughly doubles WCP's analysis time (events/second stays flat), which is
+  the observable consequence of the O(N (T^2 + L)) bound.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import BENCHMARKS
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+
+from _bench_utils import BENCH_SCALE, record_result
+
+LARGE = ["bufwriter", "moldyn", "derby", "eclipse", "lusearch", "xalan"]
+
+
+def _timed(detector, trace):
+    started = time.perf_counter()
+    detector.run(trace)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("name", LARGE)
+def test_wcp_time_comparable_to_hb(benchmark, name):
+    spec = BENCHMARKS[name]
+    scale = 1.0 if spec.category == "contest" else BENCH_SCALE
+    trace = spec.generate(scale=scale, seed=0)
+
+    wcp_time = benchmark(lambda: _timed(WCPDetector(), trace))
+    hb_time = _timed(HBDetector(), trace)
+
+    # WCP must stay within a small constant factor of HB (paper: < ~2x; we
+    # allow generous slack for interpreter noise on small traces).
+    assert wcp_time < max(10 * hb_time, 0.5)
+
+    record_result("scalability_wcp_vs_hb", name, {
+        "events": len(trace),
+        "wcp_time_s": round(wcp_time, 4),
+        "hb_time_s": round(hb_time, 4),
+        "ratio": round(wcp_time / hb_time, 2) if hb_time else 0.0,
+    })
+
+
+@pytest.mark.parametrize("scale", [0.02, 0.04, 0.08])
+def test_linear_scaling_in_trace_length(benchmark, scale):
+    spec = BENCHMARKS["lusearch"]
+    trace = spec.generate(scale=scale, seed=0)
+    elapsed = benchmark.pedantic(
+        lambda: _timed(WCPDetector(), trace), iterations=1, rounds=3,
+    )
+    throughput = len(trace) / max(elapsed, 1e-9)
+    record_result("scalability_linear", "scale_%.2f" % scale, {
+        "events": len(trace),
+        "time_s": round(elapsed, 4),
+        "events_per_s": int(throughput),
+    })
+    # Sanity: the detector processes at least a few thousand events/second
+    # even in pure Python.
+    assert throughput > 2_000

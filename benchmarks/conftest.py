@@ -1,0 +1,20 @@
+"""Benchmark-session configuration.
+
+Every benchmark runs on laptop-scale versions of the paper's workloads; the
+``REPRO_BENCH_SCALE`` environment variable multiplies the default event
+counts of the grande/realworld benchmarks (contest benchmarks always run at
+their natural size).  Rows corresponding to paper tables/figures are
+accumulated via :func:`_bench_utils.record_result` and written to
+``benchmarks/results/*.tsv`` at the end of the session so they can be
+compared against EXPERIMENTS.md.
+"""
+
+import pytest
+
+from _bench_utils import write_results
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_results_at_end():
+    yield
+    write_results()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Domain example: a racy bank-account service run on the simulator.
+
+Three teller threads concurrently deposit into a shared account.  In the
+buggy version the balance update is unprotected; in the fixed version each
+update holds the account lock.  The script executes both versions under a
+seeded random scheduler, feeds the resulting traces to the detectors, and
+finally replays a correct-reordering witness that makes the bug concrete.
+
+Run with::
+
+    python examples/bank_account.py
+"""
+
+from repro import compare_detectors
+from repro.reordering import find_race_witness
+from repro.simulator import (
+    Acquire, Compute, Fork, Join, Program, RandomScheduler, Read, Release,
+    Write, run_program,
+)
+
+
+def make_bank_program(protected: bool, tellers: int = 3, deposits: int = 4) -> Program:
+    """Build the bank-account program with or without locking."""
+    threads = {}
+    main = [Fork("teller%d" % i) for i in range(tellers)]
+    main += [Join("teller%d" % i) for i in range(tellers)]
+    main.append(Read("balance", loc="Audit.report"))
+    threads["main"] = main
+
+    for index in range(tellers):
+        body = []
+        for deposit in range(deposits):
+            loc = "Teller.deposit#%d" % deposit
+            if protected:
+                body += [
+                    Acquire("account_lock"),
+                    Read("balance", loc=loc + ":read"),
+                    Compute(2),
+                    Write("balance", loc=loc + ":write"),
+                    Release("account_lock"),
+                ]
+            else:
+                body += [
+                    Read("balance", loc=loc + ":read"),
+                    Compute(2),
+                    Write("balance", loc=loc + ":write"),
+                ]
+        threads["teller%d" % index] = body
+    return Program(threads, name="bank-%s" % ("locked" if protected else "racy"))
+
+
+def analyze(program: Program, seed: int = 7):
+    trace = run_program(program, RandomScheduler(seed=seed))
+    print("\n=== %s: %d events ===" % (program.name, len(trace)))
+    reports = compare_detectors(trace, ["hb", "wcp", "eraser"])
+    for name, report in reports.items():
+        print("  %-8s %d distinct race pair(s)" % (name, report.count()))
+    if program.name.endswith("locked") and reports["Eraser"].has_race():
+        print(
+            "  (Eraser's report on the locked version is a false positive: the\n"
+            "   auditor's read is ordered by the joins, not by a lock -- the\n"
+            "   classic lockset unsoundness the paper's related work discusses.)"
+        )
+    return trace, reports["WCP"]
+
+
+def main():
+    racy_trace, racy_report = analyze(make_bank_program(protected=False))
+    analyze(make_bank_program(protected=True))
+
+    if racy_report.has_race():
+        pair = racy_report.pairs()[0]
+        print("\nFirst race: %s" % pair)
+        witness = find_race_witness(racy_trace, pair.first_event, pair.second_event)
+        if witness.found:
+            print("A correct reordering exposing it (last two events are adjacent):")
+            for event in witness.schedule[-6:]:
+                print("   ", event)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro -- a reproduction of "Dynamic Race Prediction in Linear Time" (PLDI 2017).
+
+The package implements the Weak-Causally-Precedes (WCP) partial order and
+its linear-time vector-clock detection algorithm, together with every
+baseline and substrate the paper's evaluation relies on: happens-before
+(plain and FastTrack), Causally-Precedes, an Eraser lockset detector, an
+RVPredict-like windowed maximal-causal-model predictor, a
+correct-reordering witness engine, a concurrent-program simulator and the
+synthetic benchmark suite used to regenerate Table 1 and Figure 7.
+
+Quickstart
+----------
+>>> from repro import TraceBuilder, detect_races
+>>> trace = (TraceBuilder()
+...          .write("t1", "y")
+...          .acquire("t1", "l").read("t1", "x").release("t1", "l")
+...          .acquire("t2", "l").read("t2", "x").release("t2", "l")
+...          .read("t2", "y")
+...          .build())
+>>> report = detect_races(trace)            # WCP by default
+>>> report.count()
+1
+"""
+
+from repro.trace import (
+    Event,
+    EventType,
+    Trace,
+    TraceBuilder,
+    load_trace,
+    parse_std,
+    parse_csv,
+    write_std,
+    write_csv,
+    dump_trace,
+)
+from repro.core import Detector, RacePair, RaceReport, WCPDetector, WCPClosure
+from repro.hb import HBDetector, FastTrackDetector
+from repro.cp import CPDetector, CPClosure
+from repro.lockset import EraserDetector
+from repro.mcm import MCMPredictor
+from repro.api import detect_races, compare_detectors, available_detectors, make_detector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Event",
+    "EventType",
+    "Trace",
+    "TraceBuilder",
+    "load_trace",
+    "parse_std",
+    "parse_csv",
+    "write_std",
+    "write_csv",
+    "dump_trace",
+    "Detector",
+    "RacePair",
+    "RaceReport",
+    "WCPDetector",
+    "WCPClosure",
+    "HBDetector",
+    "FastTrackDetector",
+    "CPDetector",
+    "CPClosure",
+    "EraserDetector",
+    "MCMPredictor",
+    "detect_races",
+    "compare_detectors",
+    "available_detectors",
+    "make_detector",
+    "__version__",
+]

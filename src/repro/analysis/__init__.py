@@ -1,0 +1,59 @@
+"""Analysis tooling: windowing, metrics, multi-detector comparison, tables.
+
+* :class:`~repro.analysis.windowing.WindowedDetector` -- wrap *any* detector
+  so that it only ever sees bounded windows of the trace.  Used for the
+  ablation showing how much race-detection capability windowing costs
+  (Section 4.3 of the paper).
+* :mod:`~repro.analysis.metrics` -- race distances, queue statistics and
+  trace summaries.
+* :mod:`~repro.analysis.compare` -- run a set of detectors over a set of
+  benchmarks and produce Table-1-style rows.
+* :mod:`~repro.analysis.tables` -- plain-text table rendering used by the
+  CLI, the examples and the benchmark harness.
+"""
+
+from repro.analysis.windowing import WindowedDetector, HeldLockTracker, make_window_trace
+from repro.analysis.metrics import (
+    race_distances,
+    max_race_distance,
+    min_race_distance,
+    long_distance_races,
+    queue_statistics,
+    trace_summary,
+)
+from repro.analysis.compare import BenchmarkRow, compare_on_trace, run_table
+from repro.analysis.tables import format_table
+from repro.analysis.export import (
+    report_to_dict,
+    report_to_json,
+    report_to_csv,
+    rows_to_json,
+    rows_to_csv,
+    save_report,
+)
+from repro.analysis.audit import AuditResult, Verdict, audit_report
+
+__all__ = [
+    "WindowedDetector",
+    "HeldLockTracker",
+    "make_window_trace",
+    "race_distances",
+    "max_race_distance",
+    "min_race_distance",
+    "long_distance_races",
+    "queue_statistics",
+    "trace_summary",
+    "BenchmarkRow",
+    "compare_on_trace",
+    "run_table",
+    "format_table",
+    "report_to_dict",
+    "report_to_json",
+    "report_to_csv",
+    "rows_to_json",
+    "rows_to_csv",
+    "save_report",
+    "AuditResult",
+    "Verdict",
+    "audit_report",
+]

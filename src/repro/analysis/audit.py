@@ -1,0 +1,107 @@
+"""Auditing race reports against the ground truth.
+
+A partial-order detector only guarantees (weak) soundness for its *first*
+race; practitioners nevertheless triage every reported pair.  This module
+classifies each distinct race pair of a report using the reordering engine:
+
+``confirmed-race``
+    a correct reordering places the two accesses next to each other;
+``deadlock-only``
+    no such reordering exists, but the trace has a predictable deadlock
+    (the situation of the paper's Figure 5 -- the warning is still real);
+``unconfirmed``
+    neither witness was found within budget (either the pair is a false
+    positive beyond the first race, or the search budget was too small).
+
+The audit is exponential in the worst case (it calls the witness search per
+pair) and is meant for small traces and triage, not for the streaming path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.races import RacePair, RaceReport
+from repro.reordering.witness import find_deadlock_witness, find_race_witness
+from repro.trace.trace import Trace
+
+
+class Verdict(enum.Enum):
+    """Outcome of auditing one reported race pair."""
+
+    CONFIRMED_RACE = "confirmed-race"
+    DEADLOCK_ONLY = "deadlock-only"
+    UNCONFIRMED = "unconfirmed"
+
+
+class AuditResult:
+    """Classification of every pair in a report."""
+
+    def __init__(self, report: RaceReport) -> None:
+        self.report = report
+        self.verdicts: Dict[frozenset, Verdict] = {}
+        self.budget_exhausted: Dict[frozenset, bool] = {}
+
+    def record(self, pair: RacePair, verdict: Verdict, exhausted: bool) -> None:
+        self.verdicts[pair.key()] = verdict
+        self.budget_exhausted[pair.key()] = exhausted
+
+    def count(self, verdict: Verdict) -> int:
+        """Return how many pairs received ``verdict``."""
+        return sum(1 for value in self.verdicts.values() if value is verdict)
+
+    def confirmed(self) -> List[frozenset]:
+        """Return the location pairs confirmed as real races."""
+        return [
+            key for key, value in self.verdicts.items()
+            if value is Verdict.CONFIRMED_RACE
+        ]
+
+    def summary(self) -> str:
+        """Return a one-paragraph human-readable summary."""
+        return (
+            "%d reported pair(s): %d confirmed race(s), %d deadlock-only, "
+            "%d unconfirmed"
+            % (
+                len(self.verdicts),
+                self.count(Verdict.CONFIRMED_RACE),
+                self.count(Verdict.DEADLOCK_ONLY),
+                self.count(Verdict.UNCONFIRMED),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return "AuditResult(%s)" % self.summary()
+
+
+def audit_report(
+    trace: Trace,
+    report: RaceReport,
+    max_states_per_pair: int = 100_000,
+    time_budget_s: Optional[float] = None,
+) -> AuditResult:
+    """Classify every distinct race pair of ``report`` against ``trace``."""
+    result = AuditResult(report)
+    deadlock: Optional[bool] = None  # computed lazily, shared by all pairs
+
+    for pair in report.pairs():
+        witness = find_race_witness(
+            trace,
+            pair.first_event,
+            pair.second_event,
+            max_states=max_states_per_pair,
+            time_budget_s=time_budget_s,
+        )
+        if witness.found:
+            result.record(pair, Verdict.CONFIRMED_RACE, exhausted=False)
+            continue
+        if deadlock is None:
+            deadlock = find_deadlock_witness(
+                trace, max_states=max_states_per_pair, time_budget_s=time_budget_s
+            ).found
+        if deadlock:
+            result.record(pair, Verdict.DEADLOCK_ONLY, exhausted=witness.exhausted)
+        else:
+            result.record(pair, Verdict.UNCONFIRMED, exhausted=witness.exhausted)
+    return result

@@ -1,0 +1,130 @@
+"""Multi-detector comparison harness (the Table 1 machinery).
+
+:func:`compare_on_trace` runs a list of detectors on one trace and returns
+a :class:`BenchmarkRow` carrying, for each detector, the distinct-race
+count and analysis time, plus the trace's descriptive columns and the WCP
+queue statistics -- i.e. one row of the paper's Table 1.
+
+:func:`run_table` maps that over a set of named traces and renders the
+whole table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import queue_statistics, trace_summary
+from repro.analysis.tables import format_table
+from repro.core.detector import Detector
+from repro.core.races import RaceReport
+from repro.trace.trace import Trace
+
+
+class BenchmarkRow:
+    """Results of running several detectors on a single benchmark trace."""
+
+    def __init__(self, name: str, trace: Trace) -> None:
+        self.name = name
+        self.summary = trace_summary(trace)
+        self.reports: Dict[str, RaceReport] = {}
+
+    def add_report(self, detector_name: str, report: RaceReport) -> None:
+        """Attach a detector's report to this row."""
+        self.reports[detector_name] = report
+
+    def races(self, detector_name: str) -> int:
+        """Distinct race-pair count for ``detector_name`` (0 when missing)."""
+        report = self.reports.get(detector_name)
+        return report.count() if report is not None else 0
+
+    def time_s(self, detector_name: str) -> float:
+        """Analysis time in seconds for ``detector_name`` (0.0 when missing)."""
+        report = self.reports.get(detector_name)
+        if report is None:
+            return 0.0
+        return float(report.stats.get("time_s", 0.0))
+
+    def queue_fraction(self) -> float:
+        """WCP queue-length fraction (Table 1, col 11); 0.0 when WCP absent."""
+        for report in self.reports.values():
+            if "max_queue_fraction" in report.stats:
+                return queue_statistics(report)["max_queue_fraction"]
+        return 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the row for serialization or table rendering."""
+        flat: Dict[str, object] = {"benchmark": self.name}
+        flat.update(self.summary)
+        for detector_name in self.reports:
+            flat["%s_races" % detector_name] = self.races(detector_name)
+            flat["%s_time_s" % detector_name] = round(self.time_s(detector_name), 4)
+        flat["queue_fraction"] = round(self.queue_fraction(), 4)
+        return flat
+
+    def __repr__(self) -> str:
+        return "BenchmarkRow(%r, %s)" % (
+            self.name,
+            {name: self.races(name) for name in self.reports},
+        )
+
+
+def compare_on_trace(
+    trace: Trace,
+    detectors: Sequence[Detector],
+    name: Optional[str] = None,
+) -> BenchmarkRow:
+    """Run every detector on ``trace`` and collect a :class:`BenchmarkRow`."""
+    row = BenchmarkRow(name or trace.name, trace)
+    for detector in detectors:
+        report = detector.run(trace)
+        row.add_report(detector.name, report)
+    return row
+
+
+def run_table(
+    traces: Mapping[str, Trace],
+    detector_factory: Callable[[], Sequence[Detector]],
+) -> Tuple[List[BenchmarkRow], str]:
+    """Run a fresh set of detectors on every trace and render the table.
+
+    ``detector_factory`` is called once per trace so that detector state
+    never leaks between benchmarks.
+    Returns the rows and the rendered plain-text table.
+    """
+    rows: List[BenchmarkRow] = []
+    for name, trace in traces.items():
+        rows.append(compare_on_trace(trace, list(detector_factory()), name=name))
+
+    if not rows:
+        return rows, "(no benchmarks)"
+
+    detector_names: List[str] = []
+    for row in rows:
+        for detector_name in row.reports:
+            if detector_name not in detector_names:
+                detector_names.append(detector_name)
+
+    headers = ["benchmark", "events", "threads", "locks"]
+    for detector_name in detector_names:
+        headers.append("%s races" % detector_name)
+    for detector_name in detector_names:
+        headers.append("%s time(s)" % detector_name)
+    headers.append("queue %")
+
+    table_rows: List[List[object]] = []
+    for row in rows:
+        cells: List[object] = [
+            row.name,
+            row.summary["events"],
+            row.summary["threads"],
+            row.summary["locks"],
+        ]
+        for detector_name in detector_names:
+            cells.append(row.races(detector_name))
+        for detector_name in detector_names:
+            cells.append("%.3f" % row.time_s(detector_name))
+        cells.append("%.2f" % (100.0 * row.queue_fraction()))
+        table_rows.append(cells)
+
+    return rows, format_table(headers, table_rows)

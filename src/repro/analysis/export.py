@@ -1,0 +1,106 @@
+"""Exporting reports and comparison rows to machine-readable formats.
+
+Downstream users (CI gates, dashboards, scripts that diff two detector
+versions) want race reports as data rather than rendered text.  This module
+serialises :class:`~repro.core.races.RaceReport` and
+:class:`~repro.analysis.compare.BenchmarkRow` objects to JSON and CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.analysis.compare import BenchmarkRow
+from repro.core.races import RacePair, RaceReport
+
+
+def race_pair_to_dict(report: RaceReport, pair: RacePair) -> dict:
+    """Return one race pair as a JSON-friendly dict."""
+    return {
+        "locations": sorted(pair.locations),
+        "variable": pair.variable,
+        "first_event_index": pair.first_event.index,
+        "second_event_index": pair.second_event.index,
+        "first_thread": pair.first_event.thread,
+        "second_thread": pair.second_event.thread,
+        "distance": pair.distance,
+        "max_distance": report.distance_of(pair),
+    }
+
+
+def report_to_dict(report: RaceReport) -> dict:
+    """Return the whole report as a JSON-friendly dict."""
+    return {
+        "detector": report.detector_name,
+        "trace": report.trace_name,
+        "distinct_races": report.count(),
+        "raw_race_count": report.raw_race_count,
+        "max_distance": report.max_distance(),
+        "stats": dict(report.stats),
+        "races": [race_pair_to_dict(report, pair) for pair in report.pairs()],
+    }
+
+
+def report_to_json(report: RaceReport, indent: int = 2) -> str:
+    """Serialise a report to a JSON string."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def report_to_csv(report: RaceReport) -> str:
+    """Serialise the race pairs of a report to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "detector", "trace", "variable", "location_a", "location_b",
+        "first_thread", "second_thread", "distance", "max_distance",
+    ])
+    for pair in report.pairs():
+        locations = sorted(pair.locations)
+        location_a = locations[0]
+        location_b = locations[-1]
+        writer.writerow([
+            report.detector_name, report.trace_name, pair.variable,
+            location_a, location_b,
+            pair.first_event.thread, pair.second_event.thread,
+            pair.distance, report.distance_of(pair),
+        ])
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Iterable[BenchmarkRow], indent: int = 2) -> str:
+    """Serialise comparison rows (Table-1 style) to JSON."""
+    return json.dumps([row.as_dict() for row in rows], indent=indent, sort_keys=True)
+
+
+def rows_to_csv(rows: Iterable[BenchmarkRow]) -> str:
+    """Serialise comparison rows to CSV (columns unioned across rows)."""
+    dictionaries = [row.as_dict() for row in rows]
+    if not dictionaries:
+        return ""
+    columns: List[str] = []
+    for entry in dictionaries:
+        for key in entry:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for entry in dictionaries:
+        writer.writerow(entry)
+    return buffer.getvalue()
+
+
+def save_report(report: RaceReport, path: Union[str, Path]) -> Path:
+    """Write a report to ``path`` (.json or .csv, chosen by extension)."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        path.write_text(report_to_json(report))
+    elif path.suffix.lower() == ".csv":
+        path.write_text(report_to_csv(report))
+    else:
+        raise ValueError("unsupported report format %r (use .json or .csv)" % path.suffix)
+    return path

@@ -1,0 +1,33 @@
+"""Plain-text table rendering.
+
+The benchmark harness, CLI and examples all print results as aligned text
+tables (the library has no plotting dependencies); this module provides the
+single formatting helper they share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        while len(row) < columns:
+            row.append("")
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(row[index]))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = [render_line([str(h) for h in headers])]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)

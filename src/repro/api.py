@@ -1,0 +1,79 @@
+"""Top-level convenience API.
+
+Most users only need two calls:
+
+* :func:`detect_races` -- run one detector (WCP by default) on a trace;
+* :func:`compare_detectors` -- run several detectors on the same trace and
+  get their reports side by side (the shape of a Table 1 row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.detector import Detector
+from repro.core.races import RaceReport
+from repro.core.wcp import WCPDetector
+from repro.cp.detector import CPDetector
+from repro.hb.fasttrack import FastTrackDetector
+from repro.hb.hb import HBDetector
+from repro.lockset.eraser import EraserDetector
+from repro.mcm.predictor import MCMPredictor
+from repro.trace.trace import Trace
+
+#: Registry of detector names accepted by :func:`make_detector` and the CLI.
+_DETECTOR_FACTORIES = {
+    "wcp": WCPDetector,
+    "hb": HBDetector,
+    "fasttrack": FastTrackDetector,
+    "cp": CPDetector,
+    "eraser": EraserDetector,
+    "mcm": MCMPredictor,
+}
+
+
+def available_detectors() -> List[str]:
+    """Return the names accepted by :func:`make_detector`."""
+    return sorted(_DETECTOR_FACTORIES)
+
+
+def make_detector(name: str, **kwargs) -> Detector:
+    """Instantiate a detector by name (``wcp``, ``hb``, ``fasttrack``, ``cp``,
+    ``eraser``, ``mcm``), forwarding keyword arguments to its constructor."""
+    try:
+        factory = _DETECTOR_FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            "unknown detector %r; available: %s"
+            % (name, ", ".join(available_detectors()))
+        ) from None
+    return factory(**kwargs)
+
+
+def detect_races(
+    trace: Trace, detector: Union[str, Detector, None] = None, **kwargs
+) -> RaceReport:
+    """Run ``detector`` (name, instance or None for WCP) on ``trace``."""
+    if detector is None:
+        detector = WCPDetector(**kwargs)
+    elif isinstance(detector, str):
+        detector = make_detector(detector, **kwargs)
+    return detector.run(trace)
+
+
+def compare_detectors(
+    trace: Trace,
+    detectors: Optional[Iterable[Union[str, Detector]]] = None,
+) -> Dict[str, RaceReport]:
+    """Run several detectors on the same trace.
+
+    Returns a mapping from detector name to its report.  The default
+    selection (WCP and HB) matches the paper's primary comparison.
+    """
+    if detectors is None:
+        detectors = [WCPDetector(), HBDetector()]
+    reports: Dict[str, RaceReport] = {}
+    for entry in detectors:
+        instance = make_detector(entry) if isinstance(entry, str) else entry
+        reports[instance.name] = instance.run(trace)
+    return reports

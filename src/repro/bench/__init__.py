@@ -1,0 +1,37 @@
+"""Benchmark workload generators.
+
+The paper evaluates on 18 traces logged from Java programs (IBM Contest,
+Java Grande, and large real-world applications).  Those programs and the
+RVPredict logger are not available offline, so this package generates
+synthetic traces with the same *structural* properties -- thread/lock
+counts, seeded races that are HB-visible or only WCP-visible, and race
+distances that do or do not fit inside analysis windows -- which is what
+drives every qualitative result in Table 1 and Figure 7 (see DESIGN.md,
+"Substitutions").
+
+* :mod:`~repro.bench.generators` -- reusable building blocks (seeded race
+  patterns, protected filler activity).
+* :mod:`~repro.bench.contest` -- the nine small IBM-Contest-style programs,
+  built with the simulator substrate.
+* :mod:`~repro.bench.grande` -- the three Java-Grande-style medium traces.
+* :mod:`~repro.bench.realworld` -- the six large application-style traces.
+* :mod:`~repro.bench.lowerbound` -- the adversarial trace family from the
+  linear-space lower bound (Figure 8 / Theorem 4).
+* :mod:`~repro.bench.paper_figures` -- the exact hand-written traces of
+  Figures 1-6.
+* :mod:`~repro.bench.suite` -- the registry: :data:`BENCHMARKS`,
+  :func:`get_benchmark`.
+"""
+
+from repro.bench.suite import BENCHMARKS, BenchmarkSpec, get_benchmark, benchmark_names
+from repro.bench.lowerbound import lower_bound_trace
+from repro.bench import paper_figures
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "get_benchmark",
+    "benchmark_names",
+    "lower_bound_trace",
+    "paper_figures",
+]

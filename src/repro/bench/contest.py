@@ -1,0 +1,206 @@
+"""IBM-Contest-style small benchmarks, built on the simulator substrate.
+
+The paper's first benchmark group (``account`` ... ``pingpong``) consists of
+small fork/join Java programs from the IBM Contest suite.  We model each as
+a :class:`~repro.simulator.program.Program`: a main thread forks worker
+threads, the workers perform some lock-protected work, and a controlled
+number of *racy* shared variables are written by exactly two threads
+without synchronisation.
+
+The racy writes are placed at the very beginning of each thread's
+post-fork execution, before any lock operation, so that no schedule and no
+filler work can introduce a happens-before path between them -- the
+distinct-race count of the resulting trace is therefore exactly the number
+of seeded pairs, independent of the scheduler.  This matches the paper's
+Table 1, where HB, WCP and RVPredict all agree on these small programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulator.interpreter import Interpreter
+from repro.simulator.program import (
+    Acquire, Compute, Fork, Join, Program, Read, Release, Statement, Write,
+)
+from repro.simulator.scheduler import RandomScheduler
+from repro.trace.trace import Trace
+
+
+class ContestSpec:
+    """Description of one fork/join contest-style benchmark."""
+
+    def __init__(
+        self,
+        name: str,
+        workers: int,
+        locks: int,
+        racy_pairs: Sequence[Tuple[str, str]],
+        events: int,
+        main_races: int = 0,
+    ) -> None:
+        self.name = name
+        self.workers = workers
+        self.locks = locks
+        self.racy_pairs = list(racy_pairs)
+        self.events = events
+        self.main_races = main_races
+
+    @property
+    def races(self) -> int:
+        """Expected distinct race pairs (HB == WCP for these benchmarks)."""
+        return len(self.racy_pairs) + self.main_races
+
+    @property
+    def threads(self) -> int:
+        return self.workers + 1
+
+
+def _pairs_among_workers(count: int, workers: int) -> List[Tuple[str, str]]:
+    """Return ``count`` distinct worker pairs (cycling when workers are few)."""
+    names = ["w%d" % index for index in range(workers)]
+    pairs: List[Tuple[str, str]] = []
+    step = 0
+    while len(pairs) < count:
+        for offset in range(1, workers):
+            if len(pairs) >= count:
+                break
+            first = names[step % workers]
+            second = names[(step + offset) % workers]
+            if first != second:
+                pairs.append((first, second))
+        step += 1
+        if step > count + workers:
+            break
+    return pairs[:count]
+
+
+def build_contest_program(spec: ContestSpec, scale: float = 1.0) -> Program:
+    """Build the fork/join program for ``spec`` at the given event scale."""
+    worker_names = ["w%d" % index for index in range(spec.workers)]
+    lock_names = ["cl%d" % index for index in range(max(0, spec.locks))]
+
+    target_events = max(spec.threads * 4, int(spec.events * scale))
+    # Each protected work block contributes 6 events (4 when lock-free);
+    # fork/join and the racy writes contribute the rest.
+    events_per_block = 6 if lock_names else 4
+    fixed_events = 2 * spec.workers + 2 * len(spec.racy_pairs) + 2 * spec.main_races
+    work_blocks_total = max(
+        spec.workers, (target_events - fixed_events) // events_per_block
+    )
+    blocks_per_worker = max(1, work_blocks_total // max(1, spec.workers))
+
+    # Seed racy writes: variable rv{i} written once by each pair member.
+    racy_statements: Dict[str, List[Statement]] = {name: [] for name in worker_names}
+    racy_statements["main"] = []
+    for index, (first, second) in enumerate(spec.racy_pairs):
+        variable = "rv%d" % index
+        racy_statements[first].append(
+            Write(variable, loc="%s.race%d.%s" % (spec.name, index, first))
+        )
+        racy_statements[second].append(
+            Write(variable, loc="%s.race%d.%s" % (spec.name, index, second))
+        )
+    for index in range(spec.main_races):
+        variable = "mv%d" % index
+        worker = worker_names[index % spec.workers]
+        racy_statements["main"].append(
+            Write(variable, loc="%s.mrace%d.main" % (spec.name, index))
+        )
+        racy_statements[worker].append(
+            Write(variable, loc="%s.mrace%d.%s" % (spec.name, index, worker))
+        )
+
+    threads: Dict[str, List[Statement]] = {}
+
+    main: List[Statement] = []
+    for worker in worker_names:
+        main.append(Fork(worker, loc="%s.main.fork.%s" % (spec.name, worker)))
+    main.extend(racy_statements["main"])
+    main.append(Compute(2))
+    for worker in worker_names:
+        main.append(Join(worker, loc="%s.main.join.%s" % (spec.name, worker)))
+    threads["main"] = main
+
+    for position, worker in enumerate(worker_names):
+        body: List[Statement] = []
+        body.extend(racy_statements[worker])
+        # Lock-protected work on shared per-lock variables.  Locks are taken
+        # from the shared pool round-robin; the protected variable is shared
+        # by every worker using that lock (race-free because consistently
+        # protected, and the conflicting accesses inside the critical
+        # sections keep the WCP queues drained, as in real programs).
+        for block in range(blocks_per_worker):
+            if lock_names:
+                if spec.workers >= len(lock_names):
+                    # Enough workers to cover every lock: each worker sticks
+                    # to one lock (frequent releases keep the queues short).
+                    lock = lock_names[position % len(lock_names)]
+                else:
+                    # Fewer workers than locks: rotate so every lock appears.
+                    lock = lock_names[(position + block) % len(lock_names)]
+                variable = "shared_%s" % lock
+                private = "priv_%s" % worker
+                body.append(Acquire(lock))
+                body.append(Read(variable))
+                body.append(Read(private))
+                body.append(Write(private))
+                body.append(Write(variable))
+                body.append(Release(lock))
+            else:
+                variable = "local_%s" % worker
+                body.append(Read(variable))
+                body.append(Write(variable))
+                body.append(Compute(1))
+                body.append(Write(variable))
+        threads[worker] = body
+
+    return Program(threads, initial_threads=["main"], name=spec.name)
+
+
+def build_contest_trace(spec: ContestSpec, scale: float = 1.0, seed: int = 0) -> Trace:
+    """Run the contest program under a seeded random scheduler and return the trace."""
+    program = build_contest_program(spec, scale=scale)
+    scheduler = RandomScheduler(seed=seed)
+    return Interpreter(program, scheduler).run()
+
+
+#: The nine IBM-Contest-style benchmark specifications (Table 1, first block).
+CONTEST_SPECS: Dict[str, ContestSpec] = {
+    "account": ContestSpec(
+        "account", workers=3, locks=3,
+        racy_pairs=_pairs_among_workers(3, 3), main_races=1, events=130,
+    ),
+    "airline": ContestSpec(
+        "airline", workers=1, locks=0,
+        racy_pairs=[], main_races=4, events=128,
+    ),
+    "array": ContestSpec(
+        "array", workers=2, locks=2,
+        racy_pairs=[], main_races=0, events=47,
+    ),
+    "boundedbuffer": ContestSpec(
+        "boundedbuffer", workers=1, locks=2,
+        racy_pairs=[], main_races=2, events=333,
+    ),
+    "bubblesort": ContestSpec(
+        "bubblesort", workers=9, locks=2,
+        racy_pairs=_pairs_among_workers(6, 9), events=4000,
+    ),
+    "bufwriter": ContestSpec(
+        "bufwriter", workers=5, locks=1,
+        racy_pairs=_pairs_among_workers(2, 5), events=40_000,
+    ),
+    "critical": ContestSpec(
+        "critical", workers=3, locks=0,
+        racy_pairs=_pairs_among_workers(6, 3), main_races=2, events=55,
+    ),
+    "mergesort": ContestSpec(
+        "mergesort", workers=4, locks=3,
+        racy_pairs=_pairs_among_workers(3, 4), events=3000,
+    ),
+    "pingpong": ContestSpec(
+        "pingpong", workers=3, locks=0,
+        racy_pairs=_pairs_among_workers(5, 3), main_races=2, events=146,
+    ),
+}

@@ -1,0 +1,179 @@
+"""Reusable building blocks for synthetic benchmark traces.
+
+Every generator appends events to a plain list; the caller wraps the list
+in a :class:`~repro.trace.trace.Trace` at the end.  The two seeded race
+patterns are designed so that each contributes *exactly one* distinct race
+pair to the relevant detectors:
+
+* :func:`add_hb_race` -- two unsynchronised writes to a fresh variable by
+  two threads: one race pair, visible to HB, WCP, CP and (given enough
+  window) the MCM predictor;
+* :func:`add_wcp_only_race` -- the paper's Figure 2b shape: the race on
+  ``y`` is invisible to HB (the lock's release/acquire orders the two
+  critical sections) but visible to WCP; exactly one race pair.
+
+Filler activity (:func:`add_protected_block`, :func:`add_sync_block`) is
+fully lock-protected and race-free, so the seeded counts are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.trace.event import Event, EventType
+
+
+def _append(events: List[Event], thread: str, etype: EventType,
+            target: Optional[str], loc: str) -> None:
+    events.append(Event(len(events), thread, etype, target, loc))
+
+
+def add_hb_race(
+    events: List[Event],
+    first_thread: str,
+    second_thread: str,
+    variable: str,
+    loc_prefix: str,
+    gap_filler: Optional[callable] = None,
+) -> None:
+    """Seed one HB-visible race: two unsynchronised writes to ``variable``.
+
+    ``gap_filler``, when given, is called between the two writes to insert
+    arbitrary (race-free) events -- this controls the race distance.
+    """
+    _append(events, first_thread, EventType.WRITE, variable, "%s.first" % loc_prefix)
+    if gap_filler is not None:
+        gap_filler()
+    _append(events, second_thread, EventType.WRITE, variable, "%s.second" % loc_prefix)
+
+
+def add_wcp_only_race(
+    events: List[Event],
+    first_thread: str,
+    second_thread: str,
+    lock: str,
+    variable_prefix: str,
+    loc_prefix: str,
+    gap_filler: Optional[callable] = None,
+) -> None:
+    """Seed one race visible to WCP but not to HB (the Figure 2b shape).
+
+    ``first_thread`` writes ``<prefix>_y``, then writes ``<prefix>_x``
+    inside a critical section on ``lock``; ``second_thread`` later enters a
+    critical section on the same lock, reads ``<prefix>_y`` and then
+    ``<prefix>_x``.  HB orders the two critical sections (and hence the
+    ``y`` accesses); WCP only orders the ``x`` accesses, leaving the ``y``
+    pair racy.  Exactly one distinct race pair results.
+    """
+    y = "%s_y" % variable_prefix
+    x = "%s_x" % variable_prefix
+    _append(events, first_thread, EventType.WRITE, y, "%s.wy" % loc_prefix)
+    _append(events, first_thread, EventType.ACQUIRE, lock, "%s.acq1" % loc_prefix)
+    _append(events, first_thread, EventType.WRITE, x, "%s.wx" % loc_prefix)
+    _append(events, first_thread, EventType.RELEASE, lock, "%s.rel1" % loc_prefix)
+    if gap_filler is not None:
+        gap_filler()
+    _append(events, second_thread, EventType.ACQUIRE, lock, "%s.acq2" % loc_prefix)
+    _append(events, second_thread, EventType.READ, y, "%s.ry" % loc_prefix)
+    _append(events, second_thread, EventType.READ, x, "%s.rx" % loc_prefix)
+    _append(events, second_thread, EventType.RELEASE, lock, "%s.rel2" % loc_prefix)
+
+
+def add_protected_block(
+    events: List[Event],
+    thread: str,
+    lock: str,
+    variable: str,
+    loc_prefix: str,
+    accesses: int = 2,
+) -> None:
+    """Append one race-free critical section: acq, r/w* on ``variable``, rel."""
+    _append(events, thread, EventType.ACQUIRE, lock, "%s.acq" % loc_prefix)
+    for position in range(accesses):
+        etype = EventType.READ if position % 2 == 0 else EventType.WRITE
+        _append(events, thread, etype, variable, "%s.a%d" % (loc_prefix, position))
+    _append(events, thread, EventType.WRITE, variable, "%s.w" % loc_prefix)
+    _append(events, thread, EventType.RELEASE, lock, "%s.rel" % loc_prefix)
+
+
+def add_sync_block(
+    events: List[Event], thread: str, lock: str, loc_prefix: str
+) -> None:
+    """Append the paper's ``sync(lock)`` idiom (acq, r, w of the lock's variable, rel)."""
+    variable = "%sVar" % lock
+    _append(events, thread, EventType.ACQUIRE, lock, "%s.acq" % loc_prefix)
+    _append(events, thread, EventType.READ, variable, "%s.r" % loc_prefix)
+    _append(events, thread, EventType.WRITE, variable, "%s.w" % loc_prefix)
+    _append(events, thread, EventType.RELEASE, lock, "%s.rel" % loc_prefix)
+
+
+def add_local_activity(
+    events: List[Event],
+    thread: str,
+    variable: str,
+    loc_prefix: str,
+    accesses: int = 2,
+) -> None:
+    """Append thread-local (single-thread) accesses; race-free by construction."""
+    for position in range(accesses):
+        etype = EventType.WRITE if position % 2 == 0 else EventType.READ
+        _append(events, thread, etype, variable, "%s.l%d" % (loc_prefix, position))
+
+
+class FillerMill:
+    """Deterministic race-free event filler used to pad traces to a target size.
+
+    Each call to :meth:`emit` appends one protected critical section by a
+    round-robin thread.  To keep the filler strictly neutral it must add
+    neither races nor cross-thread orderings:
+
+    * filler variables are private to a (thread, lock) pair, so no two
+      threads ever touch the same filler variable (no races);
+    * filler locks are partitioned among the threads -- each lock is only
+      ever used by one thread -- so the filler introduces no
+      release-to-acquire happens-before edges that could mask the seeded
+      races.
+
+    The locks passed in are still all exercised, which is how the benchmark
+    generators hit the paper's per-benchmark lock counts.
+    """
+
+    def __init__(
+        self,
+        events: List[Event],
+        threads: List[str],
+        locks: List[str],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.events = events
+        self.threads = threads
+        self.rng = rng or random.Random(0)
+        self._counter = 0
+        # Partition the locks among the threads; guarantee at least one
+        # private lock per thread.
+        self._locks_of: dict = {thread: [] for thread in threads}
+        for index, lock in enumerate(locks):
+            thread = threads[index % len(threads)]
+            self._locks_of[thread].append(lock)
+        for thread in threads:
+            if not self._locks_of[thread]:
+                self._locks_of[thread].append("fill_lock_%s" % thread)
+
+    def emit(self, blocks: int = 1) -> None:
+        """Append ``blocks`` race-free critical sections (~4 events each)."""
+        for _ in range(blocks):
+            thread = self.threads[self._counter % len(self.threads)]
+            locks = self._locks_of[thread]
+            lock = locks[(self._counter // len(self.threads)) % len(locks)]
+            variable = "fill_%s_%s" % (thread, lock)
+            add_protected_block(
+                self.events, thread, lock, variable,
+                "fill%d" % self._counter, accesses=1,
+            )
+            self._counter += 1
+
+    def emit_events(self, approximate_events: int) -> None:
+        """Append roughly ``approximate_events`` filler events."""
+        blocks = max(0, approximate_events // 4)
+        self.emit(blocks)

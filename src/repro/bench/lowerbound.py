@@ -1,0 +1,91 @@
+"""The linear-space lower-bound trace family (Figure 8 / Theorem 4).
+
+Theorem 4 shows that any single-pass WCP algorithm needs linear space, by
+encoding equality of two n-bit strings into a trace whose two ``w(z)``
+events are WCP-ordered iff the strings are equal; the algorithm must
+therefore remember (a summary of) every one of the first thread's critical
+sections until the second thread replays them.
+
+For the empirical counterpart (and the ``bench_lower_bound`` benchmark) we
+build a parameterised family in the same spirit:
+
+* thread ``t1`` performs ``n`` critical sections over a *shared* lock
+  ``m``, each encoding one bit of ``u`` by also acquiring ``l0`` or ``l1``;
+* thread ``t2`` much later performs its own ``n`` critical sections over
+  ``m`` encoding ``v``, and finally both threads touch the variable ``z``.
+
+Because none of ``t2``'s releases of ``m`` happen until the very end, the
+WCP detector's FIFO queues for ``(m, t2)`` accumulate one entry per bit --
+the linear growth measured by ``queue_statistics`` and asserted in the
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+
+def _bits(value: Optional[Sequence[int]], n: int, default: int) -> List[int]:
+    if value is None:
+        return [default] * n
+    bits = list(value)
+    if len(bits) != n:
+        raise ValueError("expected %d bits, got %d" % (n, len(bits)))
+    if any(bit not in (0, 1) for bit in bits):
+        raise ValueError("bits must be 0 or 1")
+    return bits
+
+
+def lower_bound_trace(
+    n: int,
+    first_bits: Optional[Sequence[int]] = None,
+    second_bits: Optional[Sequence[int]] = None,
+) -> Trace:
+    """Return the adversarial trace with ``n`` bit gadgets per thread.
+
+    ``first_bits`` / ``second_bits`` choose which of the two bit locks each
+    gadget uses (defaults: all zeros / all zeros).  The trace has
+    ``Theta(n)`` events and forces the WCP detector's queues to grow to
+    ``Theta(n)`` entries.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    u = _bits(first_bits, n, 0)
+    v = _bits(second_bits, n, 0)
+
+    events: List[Event] = []
+
+    def emit(thread: str, etype: EventType, target: Optional[str], loc: str) -> None:
+        events.append(Event(len(events), thread, etype, target, loc))
+
+    # Phase 1: t1 writes x, then performs n bit gadgets, each a critical
+    # section over the shared lock m nested inside the chosen bit lock.
+    emit("t1", EventType.ACQUIRE, "b_init", "lb.t1.init.acq")
+    emit("t1", EventType.WRITE, "x", "lb.t1.wx")
+    emit("t1", EventType.RELEASE, "b_init", "lb.t1.init.rel")
+    for index, bit in enumerate(u):
+        bit_lock = "l%d" % bit
+        emit("t1", EventType.ACQUIRE, bit_lock, "lb.t1.bit%d.acq" % index)
+        emit("t1", EventType.ACQUIRE, "m", "lb.t1.bit%d.m.acq" % index)
+        emit("t1", EventType.WRITE, "u_%d" % index, "lb.t1.bit%d.w" % index)
+        emit("t1", EventType.RELEASE, "m", "lb.t1.bit%d.m.rel" % index)
+        emit("t1", EventType.RELEASE, bit_lock, "lb.t1.bit%d.rel" % index)
+    emit("t1", EventType.WRITE, "z", "lb.t1.wz")
+
+    # Phase 2: t2 replays its own n gadgets and finally reads x and writes z.
+    for index, bit in enumerate(v):
+        bit_lock = "l%d" % bit
+        emit("t2", EventType.ACQUIRE, bit_lock, "lb.t2.bit%d.acq" % index)
+        emit("t2", EventType.ACQUIRE, "m", "lb.t2.bit%d.m.acq" % index)
+        emit("t2", EventType.WRITE, "v_%d" % index, "lb.t2.bit%d.w" % index)
+        emit("t2", EventType.RELEASE, "m", "lb.t2.bit%d.m.rel" % index)
+        emit("t2", EventType.RELEASE, bit_lock, "lb.t2.bit%d.rel" % index)
+    emit("t2", EventType.ACQUIRE, "b_init", "lb.t2.init.acq")
+    emit("t2", EventType.READ, "x", "lb.t2.rx")
+    emit("t2", EventType.RELEASE, "b_init", "lb.t2.init.rel")
+    emit("t2", EventType.WRITE, "z", "lb.t2.wz")
+
+    return Trace(events, name="lower_bound_n%d" % n)

@@ -1,0 +1,212 @@
+"""The paper's hand-written example traces (Figures 1-6).
+
+Each function returns the corresponding trace, transcribed line by line
+from the paper.  They are used by the test suite to check that each
+detector classifies each figure exactly as the paper says it should, and
+by ``examples/paper_figures.py`` to walk through the motivation.
+
+Expected classifications (from Sections 1-2.3):
+
+==========  =======  =======  =======  ==========================
+Figure      HB race  CP race  WCP race  Ground truth
+==========  =======  =======  =======  ==========================
+figure_1a   no       no       no        no predictable race
+figure_1b   no       yes      yes       predictable race on ``y``
+figure_2a   no       no       no        no predictable race
+figure_2b   no       no       yes       predictable race on ``y``
+figure_3    no       no       yes       predictable race on ``z``
+figure_4    no       no       yes       predictable race on ``z``
+figure_5    no       no       yes*      predictable deadlock only
+==========  =======  =======  =======  ==========================
+
+(*) Figure 5 is the weak-soundness example: WCP flags the conflicting pair
+but the only witness is a predictable deadlock, not a race.
+"""
+
+from __future__ import annotations
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+
+def figure_1a() -> Trace:
+    """Figure 1a: two locked read-modify-writes; critical sections cannot swap."""
+    return (
+        TraceBuilder("figure_1a")
+        .acquire("t1", "l")
+        .read("t1", "x")
+        .write("t1", "x")
+        .release("t1", "l")
+        .acquire("t2", "l")
+        .read("t2", "x")
+        .write("t2", "x")
+        .release("t2", "l")
+        .build()
+    )
+
+
+def figure_1b() -> Trace:
+    """Figure 1b: critical sections can swap; predictable race on ``y``."""
+    return (
+        TraceBuilder("figure_1b")
+        .write("t1", "y")
+        .acquire("t1", "l")
+        .read("t1", "x")
+        .release("t1", "l")
+        .acquire("t2", "l")
+        .read("t2", "x")
+        .release("t2", "l")
+        .read("t2", "y")
+        .build()
+    )
+
+
+def figure_2a() -> Trace:
+    """Figure 2a: no predictable race (the ``x`` accesses pin the sections)."""
+    return (
+        TraceBuilder("figure_2a")
+        .write("t1", "y")
+        .acquire("t1", "l")
+        .write("t1", "x")
+        .release("t1", "l")
+        .acquire("t2", "l")
+        .read("t2", "x")
+        .read("t2", "y")
+        .release("t2", "l")
+        .build()
+    )
+
+
+def figure_2b() -> Trace:
+    """Figure 2b: same events, swapped lines 6/7; predictable race on ``y``."""
+    return (
+        TraceBuilder("figure_2b")
+        .write("t1", "y")
+        .acquire("t1", "l")
+        .write("t1", "x")
+        .release("t1", "l")
+        .acquire("t2", "l")
+        .read("t2", "y")
+        .read("t2", "x")
+        .release("t2", "l")
+        .build()
+    )
+
+
+def figure_3() -> Trace:
+    """Figure 3: weakening Rule (b) lets WCP see the race on ``z`` that CP misses."""
+    return (
+        TraceBuilder("figure_3")
+        .acquire("t1", "l")
+        .sync("t1", "x")
+        .read("t1", "z")
+        .release("t1", "l")
+        .sync("t2", "x")
+        .acquire("t2", "l")
+        .acquire("t2", "n")
+        .release("t2", "n")
+        .release("t2", "l")
+        .acquire("t3", "n")
+        .release("t3", "n")
+        .write("t3", "z")
+        .build()
+    )
+
+
+def figure_4() -> Trace:
+    """Figure 4: a more involved WCP-only predictable race on ``z``."""
+    return (
+        TraceBuilder("figure_4")
+        .acquire("t1", "l")
+        .acquire("t1", "m")
+        .release("t1", "m")
+        .read("t1", "z")
+        .release("t1", "l")
+        .acquire("t2", "m")
+        .acquire("t2", "n")
+        .sync("t2", "x")
+        .release("t2", "n")
+        .release("t2", "m")
+        .acquire("t3", "n")
+        .acquire("t3", "l")
+        .release("t3", "l")
+        .sync("t3", "x")
+        .write("t3", "z")
+        .release("t3", "n")
+        .build()
+    )
+
+
+def figure_5() -> Trace:
+    """Figure 5: WCP flags ``z`` but the only witness is a predictable deadlock."""
+    return (
+        TraceBuilder("figure_5")
+        .acquire("t1", "l")
+        .acquire("t1", "m")
+        .release("t1", "m")
+        .read("t1", "z")
+        .release("t1", "l")
+        .acquire("t2", "m")
+        .acquire("t2", "n")
+        .sync("t2", "x")
+        .release("t2", "n")
+        .acquire("t3", "n")
+        .acquire("t3", "l")
+        .release("t3", "l")
+        .sync("t3", "x")
+        .write("t3", "z")
+        .release("t3", "n")
+        .sync("t3", "y")
+        .sync("t2", "y")
+        .release("t2", "m")
+        .build()
+    )
+
+
+def figure_6() -> Trace:
+    """Figure 6: the trace motivating the L-clocks and FIFO queues of Algorithm 1.
+
+    The per-line thread assignment follows the paper's narration: the
+    ``rel(l0)`` of ``t1`` (line 6) is Rule-(a)-ordered before ``t3``'s
+    ``w(x)`` (line 17), and ``t2``'s first ``rel(m)`` (line 10) is
+    Rule-(b)-ordered before ``t3``'s ``rel(m)`` (line 20), which the
+    algorithm discovers through the acquire/release queues.
+    """
+    builder = TraceBuilder("figure_6")
+    builder.acquire("t1", "l0")          # 1
+    builder.write("t1", "x")             # 2
+    builder.acquire("t2", "m")           # 3
+    builder.acrl("t2", "y")              # 4
+    builder.acrl("t1", "y")              # 5
+    builder.release("t1", "l0")          # 6
+    builder.acquire("t1", "l1")          # 7
+    builder.acrl("t2", "y")              # 8
+    builder.acrl("t1", "y")              # 9
+    builder.release("t2", "m")           # 10
+    builder.acquire("t2", "m")           # 11
+    builder.acrl("t2", "y")              # 12
+    builder.acrl("t1", "y")              # 13
+    builder.release("t1", "l1")          # 14
+    builder.release("t2", "m")           # 15
+    builder.acquire("t3", "l0")          # 16
+    builder.write("t3", "x")             # 17
+    builder.release("t3", "l0")          # 18
+    builder.acquire("t3", "m")           # 19
+    builder.release("t3", "m")           # 20
+    builder.acquire("t3", "l1")          # 21
+    builder.release("t3", "l1")          # 22
+    builder.acquire("t3", "m")           # 23
+    builder.release("t3", "m")           # 24
+    return builder.build()
+
+
+ALL_FIGURES = {
+    "figure_1a": figure_1a,
+    "figure_1b": figure_1b,
+    "figure_2a": figure_2a,
+    "figure_2b": figure_2b,
+    "figure_3": figure_3,
+    "figure_4": figure_4,
+    "figure_5": figure_5,
+    "figure_6": figure_6,
+}

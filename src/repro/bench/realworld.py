@@ -1,0 +1,57 @@
+"""Large real-world-application-style benchmarks (Table 1, third block).
+
+Synthetic stand-ins for derby, eclipse, ftpserver, jigsaw, lusearch and
+xalan.  Three structural properties from the paper are preserved:
+
+* eclipse, jigsaw and xalan contain races that only WCP (not HB) can see
+  (the boldfaced column-6 entries);
+* most races in these programs are *distant* -- the paper measures eclipse
+  races 4.8-53 million events apart -- so the windowed predictor reports
+  only a small fraction of them (columns 8-10); ``lusearch`` is the extreme
+  case where the predictor finds none at all;
+* the WCP queue fraction (column 11) stays well below a few percent.
+
+Paper-scale event counts (1.3M-216M) are reduced to laptop-scale defaults;
+use the ``scale`` parameter of :func:`repro.bench.get_benchmark` to grow
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.synthetic import SyntheticSpec
+
+#: Real-world-application-style benchmark specifications.
+REALWORLD_SPECS: Dict[str, SyntheticSpec] = {
+    # WCP 23 / HB 23, predictor up to 14 -> 14 local.
+    "derby": SyntheticSpec(
+        "derby", events=50_000, threads=4, locks=1112,
+        hb_races=23, wcp_only_races=0, local_races=14,
+    ),
+    # WCP 66 / HB 64 (2 WCP-only), predictor up to 8 -> 8 local.
+    "eclipse": SyntheticSpec(
+        "eclipse", events=80_000, threads=14, locks=8263,
+        hb_races=64, wcp_only_races=2, local_races=8, local_wcp_races=0,
+    ),
+    # WCP 36 / HB 36, predictor up to 12 -> 12 local.
+    "ftpserver": SyntheticSpec(
+        "ftpserver", events=30_000, threads=11, locks=304,
+        hb_races=36, wcp_only_races=0, local_races=12,
+    ),
+    # WCP 14 / HB 11 (3 WCP-only), predictor up to 6 -> 6 local.
+    "jigsaw": SyntheticSpec(
+        "jigsaw", events=50_000, threads=13, locks=280,
+        hb_races=11, wcp_only_races=3, local_races=6, local_wcp_races=0,
+    ),
+    # WCP 160 / HB 160, predictor finds none -> 0 local.
+    "lusearch": SyntheticSpec(
+        "lusearch", events=60_000, threads=7, locks=118,
+        hb_races=160, wcp_only_races=0, local_races=0,
+    ),
+    # WCP 18 / HB 15 (3 WCP-only), predictor up to 8 -> 8 local (5 HB + 3 WCP).
+    "xalan": SyntheticSpec(
+        "xalan", events=60_000, threads=6, locks=2494,
+        hb_races=15, wcp_only_races=3, local_races=5, local_wcp_races=3,
+    ),
+}

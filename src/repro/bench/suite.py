@@ -1,0 +1,164 @@
+"""The benchmark registry.
+
+:data:`BENCHMARKS` maps benchmark names to :class:`BenchmarkSpec` objects
+that know how to generate the trace (at a chosen scale and seed) and what
+the paper reported for that benchmark (Table 1), so that the benchmark
+harness and EXPERIMENTS.md can put "paper" and "measured" side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.contest import CONTEST_SPECS, ContestSpec, build_contest_trace
+from repro.bench.grande import GRANDE_SPECS
+from repro.bench.realworld import REALWORLD_SPECS
+from repro.bench.synthetic import SyntheticSpec, build_synthetic_trace
+from repro.trace.trace import Trace
+
+
+class PaperNumbers:
+    """The row the paper reports for a benchmark (Table 1)."""
+
+    def __init__(
+        self,
+        events: float,
+        threads: int,
+        locks: int,
+        wcp_races: int,
+        hb_races: int,
+        rv_1k: Optional[int],
+        rv_10k: Optional[int],
+        rv_max: Optional[int],
+        queue_pct: float,
+    ) -> None:
+        self.events = events
+        self.threads = threads
+        self.locks = locks
+        self.wcp_races = wcp_races
+        self.hb_races = hb_races
+        self.rv_1k = rv_1k
+        self.rv_10k = rv_10k
+        self.rv_max = rv_max
+        self.queue_pct = queue_pct
+
+
+class BenchmarkSpec:
+    """A named benchmark: a trace generator plus expected numbers."""
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        generator: Callable[[float, int], Trace],
+        expected_wcp_races: int,
+        expected_hb_races: int,
+        paper: PaperNumbers,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self._generator = generator
+        self.expected_wcp_races = expected_wcp_races
+        self.expected_hb_races = expected_hb_races
+        self.paper = paper
+
+    def generate(self, scale: float = 1.0, seed: int = 0) -> Trace:
+        """Generate the benchmark trace."""
+        return self._generator(scale, seed)
+
+    def __repr__(self) -> str:
+        return "BenchmarkSpec(%r, category=%r, wcp=%d, hb=%d)" % (
+            self.name, self.category,
+            self.expected_wcp_races, self.expected_hb_races,
+        )
+
+
+def _contest_generator(spec: ContestSpec) -> Callable[[float, int], Trace]:
+    def generate(scale: float = 1.0, seed: int = 0) -> Trace:
+        return build_contest_trace(spec, scale=scale, seed=seed)
+    return generate
+
+
+def _synthetic_generator(spec: SyntheticSpec) -> Callable[[float, int], Trace]:
+    def generate(scale: float = 1.0, seed: int = 0) -> Trace:
+        return build_synthetic_trace(spec, scale=scale, seed=seed)
+    return generate
+
+
+#: Paper Table 1, transcribed (events are approximate: K = 1e3, M = 1e6).
+_PAPER_TABLE: Dict[str, PaperNumbers] = {
+    "account": PaperNumbers(130, 4, 3, 4, 4, 4, 4, 4, 0.0),
+    "airline": PaperNumbers(128, 2, 0, 4, 4, 4, 4, 4, 0.0),
+    "array": PaperNumbers(47, 3, 2, 0, 0, 0, 0, 0, 4.3),
+    "boundedbuffer": PaperNumbers(333, 2, 2, 2, 2, 2, 2, 2, 0.0),
+    "bubblesort": PaperNumbers(4_000, 10, 2, 6, 6, 6, 0, 6, 2.4),
+    "bufwriter": PaperNumbers(11_700_000, 6, 1, 2, 2, 2, 2, 2, 10.0),
+    "critical": PaperNumbers(55, 4, 0, 8, 8, 8, 8, 8, 0.0),
+    "mergesort": PaperNumbers(3_000, 5, 3, 3, 3, 1, 2, 2, 1.3),
+    "pingpong": PaperNumbers(146, 4, 0, 7, 7, 7, 7, 7, 0.0),
+    "moldyn": PaperNumbers(164_000, 3, 2, 44, 44, 2, 2, 2, 0.0),
+    "montecarlo": PaperNumbers(7_200_000, 3, 3, 5, 5, 1, 1, 1, 0.0),
+    "raytracer": PaperNumbers(16_000, 3, 8, 3, 3, 2, 3, 3, 0.0),
+    "derby": PaperNumbers(1_300_000, 4, 1112, 23, 23, 11, None, 14, 0.6),
+    "eclipse": PaperNumbers(87_000_000, 14, 8263, 66, 64, 5, 0, 8, 0.4),
+    "ftpserver": PaperNumbers(49_000, 11, 304, 36, 36, 10, 12, 12, 2.2),
+    "jigsaw": PaperNumbers(3_000_000, 13, 280, 14, 11, 6, 6, 6, 0.0),
+    "lusearch": PaperNumbers(216_000_000, 7, 118, 160, 160, 0, 0, 0, 0.0),
+    "xalan": PaperNumbers(122_000_000, 6, 2494, 18, 15, 7, 8, 8, 0.1),
+}
+
+
+def _build_registry() -> Dict[str, BenchmarkSpec]:
+    registry: Dict[str, BenchmarkSpec] = {}
+    for name, spec in CONTEST_SPECS.items():
+        registry[name] = BenchmarkSpec(
+            name=name,
+            category="contest",
+            generator=_contest_generator(spec),
+            expected_wcp_races=spec.races,
+            expected_hb_races=spec.races,
+            paper=_PAPER_TABLE[name],
+        )
+    for name, spec in GRANDE_SPECS.items():
+        registry[name] = BenchmarkSpec(
+            name=name,
+            category="grande",
+            generator=_synthetic_generator(spec),
+            expected_wcp_races=spec.wcp_races,
+            expected_hb_races=spec.hb_races,
+            paper=_PAPER_TABLE[name],
+        )
+    for name, spec in REALWORLD_SPECS.items():
+        registry[name] = BenchmarkSpec(
+            name=name,
+            category="realworld",
+            generator=_synthetic_generator(spec),
+            expected_wcp_races=spec.wcp_races,
+            expected_hb_races=spec.hb_races,
+            paper=_PAPER_TABLE[name],
+        )
+    return registry
+
+
+#: All 18 Table-1 benchmarks, keyed by name.
+BENCHMARKS: Dict[str, BenchmarkSpec] = _build_registry()
+
+
+def benchmark_names(category: Optional[str] = None) -> List[str]:
+    """Return benchmark names, optionally filtered by category."""
+    return [
+        name for name, spec in BENCHMARKS.items()
+        if category is None or spec.category == category
+    ]
+
+
+def get_benchmark(name: str, scale: float = 1.0, seed: int = 0) -> Trace:
+    """Generate the named benchmark trace."""
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown benchmark %r; available: %s"
+            % (name, ", ".join(sorted(BENCHMARKS)))
+        ) from None
+    return spec.generate(scale=scale, seed=seed)

@@ -1,0 +1,206 @@
+"""The generic synthetic-benchmark generator behind Table 1's medium and
+large workloads.
+
+Each benchmark is described by a :class:`SyntheticSpec` giving the scale
+(events, threads, locks) and the seeded races:
+
+* ``hb_races`` races visible to every partial order (two unsynchronised
+  writes);
+* ``wcp_only_races`` races visible to WCP/CP-style predictors but hidden
+  from HB by a lock hand-off (the Figure 2b pattern);
+* ``local_races`` of those are *local* (both accesses close together, so a
+  windowed tool can see them); the rest are *distant* (first access near
+  the start of the trace, second near the end -- invisible to any windowed
+  analysis with a window smaller than the gap).
+
+Seeded patterns are arranged so they can never mask one another:
+
+* cross-thread happens-before edges are only ever created by the
+  WCP-pattern's lock hand-off, and those always go from a lower-indexed
+  thread to a higher-indexed one;
+* HB-race patterns therefore always write first from a *higher*-indexed
+  thread and second from a *lower*-indexed one;
+* filler activity uses per-thread private locks and variables (no races,
+  no cross-thread edges).
+
+This makes the distinct-race counts of the generated traces exactly equal
+to the spec, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.bench.generators import (
+    FillerMill,
+    add_hb_race,
+    add_local_activity,
+    add_wcp_only_race,
+)
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+
+class SyntheticSpec:
+    """Scale and seeded-race description of one synthetic benchmark."""
+
+    def __init__(
+        self,
+        name: str,
+        events: int,
+        threads: int,
+        locks: int,
+        hb_races: int,
+        wcp_only_races: int = 0,
+        local_races: int = 0,
+        local_wcp_races: int = 0,
+    ) -> None:
+        if threads < 2:
+            raise ValueError("need at least two threads to race")
+        self.name = name
+        self.events = events
+        self.threads = threads
+        self.locks = locks
+        self.hb_races = hb_races
+        self.wcp_only_races = wcp_only_races
+        self.local_races = min(local_races, hb_races)
+        self.local_wcp_races = min(local_wcp_races, wcp_only_races)
+
+    @property
+    def wcp_races(self) -> int:
+        """Total distinct races WCP should report (HB-visible + WCP-only)."""
+        return self.hb_races + self.wcp_only_races
+
+    def __repr__(self) -> str:
+        return "SyntheticSpec(%r, events=%d, hb=%d, wcp_only=%d)" % (
+            self.name, self.events, self.hb_races, self.wcp_only_races
+        )
+
+
+def build_synthetic_trace(
+    spec: SyntheticSpec, scale: float = 1.0, seed: int = 0
+) -> Trace:
+    """Build the trace for ``spec`` at the given ``scale`` (event multiplier)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = random.Random(seed)
+    target_events = max(200, int(spec.events * scale))
+
+    threads = ["t%d" % index for index in range(spec.threads)]
+    # Every WCP-only pattern gets a private hand-off lock, so patterns can
+    # never order (and thus mask) one another.
+    filler_lock_count = max(0, spec.locks - spec.wcp_only_races)
+    filler_locks = ["lock%d" % index for index in range(filler_lock_count)]
+
+    events: List[Event] = []
+    if spec.locks > 0:
+        filler = FillerMill(events, threads, filler_locks, rng)
+
+        def fill(count: int) -> None:
+            filler.emit_events(count)
+    else:
+        # Lock-free benchmarks (airline/critical/pingpong-style): pad with
+        # thread-local accesses instead of critical sections.
+        local_counter = [0]
+
+        def fill(count: int) -> None:
+            emitted = 0
+            while emitted < count:
+                thread = threads[local_counter[0] % len(threads)]
+                add_local_activity(
+                    events, thread, "local_%s" % thread,
+                    "pad%d" % local_counter[0], accesses=2,
+                )
+                local_counter[0] += 1
+                emitted += 2
+
+    # Budget the filler: roughly 12 events per seeded race pattern, the rest
+    # is split between the head gap (between distant first and second
+    # halves) and the tail.
+    distant_hb = spec.hb_races - spec.local_races
+    distant_wcp = spec.wcp_only_races - spec.local_wcp_races
+    seeded_events = 2 * spec.hb_races + 8 * spec.wcp_only_races
+    filler_budget = max(0, target_events - seeded_events)
+    head_fill = filler_budget // 10
+    gap_fill = (filler_budget * 7) // 10
+    tail_fill = filler_budget - head_fill - gap_fill
+
+    fill(head_fill)
+
+    # --- Distant races: first halves ---------------------------------- #
+    # WCP-only patterns use thread pairs (t0, tj) so every cross-thread HB
+    # edge they introduce goes "upwards" (index 0 -> j).  Only the first
+    # half of each pattern is emitted here; the matching second halves are
+    # emitted after the gap, in the same order, which keeps the patterns
+    # from ordering one another (see the module docstring).
+    distant_wcp_specs = []
+    for index in range(distant_wcp):
+        partner = threads[1 + index % (spec.threads - 1)]
+        lock = "rlock_d%d" % index
+        prefix = "wcp_distant%d" % index
+        distant_wcp_first_half(events, threads[0], lock, prefix)
+        distant_wcp_specs.append((partner, lock, prefix))
+
+    # HB distant races go "downwards" (higher index writes first) so the
+    # upward WCP edges cannot order them.
+    distant_hb_specs = []
+    for index in range(distant_hb):
+        first = threads[1 + index % (spec.threads - 1)]
+        second = threads[0]
+        prefix = "hb_distant%d" % index
+        distant_hb_specs.append((first, second, prefix))
+        events.append(Event(
+            len(events), first, EventType.WRITE, "%s_v" % prefix,
+            "%s.first" % prefix,
+        ))
+
+    # --- The gap ------------------------------------------------------- #
+    fill(gap_fill)
+
+    # --- Distant races: second halves ---------------------------------- #
+    for partner, lock, prefix in distant_wcp_specs:
+        events.append(Event(
+            len(events), partner, EventType.ACQUIRE, lock, "%s.acq2" % prefix))
+        events.append(Event(
+            len(events), partner, EventType.READ, "%s_y" % prefix, "%s.ry" % prefix))
+        events.append(Event(
+            len(events), partner, EventType.READ, "%s_x" % prefix, "%s.rx" % prefix))
+        events.append(Event(
+            len(events), partner, EventType.RELEASE, lock, "%s.rel2" % prefix))
+    for first, second, prefix in distant_hb_specs:
+        events.append(Event(
+            len(events), second, EventType.WRITE, "%s_v" % prefix,
+            "%s.second" % prefix,
+        ))
+
+    # --- Local races ---------------------------------------------------- #
+    for index in range(spec.local_wcp_races):
+        partner = threads[1 + index % (spec.threads - 1)]
+        lock = "rlock_l%d" % index
+        prefix = "wcp_local%d" % index
+        add_wcp_only_race(events, threads[0], partner, lock, prefix, prefix)
+    for index in range(spec.local_races):
+        first = threads[1 + index % (spec.threads - 1)]
+        second = threads[0]
+        prefix = "hb_local%d" % index
+        add_hb_race(events, first, second, "%s_v" % prefix, prefix)
+
+    # --- Tail filler ----------------------------------------------------- #
+    fill(tail_fill)
+
+    return Trace(events, name=spec.name)
+
+
+def distant_wcp_first_half(
+    events: List[Event], first_thread: str, lock: str, prefix: str
+) -> None:
+    """Emit only the first half of the Figure-2b pattern (used for distant races)."""
+    events.append(Event(len(events), first_thread, EventType.WRITE,
+                        "%s_y" % prefix, "%s.wy" % prefix))
+    events.append(Event(len(events), first_thread, EventType.ACQUIRE, lock,
+                        "%s.acq1" % prefix))
+    events.append(Event(len(events), first_thread, EventType.WRITE,
+                        "%s_x" % prefix, "%s.wx" % prefix))
+    events.append(Event(len(events), first_thread, EventType.RELEASE, lock,
+                        "%s.rel1" % prefix))

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Five subcommands::
+
+    repro-race analyze TRACE_FILE [--detector wcp] [--window N] [--json OUT]
+    repro-race bench [--benchmark NAME ...] [--scale 0.1] [--detectors wcp,hb]
+    repro-race generate BENCHMARK -o trace.std [--scale 0.1] [--seed 0]
+    repro-race stats TRACE_FILE
+    repro-race witness TRACE_FILE [--detector wcp] [--max-states N]
+
+``analyze`` runs one detector on a logged trace file (STD or CSV format),
+``bench`` regenerates Table-1-style rows on the synthetic benchmark suite,
+``generate`` writes a benchmark trace to disk for use with other tools,
+``stats`` prints the trace's descriptive columns, and ``witness`` searches
+for a correct-reordering witness of the first detected race (turning a
+warning into a concrete alternative schedule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.compare import run_table
+from repro.analysis.export import save_report
+from repro.analysis.metrics import trace_summary
+from repro.analysis.windowing import WindowedDetector
+from repro.api import available_detectors, make_detector
+from repro.bench.suite import BENCHMARKS, get_benchmark
+from repro.reordering.witness import find_race_witness
+from repro.trace.parsers import load_trace
+from repro.trace.writers import dump_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-race",
+        description="Dynamic race prediction in linear time (WCP) -- reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="analyze a trace file")
+    analyze.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+    analyze.add_argument(
+        "--detector", default="wcp", choices=available_detectors(),
+        help="which analysis to run (default: wcp)",
+    )
+    analyze.add_argument(
+        "--window", type=int, default=None,
+        help="optionally window the detector to this many events",
+    )
+    analyze.add_argument(
+        "--no-validate", action="store_true",
+        help="skip trace well-formedness validation",
+    )
+    analyze.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="additionally write the report as JSON (or CSV if PATH ends in .csv)",
+    )
+
+    bench = subparsers.add_parser("bench", help="run the Table 1 benchmark suite")
+    bench.add_argument(
+        "--benchmark", action="append", default=None,
+        help="benchmark name (repeatable; default: all)",
+    )
+    bench.add_argument("--scale", type=float, default=0.05,
+                       help="event-count scale factor (default 0.05)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--detectors", default="wcp,hb",
+        help="comma-separated detector names (default: wcp,hb)",
+    )
+
+    generate = subparsers.add_parser("generate", help="write a benchmark trace to disk")
+    generate.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    generate.add_argument("-o", "--output", required=True, help="output path (.std or .csv)")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    stats = subparsers.add_parser("stats", help="print trace summary statistics")
+    stats.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+
+    witness = subparsers.add_parser(
+        "witness", help="search for a reordering witnessing the first race"
+    )
+    witness.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+    witness.add_argument(
+        "--detector", default="wcp", choices=available_detectors(),
+        help="detector used to pick the race to witness (default: wcp)",
+    )
+    witness.add_argument(
+        "--max-states", type=int, default=200_000,
+        help="bound on interleavings explored by the search",
+    )
+
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace, validate=not args.no_validate)
+    detector = make_detector(args.detector)
+    if args.window:
+        detector = WindowedDetector(detector, args.window)
+    report = detector.run(trace)
+    print(report.summary())
+    if args.json_out:
+        path = save_report(report, args.json_out)
+        print("report written to %s" % path)
+    return 0 if not report.has_race() else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace, validate=False)
+    for key, value in sorted(trace_summary(trace).items()):
+        print("%-10s %d" % (key, value))
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    report = make_detector(args.detector).run(trace)
+    if not report.has_race():
+        print("no %s race found; nothing to witness" % args.detector)
+        return 0
+    pair = report.pairs()[0]
+    print("searching witness for %s" % pair)
+    result = find_race_witness(
+        trace, pair.first_event, pair.second_event, max_states=args.max_states
+    )
+    if result.found:
+        print("witness found (%d events, %d states explored):" % (
+            len(result.schedule or []), result.states_explored
+        ))
+        for event in result.schedule or []:
+            print("  %s" % (event,))
+        return 1
+    if result.exhausted:
+        print("search budget exhausted (%d states) -- inconclusive" %
+              result.states_explored)
+        return 2
+    print("no correct reordering realises this pair as an adjacent race "
+          "(it may only be realisable as a deadlock)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = args.benchmark or sorted(BENCHMARKS)
+    unknown = [name for name in names if name not in BENCHMARKS]
+    if unknown:
+        print("unknown benchmark(s): %s" % ", ".join(unknown), file=sys.stderr)
+        return 2
+    traces = {
+        name: get_benchmark(name, scale=args.scale, seed=args.seed)
+        for name in names
+    }
+    detector_names = [name.strip() for name in args.detectors.split(",") if name.strip()]
+
+    def factory():
+        return [make_detector(name) for name in detector_names]
+
+    _, table = run_table(traces, factory)
+    print(table)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = get_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    path = dump_trace(trace, args.output)
+    print("wrote %d events to %s" % (len(trace), path))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``repro-race`` console script)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "witness":
+        return _cmd_witness(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Core: the paper's contribution (WCP) and the shared detector interface.
+
+* :class:`~repro.core.detector.Detector` -- abstract base class every
+  analysis implements (``run(trace) -> RaceReport``).
+* :class:`~repro.core.races.RacePair` / :class:`~repro.core.races.RaceReport`
+  -- race pairs as unordered location pairs plus the witnessing event pairs,
+  exactly the granularity used for Table 1.
+* :class:`~repro.core.wcp.WCPDetector` -- Algorithm 1, the streaming
+  linear-time vector-clock detector for WCP.
+* :class:`~repro.core.closure.WCPClosure` / ``closure_orders`` -- an
+  explicit (non-linear) computation of the WCP partial order used as a
+  correctness oracle on small traces.
+"""
+
+from repro.core.races import RacePair, RaceReport
+from repro.core.detector import Detector
+from repro.core.wcp import WCPDetector
+from repro.core.closure import WCPClosure
+
+__all__ = ["RacePair", "RaceReport", "Detector", "WCPDetector", "WCPClosure"]

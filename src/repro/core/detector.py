@@ -1,0 +1,78 @@
+"""The detector interface shared by every analysis in the library.
+
+A detector consumes a :class:`~repro.trace.trace.Trace` and produces a
+:class:`~repro.core.races.RaceReport`.  Streaming detectors (HB, FastTrack,
+WCP) additionally expose an event-at-a-time API (:meth:`Detector.reset`,
+:meth:`Detector.process`) so that they can be driven online, e.g. directly
+from the simulator without materialising a trace first.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional
+
+from repro.core.races import RaceReport
+from repro.trace.event import Event
+from repro.trace.trace import Trace
+
+
+class Detector(abc.ABC):
+    """Abstract base class for race detectors.
+
+    Subclasses must implement :meth:`reset` and :meth:`process`; the default
+    :meth:`run` drives them over a whole trace and records the wall-clock
+    analysis time in ``report.stats["time_s"]``.
+    """
+
+    #: Human-readable detector name, overridden by subclasses.
+    name = "detector"
+
+    def __init__(self) -> None:
+        self._report: Optional[RaceReport] = None
+
+    # ------------------------------------------------------------------ #
+    # Streaming API
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def reset(self, trace: Trace) -> None:
+        """Prepare internal state for a fresh run over ``trace``."""
+
+    @abc.abstractmethod
+    def process(self, event: Event) -> None:
+        """Process a single event, recording races into :attr:`report`."""
+
+    def finish(self) -> None:
+        """Hook called after the last event; default is a no-op."""
+
+    @property
+    def report(self) -> RaceReport:
+        """The report being accumulated by the current run."""
+        if self._report is None:
+            raise RuntimeError("detector has not been reset with a trace yet")
+        return self._report
+
+    def _new_report(self, trace: Trace) -> RaceReport:
+        self._report = RaceReport(self.name, trace.name)
+        return self._report
+
+    # ------------------------------------------------------------------ #
+    # Batch API
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: Trace) -> RaceReport:
+        """Run the detector over the whole trace and return its report."""
+        self.reset(trace)
+        started = time.perf_counter()
+        for event in trace:
+            self.process(event)
+        self.finish()
+        report = self.report
+        report.stats["time_s"] = time.perf_counter() - started
+        report.stats["events"] = len(trace)
+        return report
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__

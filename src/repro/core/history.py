@@ -1,0 +1,124 @@
+"""Per-variable access histories used for race *reporting*.
+
+The paper's race check (end of Section 3.2) keeps, for every variable
+``x``, two vector clocks ``R_x`` and ``W_x`` joining the timestamps of all
+reads and writes of ``x`` seen so far; an access whose timestamp is not
+above the relevant join is in race with *some* earlier conflicting access.
+Recovering *which* earlier access (needed to report distinct location
+pairs, the unit counted in Table 1) requires a second pass in the paper.
+
+We avoid the second pass by additionally remembering, per variable, per
+thread and per program location, the latest access clock.  The ``R_x`` /
+``W_x`` joins provide the O(1) fast path ("no race here"); only on a failed
+check do we scan the per-thread histories to attribute the race to concrete
+earlier events.  The history size is bounded by (#threads x #program
+locations touching the variable), so the overall algorithm stays linear in
+the trace length for a fixed program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.races import RaceReport
+from repro.trace.event import Event
+from repro.vectorclock.clock import VectorClock
+
+# (event, clock) of the latest access at one (thread, location).
+_Cell = Tuple[Event, VectorClock]
+
+
+class VariableHistory:
+    """Access history for a single shared variable."""
+
+    __slots__ = ("read_join", "write_join", "reads", "writes")
+
+    def __init__(self) -> None:
+        self.read_join = VectorClock.bottom()
+        self.write_join = VectorClock.bottom()
+        # thread -> location -> (event, clock)
+        self.reads: Dict[str, Dict[str, _Cell]] = {}
+        self.writes: Dict[str, Dict[str, _Cell]] = {}
+
+    def record_read(self, event: Event, clock: VectorClock) -> None:
+        """Record a read access and its timestamp."""
+        self.read_join.join(clock)
+        cells = self.reads.setdefault(event.thread, {})
+        cells[event.location()] = (event, clock.copy())
+
+    def record_write(self, event: Event, clock: VectorClock) -> None:
+        """Record a write access and its timestamp."""
+        self.write_join.join(clock)
+        cells = self.writes.setdefault(event.thread, {})
+        cells[event.location()] = (event, clock.copy())
+
+    def _unordered_cells(
+        self, cells: Dict[str, Dict[str, _Cell]], event: Event, clock: VectorClock
+    ) -> List[Event]:
+        racy = []
+        for thread, by_loc in cells.items():
+            if thread == event.thread:
+                continue
+            for prior_event, prior_clock in by_loc.values():
+                if not prior_clock <= clock:
+                    racy.append(prior_event)
+        return racy
+
+    def check_read(self, event: Event, clock: VectorClock) -> List[Event]:
+        """Return earlier writes racing with the read ``event`` (may be empty)."""
+        if self.write_join <= clock:
+            return []
+        return self._unordered_cells(self.writes, event, clock)
+
+    def check_write(self, event: Event, clock: VectorClock) -> List[Event]:
+        """Return earlier reads/writes racing with the write ``event``."""
+        racy: List[Event] = []
+        if not (self.write_join <= clock):
+            racy.extend(self._unordered_cells(self.writes, event, clock))
+        if not (self.read_join <= clock):
+            racy.extend(self._unordered_cells(self.reads, event, clock))
+        return racy
+
+
+class AccessHistory:
+    """All variable histories plus the report-recording glue."""
+
+    def __init__(self) -> None:
+        self._variables: Dict[str, VariableHistory] = {}
+
+    def _history(self, variable: str) -> VariableHistory:
+        history = self._variables.get(variable)
+        if history is None:
+            history = VariableHistory()
+            self._variables[variable] = history
+        return history
+
+    def observe(
+        self,
+        event: Event,
+        clock: VectorClock,
+        report: RaceReport,
+        on_race: Optional[Callable[[Event, Event], None]] = None,
+    ) -> int:
+        """Check ``event`` against the history, record it, report races.
+
+        Returns the number of racy earlier events found for this access.
+        """
+        history = self._history(event.variable)
+        if event.is_read():
+            racy = history.check_read(event, clock)
+        else:
+            racy = history.check_write(event, clock)
+        for earlier in racy:
+            report.add(earlier, event)
+            if on_race is not None:
+                on_race(earlier, event)
+        if event.is_read():
+            history.record_read(event, clock)
+        else:
+            history.record_write(event, clock)
+        return len(racy)
+
+    def clear(self) -> None:
+        """Drop all recorded history."""
+        self._variables.clear()

@@ -1,0 +1,176 @@
+"""Race pairs and race reports.
+
+The paper measures *distinct race pairs*: unordered tuples of program
+locations such that some pair of events at those locations is unordered by
+the partial order under analysis (Table 1, columns 6-10).  A
+:class:`RacePair` is one such location pair together with the first
+witnessing event pair and its distance (Section 4.3 discusses race
+distances); a :class:`RaceReport` aggregates the pairs found by one
+detector run plus detector-specific statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.trace.event import Event
+
+
+class RacePair:
+    """A distinct race: an unordered pair of program locations.
+
+    Attributes
+    ----------
+    locations:
+        Frozenset of the two program locations (a single-element set when
+        both events come from the same location).
+    first_event / second_event:
+        The first witnessing event pair encountered, in trace order.
+    distance:
+        Number of events separating the witnesses (``second.index -
+        first.index``); the paper's race distance.
+    variable:
+        The shared variable involved.
+    """
+
+    __slots__ = ("locations", "first_event", "second_event", "distance", "variable")
+
+    def __init__(self, first_event: Event, second_event: Event) -> None:
+        if first_event.index > second_event.index:
+            first_event, second_event = second_event, first_event
+        self.first_event = first_event
+        self.second_event = second_event
+        self.locations = frozenset({first_event.location(), second_event.location()})
+        self.distance = second_event.index - first_event.index
+        self.variable = second_event.variable if second_event.is_access() else None
+
+    def key(self) -> frozenset:
+        """Return the de-duplication key (the unordered location pair)."""
+        return self.locations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RacePair):
+            return NotImplemented
+        return self.locations == other.locations
+
+    def __hash__(self) -> int:
+        return hash(self.locations)
+
+    def __repr__(self) -> str:
+        locs = sorted(self.locations)
+        return "RacePair(%s, var=%s, distance=%d)" % (
+            " <-> ".join(locs), self.variable, self.distance
+        )
+
+
+class RaceReport:
+    """The result of running one detector on one trace.
+
+    Race pairs are de-duplicated by location pair: the report keeps the
+    earliest witness and the maximum observed distance for each pair.
+    """
+
+    def __init__(self, detector_name: str, trace_name: str = "trace") -> None:
+        self.detector_name = detector_name
+        self.trace_name = trace_name
+        self._pairs: Dict[frozenset, RacePair] = {}
+        self._max_distance: Dict[frozenset, int] = {}
+        #: Detector-specific statistics (queue sizes, timings, windows, ...).
+        self.stats: Dict[str, float] = {}
+        #: Number of raw (non-deduplicated) racy event pairs observed.
+        self.raw_race_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def add(self, first_event: Event, second_event: Event) -> RacePair:
+        """Record a racy event pair; returns the (possibly existing) RacePair."""
+        pair = RacePair(first_event, second_event)
+        self.raw_race_count += 1
+        key = pair.key()
+        existing = self._pairs.get(key)
+        if existing is None:
+            self._pairs[key] = pair
+            self._max_distance[key] = pair.distance
+            return pair
+        if pair.distance > self._max_distance[key]:
+            self._max_distance[key] = pair.distance
+        return existing
+
+    def merge(self, other: "RaceReport") -> "RaceReport":
+        """Merge another report (e.g. from a different window) into this one."""
+        for pair in other.pairs():
+            key = pair.key()
+            if key not in self._pairs:
+                self._pairs[key] = pair
+                self._max_distance[key] = pair.distance
+            elif pair.distance > self._max_distance[key]:
+                self._max_distance[key] = pair.distance
+        self.raw_race_count += other.raw_race_count
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def pairs(self) -> List[RacePair]:
+        """Return the distinct race pairs, sorted by first witness position."""
+        return sorted(self._pairs.values(), key=lambda p: p.first_event.index)
+
+    def location_pairs(self) -> List[frozenset]:
+        """Return the distinct location pairs (the Table 1 count unit)."""
+        return list(self._pairs.keys())
+
+    def count(self) -> int:
+        """Return the number of distinct race pairs."""
+        return len(self._pairs)
+
+    def max_distance(self) -> int:
+        """Return the maximum race distance over all pairs (0 when race-free)."""
+        if not self._max_distance:
+            return 0
+        return max(self._max_distance.values())
+
+    def distance_of(self, pair: RacePair) -> int:
+        """Return the maximum observed distance for ``pair``."""
+        return self._max_distance.get(pair.key(), pair.distance)
+
+    def has_race(self) -> bool:
+        """Return True when at least one race pair was found."""
+        return bool(self._pairs)
+
+    def variables(self) -> List[str]:
+        """Return the distinct variables involved in races."""
+        seen = {}
+        for pair in self._pairs.values():
+            if pair.variable is not None:
+                seen.setdefault(pair.variable, None)
+        return list(seen)
+
+    def __contains__(self, locations: Iterable[str]) -> bool:
+        return frozenset(locations) in self._pairs
+
+    def __iter__(self) -> Iterator[RacePair]:
+        return iter(self.pairs())
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __repr__(self) -> str:
+        return "RaceReport(%s on %s: %d distinct races)" % (
+            self.detector_name, self.trace_name, len(self._pairs)
+        )
+
+    def summary(self) -> str:
+        """Return a short multi-line human-readable summary."""
+        lines = [
+            "%s on %s: %d distinct race pair(s)" % (
+                self.detector_name, self.trace_name, self.count()
+            )
+        ]
+        for pair in self.pairs():
+            lines.append("  - %s" % (pair,))
+        for key, value in sorted(self.stats.items()):
+            lines.append("  stat %s = %s" % (key, value))
+        return "\n".join(lines)

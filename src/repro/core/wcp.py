@@ -1,0 +1,388 @@
+"""Algorithm 1: the linear-time WCP vector-clock detector.
+
+This is the paper's central algorithmic contribution (Section 3).  The
+detector processes the trace in a single streaming pass and maintains:
+
+``N_t``
+    an integer local clock per thread, incremented just before processing
+    an event whose thread-order predecessor was a release;
+``P_t``
+    the WCP-predecessor clock of thread ``t`` (the join of ``C_e`` over all
+    events ``e`` WCP-before the last event of ``t``);
+``H_t``
+    the happens-before clock of thread ``t`` (component ``t`` always equals
+    ``N_t``);
+``P_l`` / ``H_l``
+    per-lock copies of the WCP/HB clocks of the last release of ``l``;
+``L^r_{l,x}`` / ``L^w_{l,x}``
+    per lock and variable, the join of the HB times of all releases of
+    ``l`` whose critical section read / wrote ``x`` (these implement
+    Rule (a) of WCP);
+``Acq_l(t)`` / ``Rel_l(t)``
+    per lock and thread, FIFO queues holding the acquire timestamps and
+    release HB-times of critical sections performed by *other* threads
+    (these implement Rule (b)).
+
+The derived event timestamp is ``C_e = P_t[t := N_t]`` taken right after
+processing ``e``.  Theorem 2 states ``a <=_WCP b  iff  C_a <= C_b`` (for
+``a`` earlier than ``b``), so the race check is a per-variable clock
+comparison (see :mod:`repro.core.history`).
+
+Fork and join events are not part of the paper's formal model but are
+emitted by real loggers; we treat them as inviolable program-order edges
+(like thread order) by joining the parent's ``C`` into the child's ``P``
+and ``H`` on fork, and symmetrically on join.
+
+One deliberate deviation from the literal pseudocode: Definition 3's
+Rule (a) requires the event in ``CS(r)`` to *conflict* with the later
+access, and conflicting events must be from different threads.  The
+pseudocode's ``L^r_{l,x}`` / ``L^w_{l,x}`` clocks join the HB times of all
+releases -- including releases performed by the reading/writing thread
+itself -- which can introduce orderings (and hence hide races) that the
+definition does not impose.  We therefore keep those clocks per releasing
+thread and skip the accessing thread's own contribution, which makes the
+detector agree exactly with the closure oracle
+(:class:`repro.core.closure.WCPClosure`); pass ``strict_pseudocode=True``
+to reproduce the literal Algorithm 1 behaviour instead.
+
+Complexity matches Theorem 3: ``O(N * (T^2 + L))`` time; space is linear in
+the worst case due to the FIFO queues, and the detector records the maximum
+total queue length so Table 1's column 11 can be reproduced.
+
+One exact (semantics-preserving) optimisation is applied by default: the
+queues ``Acq_l(t)`` / ``Rel_l(t)`` are only maintained for threads ``t``
+that release ``l`` somewhere in the trace.  A queue belonging to a thread
+that never releases the lock is only ever written, never read, so dropping
+it cannot change any timestamp -- but it changes the memory profile
+dramatically on traces with thread-local locks (which would otherwise
+accumulate entries forever).  Pass ``prune_queues=False`` to keep every
+queue, e.g. when feeding events online without a complete trace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.detector import Detector
+from repro.core.history import AccessHistory
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+from repro.vectorclock.clock import VectorClock
+
+
+class WCPDetector(Detector):
+    """Streaming WCP race detector (Algorithm 1).
+
+    Parameters
+    ----------
+    track_queue_stats:
+        When True (default) record the maximum total FIFO-queue length in
+        ``report.stats["max_queue_total"]`` and the fraction of the trace
+        length in ``report.stats["max_queue_fraction"]`` (Table 1, col 11).
+    strict_pseudocode:
+        When True, follow Algorithm 1 literally and let Rule (a) joins
+        include releases performed by the accessing thread itself (see the
+        module docstring).  Default False (agree with Definition 3).
+    prune_queues:
+        When True (default) only keep per-(lock, thread) queues for threads
+        that release the lock somewhere in the trace (exactly equivalent,
+        far less memory).  Requires the full trace at :meth:`reset`.
+    """
+
+    name = "WCP"
+
+    def __init__(
+        self,
+        track_queue_stats: bool = True,
+        strict_pseudocode: bool = False,
+        prune_queues: bool = True,
+    ) -> None:
+        super().__init__()
+        self._track_queue_stats = track_queue_stats
+        self._strict_pseudocode = strict_pseudocode
+        self._prune_queues = prune_queues
+        self._trace: Optional[Trace] = None
+
+    # ------------------------------------------------------------------ #
+    # State management
+    # ------------------------------------------------------------------ #
+
+    def reset(self, trace: Trace) -> None:
+        self._trace = trace
+        self._new_report(trace)
+        self._threads: List[str] = trace.threads
+
+        # Local clocks and thread clocks.
+        self._nt: Dict[str, int] = {}
+        self._pt: Dict[str, VectorClock] = {}
+        self._ht: Dict[str, VectorClock] = {}
+        self._prev_was_release: Dict[str, bool] = {}
+
+        # Per-lock clocks.
+        self._pl: Dict[str, VectorClock] = defaultdict(VectorClock.bottom)
+        self._hl: Dict[str, VectorClock] = defaultdict(VectorClock.bottom)
+
+        # Per (lock, variable) release-time joins for Rule (a), keyed by the
+        # releasing thread so that an accessing thread can skip its own
+        # releases (see the module docstring).
+        self._lr: Dict[Tuple[str, str], Dict[str, VectorClock]] = defaultdict(dict)
+        self._lw: Dict[Tuple[str, str], Dict[str, VectorClock]] = defaultdict(dict)
+
+        # Per (lock, thread) FIFO queues for Rule (b).
+        self._acq_q: Dict[Tuple[str, str], Deque[VectorClock]] = defaultdict(deque)
+        self._rel_q: Dict[Tuple[str, str], Deque[VectorClock]] = defaultdict(deque)
+
+        # Per-thread stack of open critical sections:
+        # (lock, variables read, variables written).
+        self._open_sections: Dict[str, List[Tuple[str, Set[str], Set[str]]]] = (
+            defaultdict(list)
+        )
+
+        self._history = AccessHistory()
+        self._queue_total = 0
+        self._max_queue_total = 0
+
+        # Threads that release each lock somewhere in the trace: queues for
+        # other threads are never read, so they need not be kept.
+        self._releasers: Dict[str, Set[str]] = defaultdict(set)
+        if self._prune_queues:
+            for event in trace:
+                if event.is_release():
+                    self._releasers[event.lock].add(event.thread)
+
+        for thread in self._threads:
+            self._init_thread(thread)
+
+    def _init_thread(self, thread: str) -> None:
+        if thread in self._nt:
+            return
+        self._nt[thread] = 1
+        self._pt[thread] = VectorClock.bottom()
+        self._ht[thread] = VectorClock.single(thread, 1)
+        self._prev_was_release[thread] = False
+        if thread not in self._threads:
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------ #
+    # Clock helpers
+    # ------------------------------------------------------------------ #
+
+    def _clock_c(self, thread: str) -> VectorClock:
+        """Return ``C_t = P_t[t := N_t]`` as a fresh clock."""
+        return self._pt[thread].copy().assign(thread, self._nt[thread])
+
+    def _maybe_increment(self, thread: str) -> None:
+        """Increment ``N_t`` iff the previous event of ``t`` was a release."""
+        if self._prev_was_release.get(thread):
+            self._nt[thread] += 1
+            self._ht[thread].assign(thread, self._nt[thread])
+            self._prev_was_release[thread] = False
+
+    def _bump_queue_total(self, delta: int) -> None:
+        if not self._track_queue_stats:
+            return
+        self._queue_total += delta
+        if self._queue_total > self._max_queue_total:
+            self._max_queue_total = self._queue_total
+
+    # ------------------------------------------------------------------ #
+    # Event dispatch
+    # ------------------------------------------------------------------ #
+
+    def process(self, event: Event) -> None:
+        thread = event.thread
+        self._init_thread(thread)
+        self._maybe_increment(thread)
+
+        etype = event.etype
+        if etype is EventType.ACQUIRE:
+            self._acquire(event)
+        elif etype is EventType.RELEASE:
+            self._release(event)
+        elif etype is EventType.READ:
+            self._read(event)
+        elif etype is EventType.WRITE:
+            self._write(event)
+        elif etype is EventType.FORK:
+            self._fork(event)
+        elif etype is EventType.JOIN:
+            self._join(event)
+        # BEGIN / END need no clock work.
+
+        self._prev_was_release[thread] = etype is EventType.RELEASE
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 procedures
+    # ------------------------------------------------------------------ #
+
+    def _acquire(self, event: Event) -> None:
+        thread, lock = event.thread, event.lock
+        # Lines 1-2: receive the HB / WCP knowledge of the last release of l.
+        self._ht[thread].join(self._hl[lock])
+        self._pt[thread].join(self._pl[lock])
+        # Line 3: advertise this acquire's timestamp to every other thread
+        # (that will ever read its queue, i.e. that releases this lock).
+        acquire_clock = self._clock_c(thread)
+        for other in self._queue_audience(lock, thread):
+            self._acq_q[(lock, other)].append(acquire_clock)
+            self._bump_queue_total(1)
+        # Track the opening of the critical section for R/W collection.
+        self._open_sections[thread].append((lock, set(), set()))
+
+    def _release(self, event: Event) -> None:
+        thread, lock = event.thread, event.lock
+        pt = self._pt[thread]
+
+        # Lines 4-6: apply Rule (b) for every earlier critical section of
+        # this lock whose acquire is WCP-ordered before this release.
+        acq_queue = self._acq_q[(lock, thread)]
+        rel_queue = self._rel_q[(lock, thread)]
+        while acq_queue:
+            current_clock = self._clock_c(thread)
+            if not (acq_queue[0] <= current_clock):
+                break
+            if not rel_queue:
+                # Only possible on malformed (e.g. windowed) traces where the
+                # earlier critical section's release was cut off.
+                break
+            acq_queue.popleft()
+            pt.join(rel_queue.popleft())
+            self._bump_queue_total(-2)
+
+        # Close the critical section and fetch its accessed variables.
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        stack = self._open_sections[thread]
+        if stack and stack[-1][0] == lock:
+            _, reads, writes = stack.pop()
+        elif stack:
+            # Non-nested release (only on unvalidated traces): best effort.
+            for position in range(len(stack) - 1, -1, -1):
+                if stack[position][0] == lock:
+                    _, reads, writes = stack.pop(position)
+                    break
+
+        ht_full = self._ht[thread]
+        # Lines 7-8: remember this release's HB time for Rule (a).
+        for variable in reads:
+            self._join_release_time(self._lr[(lock, variable)], thread, ht_full)
+        for variable in writes:
+            self._join_release_time(self._lw[(lock, variable)], thread, ht_full)
+
+        # Line 9: per-lock clocks now describe this (latest) release.
+        self._hl[lock] = ht_full.copy()
+        self._pl[lock] = pt.copy()
+
+        # Line 10: advertise this release's HB time to every other thread
+        # (that will ever read its queue).
+        release_time = ht_full.copy()
+        for other in self._queue_audience(lock, thread):
+            self._rel_q[(lock, other)].append(release_time)
+            self._bump_queue_total(1)
+
+    def _queue_audience(self, lock: str, thread: str) -> List[str]:
+        """Threads whose (lock, thread) queues must receive this entry."""
+        if self._prune_queues:
+            audience = self._releasers.get(lock, ())
+        else:
+            audience = self._threads
+        return [other for other in audience if other != thread]
+
+    @staticmethod
+    def _join_release_time(
+        cell: Dict[str, VectorClock], thread: str, time: VectorClock
+    ) -> None:
+        existing = cell.get(thread)
+        if existing is None:
+            cell[thread] = time.copy()
+        else:
+            existing.join(time)
+
+    def _join_rule_a(
+        self, target: VectorClock, cell: Dict[str, VectorClock], thread: str
+    ) -> None:
+        """Join into ``target`` the Rule (a) release times relevant to ``thread``."""
+        for releasing_thread, clock in cell.items():
+            if releasing_thread == thread and not self._strict_pseudocode:
+                continue
+            target.join(clock)
+
+    def _held_locks(self, thread: str) -> List[str]:
+        return [section[0] for section in self._open_sections[thread]]
+
+    def _note_access(self, thread: str, variable: str, is_write: bool) -> None:
+        for _, reads, writes in self._open_sections[thread]:
+            (writes if is_write else reads).add(variable)
+
+    def _read(self, event: Event) -> None:
+        thread, variable = event.thread, event.variable
+        pt = self._pt[thread]
+        # Line 11: Rule (a) -- order this read after every release of an
+        # enclosing lock whose critical section wrote the same variable.
+        for lock in self._held_locks(thread):
+            self._join_rule_a(pt, self._lw[(lock, variable)], thread)
+        self._note_access(thread, variable, is_write=False)
+        self._check_access(event)
+
+    def _write(self, event: Event) -> None:
+        thread, variable = event.thread, event.variable
+        pt = self._pt[thread]
+        # Line 12: Rule (a) for writes -- conflicting accesses are both the
+        # reads and the writes of the enclosing critical sections.
+        for lock in self._held_locks(thread):
+            self._join_rule_a(pt, self._lr[(lock, variable)], thread)
+            self._join_rule_a(pt, self._lw[(lock, variable)], thread)
+        self._note_access(thread, variable, is_write=True)
+        self._check_access(event)
+
+    def _fork(self, event: Event) -> None:
+        parent, child = event.thread, event.other_thread
+        self._init_thread(child)
+        parent_clock = self._clock_c(parent)
+        self._pt[child].join(parent_clock)
+        self._ht[child].join(self._ht[parent])
+        # Keep the child's own component pinned to its local clock.
+        self._ht[child].assign(child, self._nt[child])
+
+    def _join(self, event: Event) -> None:
+        parent, child = event.thread, event.other_thread
+        self._init_thread(child)
+        self._pt[parent].join(self._clock_c(child))
+        self._ht[parent].join(self._ht[child])
+        self._ht[parent].assign(parent, self._nt[parent])
+
+    # ------------------------------------------------------------------ #
+    # Race checking
+    # ------------------------------------------------------------------ #
+
+    def _check_access(self, event: Event) -> None:
+        clock = self._clock_c(event.thread)
+        self._history.observe(event, clock, self.report)
+
+    def finish(self) -> None:
+        if self._track_queue_stats:
+            events = max(1, len(self._trace) if self._trace is not None else 1)
+            self.report.stats["max_queue_total"] = float(self._max_queue_total)
+            self.report.stats["max_queue_fraction"] = (
+                self._max_queue_total / float(events)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by tests and the closure cross-check
+    # ------------------------------------------------------------------ #
+
+    def timestamps(self, trace: Trace) -> List[VectorClock]:
+        """Run over ``trace`` and return the WCP timestamp ``C_e`` per event.
+
+        Used by tests to cross-validate against the explicit closure
+        (Theorem 2: ``a <=_WCP b  iff  C_a <= C_b`` for ``a`` earlier than
+        ``b``).
+        """
+        self.reset(trace)
+        clocks: List[VectorClock] = []
+        for event in trace:
+            self.process(event)
+            clocks.append(self._clock_c(event.thread))
+        self.finish()
+        return clocks

@@ -1,0 +1,17 @@
+"""Causally-Precedes (CP) -- the partial order WCP weakens.
+
+CP (Smaragdakis et al., POPL 2012; Definition 2 in the WCP paper) is a
+subset of HB that detects more races than HB while remaining weakly sound.
+Its drawback, and the motivation for WCP, is that no linear-time algorithm
+is known, so real implementations must window the trace.
+
+* :class:`~repro.cp.closure.CPClosure` -- explicit fixpoint computation of
+  CP on a (small) trace.
+* :class:`~repro.cp.detector.CPDetector` -- a windowed detector built on
+  the closure, mirroring how CP is deployed in practice.
+"""
+
+from repro.cp.closure import CPClosure
+from repro.cp.detector import CPDetector
+
+__all__ = ["CPClosure", "CPDetector"]

@@ -1,0 +1,187 @@
+"""FastTrack: epoch-optimised happens-before race detection.
+
+FastTrack (Flanagan & Freund, PLDI 2009) observes that for most variables
+the last write -- and usually the last read -- is totally ordered with all
+later accesses, so a full vector clock per variable is unnecessary: a
+single *epoch* ``c@t`` suffices, and the common-case check is O(1) instead
+of O(T).
+
+The WCP paper cites epoch optimisations as future work for its own
+algorithm (Section 6); we provide the HB variant so the repository can
+quantify the time/memory trade-off (see ``benchmarks/bench_ablation_epochs``).
+
+The detector reports the same HB races as :class:`repro.hb.hb.HBDetector`;
+the per-variable state is:
+
+* ``write``: epoch of the last write (plus the writing event, so that race
+  pairs can be attributed to program locations);
+* ``reads``: either a single read epoch (shared-exclusive mode) or a map
+  from thread to its last read (read-shared mode), mirroring FastTrack's
+  adaptive representation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from repro.core.detector import Detector
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+from repro.vectorclock.clock import VectorClock
+from repro.vectorclock.epoch import Epoch
+
+
+class _VariableState:
+    """Per-variable FastTrack metadata."""
+
+    __slots__ = ("write_epoch", "write_event", "read_epoch", "read_event", "read_map")
+
+    def __init__(self) -> None:
+        self.write_epoch = Epoch.bottom()
+        self.write_event: Optional[Event] = None
+        self.read_epoch = Epoch.bottom()
+        self.read_event: Optional[Event] = None
+        # thread -> (time, event); non-empty only in read-shared mode.
+        self.read_map: Optional[Dict[str, Tuple[int, Event]]] = None
+
+    def in_shared_mode(self) -> bool:
+        return self.read_map is not None
+
+
+class FastTrackDetector(Detector):
+    """Epoch-optimised HB detector (FastTrack)."""
+
+    name = "FastTrack"
+
+    def reset(self, trace: Trace) -> None:
+        self._trace = trace
+        self._new_report(trace)
+        self._clocks: Dict[str, VectorClock] = {}
+        self._lock_clocks: Dict[str, VectorClock] = defaultdict(VectorClock.bottom)
+        self._variables: Dict[str, _VariableState] = {}
+        #: Number of accesses handled entirely with O(1) epoch comparisons.
+        self.fast_path_hits = 0
+        #: Number of accesses that needed a vector-clock comparison.
+        self.slow_path_hits = 0
+        for thread in trace.threads:
+            self._thread_clock(thread)
+
+    def _thread_clock(self, thread: str) -> VectorClock:
+        clock = self._clocks.get(thread)
+        if clock is None:
+            clock = VectorClock.single(thread, 1)
+            self._clocks[thread] = clock
+        return clock
+
+    def _state(self, variable: str) -> _VariableState:
+        state = self._variables.get(variable)
+        if state is None:
+            state = _VariableState()
+            self._variables[variable] = state
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Event handling
+    # ------------------------------------------------------------------ #
+
+    def process(self, event: Event) -> None:
+        thread = event.thread
+        clock = self._thread_clock(thread)
+        etype = event.etype
+
+        if etype is EventType.ACQUIRE:
+            clock.join(self._lock_clocks[event.lock])
+        elif etype is EventType.RELEASE:
+            self._lock_clocks[event.lock] = clock.copy()
+            clock.increment(thread)
+        elif etype is EventType.READ:
+            self._read(event, clock)
+        elif etype is EventType.WRITE:
+            self._write(event, clock)
+        elif etype is EventType.FORK:
+            child = self._thread_clock(event.other_thread)
+            child.join(clock)
+            clock.increment(thread)
+        elif etype is EventType.JOIN:
+            clock.join(self._thread_clock(event.other_thread))
+
+    # ------------------------------------------------------------------ #
+    # FastTrack access rules
+    # ------------------------------------------------------------------ #
+
+    def _read(self, event: Event, clock: VectorClock) -> None:
+        thread = event.thread
+        state = self._state(event.variable)
+
+        # Same-epoch fast path: repeated read by the same thread interval.
+        if state.read_epoch.same_thread(thread) and (
+            state.read_epoch.time == clock.get(thread)
+        ):
+            self.fast_path_hits += 1
+            return
+
+        # write-read race check.
+        if not state.write_epoch.happens_before(clock):
+            if state.write_event is not None:
+                self.report.add(state.write_event, event)
+        self.fast_path_hits += 1
+
+        if state.in_shared_mode():
+            state.read_map[thread] = (clock.get(thread), event)  # type: ignore[index]
+            return
+
+        if state.read_epoch.happens_before(clock):
+            # Exclusive mode: the previous read is ordered before this one.
+            state.read_epoch = Epoch(thread, clock.get(thread))
+            state.read_event = event
+        else:
+            # Switch to read-shared mode.
+            self.slow_path_hits += 1
+            state.read_map = {}
+            if state.read_event is not None and state.read_epoch.thread is not None:
+                state.read_map[state.read_epoch.thread] = (
+                    state.read_epoch.time, state.read_event
+                )
+            state.read_map[thread] = (clock.get(thread), event)
+
+    def _write(self, event: Event, clock: VectorClock) -> None:
+        thread = event.thread
+        state = self._state(event.variable)
+
+        # Same-epoch fast path.
+        if state.write_epoch.same_thread(thread) and (
+            state.write_epoch.time == clock.get(thread)
+        ):
+            self.fast_path_hits += 1
+            return
+
+        # write-write race check.
+        if not state.write_epoch.happens_before(clock):
+            if state.write_event is not None:
+                self.report.add(state.write_event, event)
+
+        # read-write race check.
+        if state.in_shared_mode():
+            self.slow_path_hits += 1
+            for reader, (time, read_event) in state.read_map.items():  # type: ignore[union-attr]
+                if reader != thread and time > clock.get(reader):
+                    self.report.add(read_event, event)
+            state.read_map = None
+            state.read_epoch = Epoch.bottom()
+            state.read_event = None
+        else:
+            self.fast_path_hits += 1
+            if not state.read_epoch.happens_before(clock):
+                if state.read_event is not None:
+                    self.report.add(state.read_event, event)
+
+        state.write_epoch = Epoch(thread, clock.get(thread))
+        state.write_event = event
+
+    def finish(self) -> None:
+        total = self.fast_path_hits + self.slow_path_hits
+        self.report.stats["fast_path_hits"] = float(self.fast_path_hits)
+        self.report.stats["slow_path_hits"] = float(self.slow_path_hits)
+        if total:
+            self.report.stats["fast_path_ratio"] = self.fast_path_hits / float(total)

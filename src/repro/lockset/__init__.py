@@ -1,0 +1,12 @@
+"""Lockset-based detection (Eraser) -- the classic *unsound* baseline.
+
+The WCP paper's related-work section contrasts partial-order methods with
+lockset methods such as Eraser, which are fast but report spurious races.
+We include an Eraser implementation so that examples and the ablation
+benchmarks can quantify the false-positive gap on traces whose accesses are
+consistently protected by different-but-synchronised locks.
+"""
+
+from repro.lockset.eraser import EraserDetector
+
+__all__ = ["EraserDetector"]

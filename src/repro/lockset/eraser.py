@@ -1,0 +1,100 @@
+"""The Eraser lockset algorithm (Savage et al., SOSP 1997).
+
+Eraser maintains, per shared variable, a *candidate lockset*: the
+intersection of the locks held at every access observed so far.  When the
+candidate set becomes empty the variable is flagged.  The state machine
+below implements the standard refinement: a variable starts *virgin*, moves
+to *exclusive* while a single thread accesses it, to *shared* on a read by
+a second thread (no reports), and to *shared-modified* on a write by a
+second thread (reports when the lockset empties).
+
+Eraser is **unsound in both directions**: it misses no "lock-discipline"
+violations but reports races for perfectly ordered accesses (e.g. fork/join
+or signal/wait ordering) and may stay silent on racy initialisation.  It is
+included purely as the fast, imprecise baseline the paper's related work
+discusses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set
+
+from repro.core.detector import Detector
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+class _VariableInfo:
+    __slots__ = ("state", "owner", "lockset", "last_access")
+
+    def __init__(self) -> None:
+        self.state = _State.VIRGIN
+        self.owner: Optional[str] = None
+        self.lockset: Optional[Set[str]] = None
+        self.last_access: Optional[Event] = None
+
+
+class EraserDetector(Detector):
+    """Lockset-based (unsound) race detector."""
+
+    name = "Eraser"
+
+    def reset(self, trace: Trace) -> None:
+        self._trace = trace
+        self._new_report(trace)
+        self._held: Dict[str, List[str]] = {}
+        self._variables: Dict[str, _VariableInfo] = {}
+
+    def _locks_held(self, thread: str) -> List[str]:
+        return self._held.setdefault(thread, [])
+
+    def process(self, event: Event) -> None:
+        etype = event.etype
+        if etype is EventType.ACQUIRE:
+            self._locks_held(event.thread).append(event.lock)
+        elif etype is EventType.RELEASE:
+            held = self._locks_held(event.thread)
+            if event.lock in held:
+                held.remove(event.lock)
+        elif etype is EventType.READ or etype is EventType.WRITE:
+            self._access(event)
+
+    def _access(self, event: Event) -> None:
+        info = self._variables.setdefault(event.variable, _VariableInfo())
+        thread = event.thread
+        held = set(self._locks_held(thread))
+
+        if info.state is _State.VIRGIN:
+            info.state = _State.EXCLUSIVE
+            info.owner = thread
+            info.lockset = held
+            info.last_access = event
+            return
+
+        if info.state is _State.EXCLUSIVE and info.owner == thread:
+            info.last_access = event
+            return
+
+        # A second thread has touched the variable: refine the lockset.
+        assert info.lockset is not None
+        info.lockset &= held
+
+        if info.state is _State.EXCLUSIVE:
+            info.state = (
+                _State.SHARED_MODIFIED if event.is_write() else _State.SHARED
+            )
+        elif info.state is _State.SHARED and event.is_write():
+            info.state = _State.SHARED_MODIFIED
+
+        racy = info.state is _State.SHARED_MODIFIED and not info.lockset
+        if racy and info.last_access is not None:
+            self.report.add(info.last_access, event)
+        info.last_access = event

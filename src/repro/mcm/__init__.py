@@ -1,0 +1,32 @@
+"""Maximal-causal-model predictor (the RVPredict stand-in).
+
+RVPredict encodes a bounded window of the trace as an SMT formula whose
+models are the correct reorderings of the window and asks a solver whether
+any model puts a conflicting pair next to each other.  The tool is closed
+source and SMT solvers are not available offline, so this subpackage
+provides a behaviourally equivalent substitute:
+
+* the *window* and *solver timeout* knobs are identical to RVPredict's
+  (Table 1 columns 8-9, 14-15 and Figure 7 sweep over them),
+* within a window the predictor is maximal: it enumerates correct
+  reorderings with the bounded search of :mod:`repro.reordering.witness`,
+  finding every predictable race of the fragment given enough budget,
+* and it fails the same way RVPredict fails: races spanning two windows
+  are invisible, and windows whose search exceeds the timeout report
+  nothing further.
+
+See DESIGN.md, "Substitutions", for the argument that this preserves the
+paper's qualitative comparison.
+"""
+
+from repro.mcm.constraints import CandidateRace, collect_candidates
+from repro.mcm.solver import OrderingSolver, SolverOutcome
+from repro.mcm.predictor import MCMPredictor
+
+__all__ = [
+    "CandidateRace",
+    "collect_candidates",
+    "OrderingSolver",
+    "SolverOutcome",
+    "MCMPredictor",
+]

@@ -1,0 +1,89 @@
+"""Candidate race collection for the maximal-causal-model predictor.
+
+RVPredict only hands the SMT solver queries for *candidate* races: pairs of
+conflicting accesses in the current window.  We reproduce the same
+pipeline: group the window's accesses by variable, enumerate conflicting
+pairs, de-duplicate them by program-location pair (the unit reported in
+Table 1), and order the candidates so that "cheap" pairs (close together in
+the window) are attempted before expensive ones -- mirroring the fact that
+an SMT solver typically resolves small queries before timing out on the
+hard ones.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.trace.event import Event
+from repro.trace.trace import Trace
+
+
+class CandidateRace:
+    """A conflicting event pair that the solver should try to witness."""
+
+    __slots__ = ("first", "second", "location_pair")
+
+    def __init__(self, first: Event, second: Event) -> None:
+        if first.index > second.index:
+            first, second = second, first
+        self.first = first
+        self.second = second
+        self.location_pair: FrozenSet[str] = frozenset(
+            {first.location(), second.location()}
+        )
+
+    @property
+    def span(self) -> int:
+        """Distance between the two accesses inside the window."""
+        return self.second.index - self.first.index
+
+    def __repr__(self) -> str:
+        return "CandidateRace(%r, %r)" % (self.first, self.second)
+
+
+def collect_candidates(
+    window: Trace,
+    skip_thread_ordered: bool = True,
+    per_location_limit: int = 3,
+) -> List[CandidateRace]:
+    """Return the candidate races of ``window``.
+
+    Parameters
+    ----------
+    window:
+        The trace fragment under analysis.
+    skip_thread_ordered:
+        Ignored pairs from the same thread are never candidates (they are
+        not conflicting by definition); this flag is kept for signature
+        compatibility with callers that pre-filter differently.
+    per_location_limit:
+        Keep at most this many representative event pairs per distinct
+        location pair.  The first witnessed representative proves the
+        location pair racy; extra representatives give the solver more than
+        one chance when the earliest occurrence is hard to reorder.
+    """
+    del skip_thread_ordered  # conflicting pairs are cross-thread by definition
+
+    by_variable: Dict[str, List[Event]] = defaultdict(list)
+    for event in window:
+        if event.is_access():
+            by_variable[event.variable].append(event)
+
+    per_location: Dict[FrozenSet[str], List[CandidateRace]] = defaultdict(list)
+    for accesses in by_variable.values():
+        for i, first in enumerate(accesses):
+            for second in accesses[i + 1:]:
+                if not first.conflicts_with(second):
+                    continue
+                candidate = CandidateRace(first, second)
+                bucket = per_location[candidate.location_pair]
+                if len(bucket) < per_location_limit:
+                    bucket.append(candidate)
+
+    candidates: List[CandidateRace] = []
+    for bucket in per_location.values():
+        candidates.extend(bucket)
+    # Small spans first: they are the cheapest queries.
+    candidates.sort(key=lambda candidate: candidate.span)
+    return candidates

@@ -1,0 +1,100 @@
+"""The ordering "solver" used by the maximal-causal-model predictor.
+
+RVPredict delegates each candidate race to an SMT solver with a per-window
+wall-clock budget.  Our solver answers the same query -- "is there a
+correct reordering of this window placing the two accesses next to each
+other?" -- with the bounded interleaving search of
+:mod:`repro.reordering.witness`, and exposes the same three outcomes:
+
+* ``WITNESSED``  -- a reordering was found (the race is real within the window);
+* ``INFEASIBLE`` -- the search space was exhausted without a witness
+  (the pair is not racy in this window);
+* ``TIMEOUT``    -- the budget ran out first (the query is abandoned, just
+  like an SMT timeout).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Optional
+
+from repro.mcm.constraints import CandidateRace
+from repro.reordering.witness import WitnessSearchResult, find_race_witness
+from repro.trace.trace import Trace
+
+
+class SolverOutcome(enum.Enum):
+    """Result of one candidate-race query."""
+
+    WITNESSED = "witnessed"
+    INFEASIBLE = "infeasible"
+    TIMEOUT = "timeout"
+
+
+class OrderingSolver:
+    """Budgeted reordering search over a single window.
+
+    Parameters
+    ----------
+    window:
+        The trace fragment being analysed.
+    time_budget_s:
+        Total wall-clock budget shared by every query on this window
+        (RVPredict's per-window solver timeout).
+    max_states_per_query:
+        Hard cap on interleavings explored per query, so a single
+        pathological candidate cannot consume the entire budget.
+    """
+
+    def __init__(
+        self,
+        window: Trace,
+        time_budget_s: Optional[float] = None,
+        max_states_per_query: int = 50_000,
+    ) -> None:
+        self.window = window
+        self.time_budget_s = time_budget_s
+        self.max_states_per_query = max_states_per_query
+        self._deadline = (
+            time.monotonic() + time_budget_s if time_budget_s is not None else None
+        )
+        #: Query counters, exposed for the predictor's statistics.
+        self.witnessed = 0
+        self.infeasible = 0
+        self.timeouts = 0
+        self.states_explored = 0
+
+    def budget_exhausted(self) -> bool:
+        """Return True when the window's wall-clock budget is spent."""
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def remaining_time(self) -> Optional[float]:
+        """Return the remaining wall-clock budget in seconds (None if unlimited)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def query(self, candidate: CandidateRace) -> SolverOutcome:
+        """Attempt to witness ``candidate``; updates the counters."""
+        if self.budget_exhausted():
+            self.timeouts += 1
+            return SolverOutcome.TIMEOUT
+
+        result: WitnessSearchResult = find_race_witness(
+            self.window,
+            candidate.first,
+            candidate.second,
+            max_states=self.max_states_per_query,
+            time_budget_s=self.remaining_time(),
+        )
+        self.states_explored += result.states_explored
+
+        if result.found:
+            self.witnessed += 1
+            return SolverOutcome.WITNESSED
+        if result.exhausted:
+            self.timeouts += 1
+            return SolverOutcome.TIMEOUT
+        self.infeasible += 1
+        return SolverOutcome.INFEASIBLE

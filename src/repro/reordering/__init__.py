@@ -1,0 +1,42 @@
+"""Correct reorderings, race witnesses and predictable deadlocks.
+
+The soundness notion of the paper (Section 2.1) is defined through
+*correct reorderings*: a trace ``sigma'`` is a correct reordering of
+``sigma`` when every thread's projection in ``sigma'`` is a prefix of its
+projection in ``sigma`` and every read observes the same last write.  A
+*predictable race* (deadlock) exists when some correct reordering exhibits
+a race (deadlock).
+
+* :mod:`~repro.reordering.feasibility` -- check whether a candidate trace
+  is a correct reordering of an original trace.
+* :mod:`~repro.reordering.witness` -- bounded search for a correct
+  reordering that places two given conflicting events next to each other
+  (a race witness) or that exhibits a deadlock.  This is both the
+  ground-truth oracle used in the tests (validating the soundness theorem
+  on small traces) and the engine behind the RVPredict-like
+  :class:`repro.mcm.predictor.MCMPredictor`.
+"""
+
+from repro.reordering.feasibility import (
+    ReorderingViolation,
+    check_correct_reordering,
+    is_correct_reordering,
+)
+from repro.reordering.witness import (
+    WitnessSearchResult,
+    find_race_witness,
+    find_all_predictable_races,
+    has_predictable_race,
+    find_deadlock_witness,
+)
+
+__all__ = [
+    "ReorderingViolation",
+    "check_correct_reordering",
+    "is_correct_reordering",
+    "WitnessSearchResult",
+    "find_race_witness",
+    "find_all_predictable_races",
+    "has_predictable_race",
+    "find_deadlock_witness",
+]

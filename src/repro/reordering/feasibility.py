@@ -1,0 +1,120 @@
+"""Checking the correct-reordering conditions.
+
+A candidate trace ``sigma'`` is a *correct reordering* of ``sigma`` when
+(Section 2.1):
+
+1. for every thread ``t`` the projection ``sigma'|t`` is a prefix of
+   ``sigma|t`` (threads execute the same operations in the same per-thread
+   order, possibly stopping early);
+2. the last ``w(x)`` before any ``r(x)`` is the same event in both traces
+   (every read returns the value it returned originally);
+3. ``sigma'`` is itself a trace, i.e. it satisfies lock semantics and well
+   nestedness.
+
+Events are matched across the two traces by their per-thread position (the
+``k``-th event of thread ``t`` in the candidate must equal the ``k``-th
+event of ``t`` in the original, compared by type and target).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.event import Event
+from repro.trace.trace import Trace
+
+
+class ReorderingViolation:
+    """A single reason why a candidate is not a correct reordering."""
+
+    def __init__(self, kind: str, message: str, event: Optional[Event] = None) -> None:
+        self.kind = kind
+        self.message = message
+        self.event = event
+
+    def __repr__(self) -> str:
+        return "ReorderingViolation(%s: %s)" % (self.kind, self.message)
+
+
+def _per_thread_signature(trace: Trace) -> Dict[str, List[Tuple[str, Optional[str]]]]:
+    """Return, per thread, the list of (etype, target) signatures in order."""
+    signatures: Dict[str, List[Tuple[str, Optional[str]]]] = defaultdict(list)
+    for event in trace:
+        signatures[event.thread].append((event.etype.value, event.target))
+    return signatures
+
+
+def check_correct_reordering(original: Trace, candidate: Trace) -> List[ReorderingViolation]:
+    """Return all violations of the correct-reordering conditions (empty if OK)."""
+    violations: List[ReorderingViolation] = []
+
+    original_signatures = _per_thread_signature(original)
+    candidate_signatures = _per_thread_signature(candidate)
+
+    # Condition 1: per-thread prefixes.
+    for thread, candidate_events in candidate_signatures.items():
+        original_events = original_signatures.get(thread, [])
+        if len(candidate_events) > len(original_events):
+            violations.append(ReorderingViolation(
+                "prefix",
+                "thread %s performs %d events but only %d exist in the original"
+                % (thread, len(candidate_events), len(original_events)),
+            ))
+            continue
+        for position, (candidate_sig, original_sig) in enumerate(
+            zip(candidate_events, original_events)
+        ):
+            if candidate_sig != original_sig:
+                violations.append(ReorderingViolation(
+                    "prefix",
+                    "thread %s event #%d is %r in the candidate but %r in the original"
+                    % (thread, position, candidate_sig, original_sig),
+                ))
+                break
+
+    # Condition 3: lock semantics / nestedness of the candidate itself.
+    try:
+        Trace([Event(-1, e.thread, e.etype, e.target, e.loc) for e in candidate],
+              validate=True, name=candidate.name)
+    except Exception as error:  # TraceError subclasses
+        violations.append(ReorderingViolation("lock-semantics", str(error)))
+
+    # Condition 2: every read sees the same last writer.
+    # Identify writes by (thread, per-thread position) so they can be
+    # compared across the two traces.
+    def last_writer_map(trace: Trace) -> Dict[Tuple[str, int], Optional[Tuple[str, int]]]:
+        position_of: Dict[int, Tuple[str, int]] = {}
+        counters: Dict[str, int] = defaultdict(int)
+        for event in trace:
+            position_of[event.index] = (event.thread, counters[event.thread])
+            counters[event.thread] += 1
+        result: Dict[Tuple[str, int], Optional[Tuple[str, int]]] = {}
+        last_write: Dict[str, Optional[int]] = {}
+        for event in trace:
+            if event.is_read():
+                writer = last_write.get(event.variable)
+                result[position_of[event.index]] = (
+                    position_of[writer] if writer is not None else None
+                )
+            elif event.is_write():
+                last_write[event.variable] = event.index
+        return result
+
+    original_readers = last_writer_map(original)
+    candidate_readers = last_writer_map(candidate)
+    for reader_key, candidate_writer in candidate_readers.items():
+        original_writer = original_readers.get(reader_key)
+        if candidate_writer != original_writer:
+            violations.append(ReorderingViolation(
+                "read-from",
+                "read %r sees writer %r in the candidate but %r in the original"
+                % (reader_key, candidate_writer, original_writer),
+            ))
+
+    return violations
+
+
+def is_correct_reordering(original: Trace, candidate: Trace) -> bool:
+    """Return True when ``candidate`` is a correct reordering of ``original``."""
+    return not check_correct_reordering(original, candidate)

@@ -1,0 +1,401 @@
+"""Bounded search for race and deadlock witnesses.
+
+Given a trace and a conflicting pair of events, :func:`find_race_witness`
+searches for a *correct reordering* that schedules the two events next to
+each other -- the ground truth notion of a predictable race (Section 2.1).
+:func:`find_deadlock_witness` searches for a correct reordering that ends
+in a state where a set of threads are cyclically waiting on each other's
+locks -- a predictable deadlock.
+
+The search enumerates interleavings of per-thread prefixes.  A state is a
+pair of (per-thread scheduled counts, per-variable last writer); a next
+event of a thread is *enabled* when
+
+* its lock (for an acquire) is not held by another thread,
+* its original last writer (for a read) is exactly the currently scheduled
+  last writer of the variable,
+* its forking event (for events of a forked thread) has been scheduled, and
+* the joined thread (for a join) has run to completion.
+
+The search is exponential in the worst case and therefore carries both a
+state budget and an optional wall-clock budget; ``exhausted=True`` in the
+result means "not found within budget" rather than "no witness exists".
+The same engine powers the RVPredict-like windowed predictor
+(:class:`repro.mcm.predictor.MCMPredictor`), whose per-window "solver
+timeout" is precisely this budget.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+
+class WitnessSearchResult:
+    """Outcome of a witness search."""
+
+    def __init__(
+        self,
+        found: bool,
+        schedule: Optional[List[Event]] = None,
+        states_explored: int = 0,
+        exhausted: bool = False,
+    ) -> None:
+        self.found = found
+        self.schedule = schedule
+        self.states_explored = states_explored
+        self.exhausted = exhausted
+
+    def __bool__(self) -> bool:
+        return self.found
+
+    def __repr__(self) -> str:
+        return "WitnessSearchResult(found=%s, states=%d, exhausted=%s)" % (
+            self.found, self.states_explored, self.exhausted
+        )
+
+
+class _SearchContext:
+    """Precomputed per-trace data shared by the witness searches."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.thread_events: Dict[str, List[Event]] = {
+            thread: trace.thread_events(thread) for thread in trace.threads
+        }
+        self.threads: List[str] = list(self.thread_events)
+
+        # Position of each event inside its thread.
+        self.position: Dict[int, int] = {}
+        for events in self.thread_events.values():
+            for position, event in enumerate(events):
+                self.position[event.index] = position
+
+        # Original last writer (event index) for every read, None if absent.
+        self.original_writer: Dict[int, Optional[int]] = {}
+        last_write: Dict[str, Optional[int]] = {}
+        for event in trace:
+            if event.is_read():
+                self.original_writer[event.index] = last_write.get(event.variable)
+            elif event.is_write():
+                last_write[event.variable] = event.index
+
+        # Locks held by a thread after scheduling its first k events.
+        self.held_after: Dict[str, List[FrozenSet[str]]] = {}
+        for thread, events in self.thread_events.items():
+            held: List[FrozenSet[str]] = [frozenset()]
+            current: Tuple[str, ...] = ()
+            for event in events:
+                if event.is_acquire():
+                    current = current + (event.lock,)
+                elif event.is_release() and event.lock in current:
+                    position = len(current) - 1 - current[::-1].index(event.lock)
+                    current = current[:position] + current[position + 1:]
+                held.append(frozenset(current))
+            self.held_after[thread] = held
+
+        # Fork prerequisites: thread -> index of the fork event creating it.
+        self.fork_of: Dict[str, int] = {}
+        first_event_of: Dict[str, int] = {}
+        for event in trace:
+            first_event_of.setdefault(event.thread, event.index)
+            if event.etype is EventType.FORK:
+                self.fork_of.setdefault(event.other_thread, event.index)
+        # A fork only constrains threads whose events all come after it.
+        for thread, fork_index in list(self.fork_of.items()):
+            if first_event_of.get(thread, fork_index + 1) < fork_index:
+                del self.fork_of[thread]
+
+    def locks_held(self, counts: Dict[str, int]) -> Dict[str, str]:
+        """Return lock -> holding thread for the scheduled prefix ``counts``."""
+        holders: Dict[str, str] = {}
+        for thread, count in counts.items():
+            for lock in self.held_after[thread][count]:
+                holders[lock] = thread
+        return holders
+
+    def is_scheduled(self, counts: Dict[str, int], event_index: Optional[int]) -> bool:
+        """Return True when the event at ``event_index`` is inside the prefix."""
+        if event_index is None:
+            return False
+        event = self.trace[event_index]
+        return self.position[event_index] < counts.get(event.thread, 0)
+
+    def enabled(
+        self,
+        event: Event,
+        counts: Dict[str, int],
+        last_writer: Dict[str, Optional[int]],
+    ) -> bool:
+        """Return True when ``event`` (the next event of its thread) can run."""
+        thread = event.thread
+
+        fork_index = self.fork_of.get(thread)
+        if fork_index is not None and not self.is_scheduled(counts, fork_index):
+            return False
+
+        if event.is_acquire():
+            holders = self.locks_held(counts)
+            holder = holders.get(event.lock)
+            return holder is None or holder == thread
+
+        if event.is_read():
+            return last_writer.get(event.variable) == self.original_writer[event.index]
+
+        if event.etype is EventType.JOIN:
+            child = event.other_thread
+            total = len(self.thread_events.get(child, []))
+            return counts.get(child, 0) >= total
+
+        return True
+
+    def schedule_effect(
+        self, event: Event, last_writer: Dict[str, Optional[int]]
+    ) -> Dict[str, Optional[int]]:
+        """Return the last-writer map after scheduling ``event``."""
+        if event.is_write():
+            updated = dict(last_writer)
+            updated[event.variable] = event.index
+            return updated
+        return last_writer
+
+
+def _freeze_state(
+    counts: Dict[str, int], last_writer: Dict[str, Optional[int]]
+) -> Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, Optional[int]], ...]]:
+    return (
+        tuple(sorted(counts.items())),
+        tuple(sorted((k, v) for k, v in last_writer.items() if v is not None)),
+    )
+
+
+def find_race_witness(
+    trace: Trace,
+    first: Event,
+    second: Event,
+    max_states: int = 200_000,
+    time_budget_s: Optional[float] = None,
+) -> WitnessSearchResult:
+    """Search for a correct reordering placing ``first`` and ``second`` adjacently.
+
+    Returns a :class:`WitnessSearchResult`; when ``found`` is True,
+    ``schedule`` is the reordered event prefix ending with the two racy
+    events next to each other.
+    """
+    if not first.conflicts_with(second):
+        return WitnessSearchResult(False)
+
+    context = _SearchContext(trace)
+    target_position = {
+        first.thread: context.position[first.index],
+        second.thread: context.position[second.index],
+    }
+
+    deadline = (time.monotonic() + time_budget_s) if time_budget_s else None
+    visited: Set[Tuple] = set()
+    states = [0]
+
+    def over_budget() -> bool:
+        if states[0] >= max_states:
+            return True
+        if deadline is not None and time.monotonic() > deadline:
+            return True
+        return False
+
+    def adjacent_ok(
+        counts: Dict[str, int], last_writer: Dict[str, Optional[int]]
+    ) -> Optional[List[Event]]:
+        """Try to append first/second (in either order) to finish the witness."""
+        for leader, follower in ((first, second), (second, first)):
+            if not context.enabled(leader, counts, last_writer):
+                continue
+            mid_counts = dict(counts)
+            mid_counts[leader.thread] = mid_counts.get(leader.thread, 0) + 1
+            mid_writer = context.schedule_effect(leader, last_writer)
+            if context.enabled(follower, mid_counts, mid_writer):
+                return [leader, follower]
+        return None
+
+    # Iterative depth-first search (windows can be deeper than Python's
+    # recursion limit).
+    initial_counts = {thread: 0 for thread in context.threads}
+    stack: List[Tuple[Dict[str, int], Dict[str, Optional[int]], List[Event]]] = [
+        (initial_counts, {}, [])
+    ]
+    witness: Optional[List[Event]] = None
+    while stack and witness is None:
+        if over_budget():
+            break
+        counts, last_writer, schedule = stack.pop()
+        key = _freeze_state(counts, last_writer)
+        if key in visited:
+            continue
+        visited.add(key)
+        states[0] += 1
+
+        # Goal: both racy events are the next events of their threads.
+        if all(
+            counts.get(thread, 0) == position
+            for thread, position in target_position.items()
+        ):
+            tail = adjacent_ok(counts, last_writer)
+            if tail is not None:
+                witness = schedule + tail
+                break
+
+        successors = []
+        for thread in context.threads:
+            count = counts.get(thread, 0)
+            events = context.thread_events[thread]
+            if count >= len(events):
+                continue
+            event = events[count]
+            # Never schedule the racy events themselves (nor past them).
+            if thread in target_position and count >= target_position[thread]:
+                continue
+            if not context.enabled(event, counts, last_writer):
+                continue
+            next_counts = dict(counts)
+            next_counts[thread] = count + 1
+            next_writer = context.schedule_effect(event, last_writer)
+            successors.append((event.index, (next_counts, next_writer, schedule + [event])))
+        # Explore the thread whose next event is earliest in the original
+        # trace first (the original order is itself a correct reordering, so
+        # this heuristic reaches "easy" witnesses almost immediately).
+        successors.sort(key=lambda entry: entry[0], reverse=True)
+        stack.extend(state for _, state in successors)
+
+    exhausted = witness is None and over_budget()
+    return WitnessSearchResult(
+        found=witness is not None,
+        schedule=witness,
+        states_explored=states[0],
+        exhausted=exhausted,
+    )
+
+
+def has_predictable_race(
+    trace: Trace,
+    first: Event,
+    second: Event,
+    max_states: int = 200_000,
+    time_budget_s: Optional[float] = None,
+) -> bool:
+    """Return True when a correct reordering exhibits the race (first, second)."""
+    return find_race_witness(trace, first, second, max_states, time_budget_s).found
+
+
+def find_all_predictable_races(
+    trace: Trace,
+    max_states_per_pair: int = 100_000,
+    time_budget_s: Optional[float] = None,
+) -> List[Tuple[Event, Event]]:
+    """Return every conflicting event pair that has a predictable-race witness.
+
+    Exhaustive over conflicting pairs; intended for small traces where it
+    serves as the ground truth against which the partial-order detectors
+    are evaluated.
+    """
+    deadline = (time.monotonic() + time_budget_s) if time_budget_s else None
+    witnesses: List[Tuple[Event, Event]] = []
+    for first, second in trace.conflicting_pairs():
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.monotonic())
+            if remaining == 0.0:
+                break
+        if find_race_witness(trace, first, second, max_states_per_pair, remaining).found:
+            witnesses.append((first, second))
+    return witnesses
+
+
+def find_deadlock_witness(
+    trace: Trace,
+    max_states: int = 200_000,
+    time_budget_s: Optional[float] = None,
+) -> WitnessSearchResult:
+    """Search for a correct reordering whose final state is deadlocked.
+
+    A state is deadlocked when a non-empty set of threads each wait to
+    acquire a lock held by another thread in the set (a cycle in the
+    wait-for graph).
+    """
+    context = _SearchContext(trace)
+    deadline = (time.monotonic() + time_budget_s) if time_budget_s else None
+    visited: Set[Tuple] = set()
+    states = [0]
+
+    def over_budget() -> bool:
+        if states[0] >= max_states:
+            return True
+        if deadline is not None and time.monotonic() > deadline:
+            return True
+        return False
+
+    def wait_for_cycle(counts: Dict[str, int]) -> bool:
+        holders = context.locks_held(counts)
+        waits: Dict[str, str] = {}
+        for thread in context.threads:
+            count = counts.get(thread, 0)
+            events = context.thread_events[thread]
+            if count >= len(events):
+                continue
+            event = events[count]
+            if event.is_acquire():
+                holder = holders.get(event.lock)
+                if holder is not None and holder != thread:
+                    waits[thread] = holder
+        # Cycle detection over the wait-for edges.
+        for start in waits:
+            seen = set()
+            current = start
+            while current in waits and current not in seen:
+                seen.add(current)
+                current = waits[current]
+                if current == start:
+                    return True
+        return False
+
+    initial_counts = {thread: 0 for thread in context.threads}
+    stack: List[Tuple[Dict[str, int], Dict[str, Optional[int]], List[Event]]] = [
+        (initial_counts, {}, [])
+    ]
+    witness: Optional[List[Event]] = None
+    while stack and witness is None:
+        if over_budget():
+            break
+        counts, last_writer, schedule = stack.pop()
+        key = _freeze_state(counts, last_writer)
+        if key in visited:
+            continue
+        visited.add(key)
+        states[0] += 1
+
+        if wait_for_cycle(counts):
+            witness = schedule
+            break
+
+        for thread in context.threads:
+            count = counts.get(thread, 0)
+            events = context.thread_events[thread]
+            if count >= len(events):
+                continue
+            event = events[count]
+            if not context.enabled(event, counts, last_writer):
+                continue
+            next_counts = dict(counts)
+            next_counts[thread] = count + 1
+            next_writer = context.schedule_effect(event, last_writer)
+            stack.append((next_counts, next_writer, schedule + [event]))
+
+    exhausted = witness is None and over_budget()
+    return WitnessSearchResult(
+        found=witness is not None,
+        schedule=witness,
+        states_explored=states[0],
+        exhausted=exhausted,
+    )

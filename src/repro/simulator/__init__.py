@@ -1,0 +1,47 @@
+"""Concurrent-program simulator (the execution substrate).
+
+The paper obtains traces by running instrumented Java programs under the
+RVPredict logger.  Neither the JVM benchmarks nor the logger are available
+here, so this subpackage provides the substitute substrate: a tiny
+shared-memory concurrent language with locks, an interpreter, and pluggable
+schedulers.  Running a program under a scheduler yields a
+:class:`~repro.trace.trace.Trace` that the detectors consume exactly as
+they would consume a logged trace.
+
+* :mod:`~repro.simulator.program` -- statements, thread programs, whole
+  programs, and a few convenience constructors.
+* :mod:`~repro.simulator.scheduler` -- round-robin, seeded-random and
+  scripted schedulers, plus exhaustive schedule enumeration for tiny
+  programs.
+* :mod:`~repro.simulator.interpreter` -- executes a program under a
+  scheduler and emits the trace (detecting actual deadlocks on the way).
+"""
+
+from repro.simulator.program import (
+    Acquire,
+    Release,
+    Read,
+    Write,
+    Compute,
+    Fork,
+    Join,
+    Statement,
+    ThreadProgram,
+    Program,
+)
+from repro.simulator.scheduler import (
+    Scheduler,
+    RoundRobinScheduler,
+    RandomScheduler,
+    ScriptedScheduler,
+    enumerate_schedules,
+)
+from repro.simulator.interpreter import Interpreter, DeadlockDetected, run_program
+
+__all__ = [
+    "Acquire", "Release", "Read", "Write", "Compute", "Fork", "Join",
+    "Statement", "ThreadProgram", "Program",
+    "Scheduler", "RoundRobinScheduler", "RandomScheduler", "ScriptedScheduler",
+    "enumerate_schedules",
+    "Interpreter", "DeadlockDetected", "run_program",
+]

@@ -1,0 +1,181 @@
+"""The interpreter: runs a :class:`~repro.simulator.program.Program` under a
+:class:`~repro.simulator.scheduler.Scheduler` and emits a trace.
+
+The interpreter enforces real execution semantics:
+
+* an ``Acquire`` of a lock held by another thread blocks the acquiring
+  thread (it is not enabled until the lock is free);
+* a ``Join`` blocks until the joined thread has executed its last
+  statement;
+* threads that are forked only become runnable after the ``Fork`` executes;
+* when no thread is enabled but some have not finished, the run has
+  deadlocked -- the interpreter raises :class:`DeadlockDetected` (or, when
+  ``allow_deadlock=True``, returns the partial trace).
+
+``Compute`` statements consume scheduler steps without emitting events,
+which lets workload generators control how much interleaving the scheduler
+can introduce between synchronisation points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.simulator.program import (
+    Acquire, Compute, Fork, Join, Program, Read, Release, Statement, Write,
+)
+from repro.simulator.scheduler import Scheduler, RoundRobinScheduler
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+
+class DeadlockDetected(RuntimeError):
+    """Raised when the program cannot make progress under the given schedule."""
+
+    def __init__(self, waiting: Dict[str, str], partial_events: List[Event]) -> None:
+        self.waiting = waiting
+        self.partial_events = partial_events
+        super().__init__(
+            "deadlock: %s"
+            % ", ".join("%s waits on %s" % item for item in sorted(waiting.items()))
+        )
+
+
+class Interpreter:
+    """Executes a program under a scheduler, producing a :class:`Trace`."""
+
+    def __init__(self, program: Program, scheduler: Optional[Scheduler] = None) -> None:
+        self.program = program
+        self.scheduler = scheduler or RoundRobinScheduler()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, allow_deadlock: bool = False, emit_fork_join: bool = True,
+            max_steps: Optional[int] = None, validate: bool = True) -> Trace:
+        """Run to completion (or deadlock) and return the emitted trace."""
+        self.scheduler.reset()
+
+        program_counter: Dict[str, int] = {
+            thread: 0 for thread in self.program.threads
+        }
+        compute_remaining: Dict[str, int] = {thread: 0 for thread in self.program.threads}
+        started: Set[str] = set(self.program.initial_threads)
+        lock_holder: Dict[str, str] = {}
+        events: List[Event] = []
+        step = 0
+
+        def finished(thread: str) -> bool:
+            return program_counter[thread] >= len(self.program.threads[thread])
+
+        def next_statement(thread: str) -> Statement:
+            return self.program.threads[thread].statements[program_counter[thread]]
+
+        def is_enabled(thread: str) -> bool:
+            if thread not in started or finished(thread):
+                return False
+            statement = next_statement(thread)
+            if isinstance(statement, Acquire):
+                holder = lock_holder.get(statement.lock)
+                return holder is None or holder == thread
+            if isinstance(statement, Join):
+                return finished(statement.thread)
+            return True
+
+        def blocked_reason(thread: str) -> Optional[str]:
+            if thread not in started or finished(thread):
+                return None
+            statement = next_statement(thread)
+            if isinstance(statement, Acquire):
+                holder = lock_holder.get(statement.lock)
+                if holder is not None and holder != thread:
+                    return "lock %s held by %s" % (statement.lock, holder)
+            if isinstance(statement, Join) and not finished(statement.thread):
+                return "join on unfinished thread %s" % statement.thread
+            return None
+
+        while True:
+            if max_steps is not None and step >= max_steps:
+                break
+            enabled = [
+                thread for thread in self.program.threads if is_enabled(thread)
+            ]
+            if not enabled:
+                unfinished = {
+                    thread: reason
+                    for thread in self.program.threads
+                    if (reason := blocked_reason(thread)) is not None
+                }
+                if unfinished and not allow_deadlock:
+                    raise DeadlockDetected(unfinished, events)
+                break
+
+            thread = self.scheduler.pick(enabled, step)
+            step += 1
+
+            if compute_remaining[thread] > 0:
+                compute_remaining[thread] -= 1
+                if compute_remaining[thread] == 0:
+                    program_counter[thread] += 1
+                continue
+
+            statement = next_statement(thread)
+            if isinstance(statement, Compute):
+                if statement.steps == 1:
+                    program_counter[thread] += 1
+                else:
+                    compute_remaining[thread] = statement.steps - 1
+                continue
+
+            if isinstance(statement, Acquire):
+                lock_holder[statement.lock] = thread
+                events.append(Event(
+                    len(events), thread, EventType.ACQUIRE, statement.lock, statement.loc
+                ))
+            elif isinstance(statement, Release):
+                if lock_holder.get(statement.lock) != thread:
+                    raise RuntimeError(
+                        "thread %s releases lock %s it does not hold"
+                        % (thread, statement.lock)
+                    )
+                del lock_holder[statement.lock]
+                events.append(Event(
+                    len(events), thread, EventType.RELEASE, statement.lock, statement.loc
+                ))
+            elif isinstance(statement, Read):
+                events.append(Event(
+                    len(events), thread, EventType.READ, statement.var, statement.loc
+                ))
+            elif isinstance(statement, Write):
+                events.append(Event(
+                    len(events), thread, EventType.WRITE, statement.var, statement.loc
+                ))
+            elif isinstance(statement, Fork):
+                started.add(statement.thread)
+                if emit_fork_join:
+                    events.append(Event(
+                        len(events), thread, EventType.FORK, statement.thread,
+                        statement.loc
+                    ))
+            elif isinstance(statement, Join):
+                if emit_fork_join:
+                    events.append(Event(
+                        len(events), thread, EventType.JOIN, statement.thread,
+                        statement.loc
+                    ))
+            else:  # pragma: no cover - defensive
+                raise TypeError("unknown statement %r" % (statement,))
+
+            program_counter[thread] += 1
+
+        return Trace(events, validate=validate, name=self.program.name)
+
+
+def run_program(
+    program: Program,
+    scheduler: Optional[Scheduler] = None,
+    allow_deadlock: bool = False,
+) -> Trace:
+    """Convenience wrapper: run ``program`` under ``scheduler`` (round-robin default)."""
+    return Interpreter(program, scheduler).run(allow_deadlock=allow_deadlock)

@@ -1,0 +1,222 @@
+"""A tiny concurrent programming language.
+
+Programs are deliberately simple: each thread is a straight-line sequence
+of statements over shared variables and locks (no branching -- the
+detectors analyse *traces*, and straight-line threads are exactly what a
+single logged execution looks like).  The statements are:
+
+``Acquire(lock)`` / ``Release(lock)``
+    lock operations (blocking acquire);
+``Read(var)`` / ``Write(var)``
+    shared-variable accesses;
+``Compute(steps)``
+    local work -- emits no events, but gives schedulers interleaving
+    points;
+``Fork(thread)`` / ``Join(thread)``
+    thread lifecycle operations.
+
+Every statement can carry a ``loc`` (program location) string; the
+interpreter copies it onto the emitted events so race pairs can be
+attributed to source locations, as in the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Statement:
+    """Base class for statements; subclasses carry their operands."""
+
+    __slots__ = ("loc",)
+
+    def __init__(self, loc: Optional[str] = None) -> None:
+        self.loc = loc
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return "%s(loc=%r)" % (self.describe(), self.loc)
+
+
+class Acquire(Statement):
+    """Blocking acquisition of ``lock``."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: str, loc: Optional[str] = None) -> None:
+        super().__init__(loc)
+        self.lock = lock
+
+    def describe(self) -> str:
+        return "acq(%s)" % self.lock
+
+
+class Release(Statement):
+    """Release of ``lock``; the thread must currently hold it."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: str, loc: Optional[str] = None) -> None:
+        super().__init__(loc)
+        self.lock = lock
+
+    def describe(self) -> str:
+        return "rel(%s)" % self.lock
+
+
+class Read(Statement):
+    """Read of shared variable ``var``."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: str, loc: Optional[str] = None) -> None:
+        super().__init__(loc)
+        self.var = var
+
+    def describe(self) -> str:
+        return "r(%s)" % self.var
+
+
+class Write(Statement):
+    """Write of shared variable ``var``."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: str, loc: Optional[str] = None) -> None:
+        super().__init__(loc)
+        self.var = var
+
+    def describe(self) -> str:
+        return "w(%s)" % self.var
+
+
+class Compute(Statement):
+    """Local computation of ``steps`` scheduler steps; emits no events."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: int = 1, loc: Optional[str] = None) -> None:
+        super().__init__(loc)
+        if steps < 1:
+            raise ValueError("Compute needs at least one step")
+        self.steps = steps
+
+    def describe(self) -> str:
+        return "compute(%d)" % self.steps
+
+
+class Fork(Statement):
+    """Start thread ``thread`` (it must exist in the program)."""
+
+    __slots__ = ("thread",)
+
+    def __init__(self, thread: str, loc: Optional[str] = None) -> None:
+        super().__init__(loc)
+        self.thread = thread
+
+    def describe(self) -> str:
+        return "fork(%s)" % self.thread
+
+
+class Join(Statement):
+    """Wait for thread ``thread`` to finish."""
+
+    __slots__ = ("thread",)
+
+    def __init__(self, thread: str, loc: Optional[str] = None) -> None:
+        super().__init__(loc)
+        self.thread = thread
+
+    def describe(self) -> str:
+        return "join(%s)" % self.thread
+
+
+class ThreadProgram:
+    """A named, straight-line sequence of statements."""
+
+    def __init__(self, name: str, statements: Iterable[Statement]) -> None:
+        self.name = name
+        self.statements: List[Statement] = list(statements)
+        for position, statement in enumerate(self.statements):
+            if statement.loc is None:
+                statement.loc = "%s#%d:%s" % (name, position, statement.describe())
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __repr__(self) -> str:
+        return "ThreadProgram(%r, %d statements)" % (self.name, len(self.statements))
+
+
+class Program:
+    """A whole concurrent program: a set of thread programs.
+
+    Parameters
+    ----------
+    threads:
+        The thread programs, as a mapping or an iterable of
+        :class:`ThreadProgram`.
+    initial_threads:
+        Threads that are runnable from the start.  Threads not listed here
+        only become runnable once another thread forks them.  By default
+        every thread is initially runnable unless some thread forks it.
+    """
+
+    def __init__(
+        self,
+        threads: "Dict[str, Sequence[Statement]] | Iterable[ThreadProgram]",
+        initial_threads: Optional[Sequence[str]] = None,
+        name: str = "program",
+    ) -> None:
+        self.name = name
+        self.threads: Dict[str, ThreadProgram] = {}
+        if isinstance(threads, dict):
+            for thread_name, statements in threads.items():
+                self.threads[thread_name] = ThreadProgram(thread_name, statements)
+        else:
+            for thread_program in threads:
+                self.threads[thread_program.name] = thread_program
+
+        if initial_threads is None:
+            forked = {
+                statement.thread
+                for thread_program in self.threads.values()
+                for statement in thread_program
+                if isinstance(statement, Fork)
+            }
+            initial_threads = [
+                thread for thread in self.threads if thread not in forked
+            ]
+        self.initial_threads: List[str] = list(initial_threads)
+
+        for thread_program in self.threads.values():
+            for statement in thread_program:
+                if isinstance(statement, (Fork, Join)) and (
+                    statement.thread not in self.threads
+                ):
+                    raise ValueError(
+                        "statement %r refers to unknown thread %r"
+                        % (statement, statement.thread)
+                    )
+
+    def thread_names(self) -> List[str]:
+        """Return the names of all threads."""
+        return list(self.threads)
+
+    def __repr__(self) -> str:
+        return "Program(%r, threads=%d)" % (self.name, len(self.threads))
+
+
+def locked_increment(thread: str, lock: str, var: str) -> List[Statement]:
+    """Return the statements of a lock-protected read-modify-write of ``var``."""
+    return [Acquire(lock), Read(var), Write(var), Release(lock)]
+
+
+def unlocked_increment(thread: str, var: str) -> List[Statement]:
+    """Return the statements of an unprotected read-modify-write of ``var``."""
+    return [Read(var), Write(var)]

@@ -1,0 +1,101 @@
+"""Schedulers for the concurrent-program interpreter.
+
+A scheduler picks, at every step, which of the currently enabled threads
+executes its next statement.  Different schedulers produce different traces
+from the same program -- which is exactly the phenomenon dynamic race
+prediction is about: the detectors must predict from *one* observed trace
+the races that *other* schedules would expose.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence
+
+
+class Scheduler(abc.ABC):
+    """Chooses the next thread to run among the enabled ones."""
+
+    @abc.abstractmethod
+    def pick(self, enabled: Sequence[str], step: int) -> str:
+        """Return the thread (from ``enabled``, non-empty) to run at ``step``."""
+
+    def reset(self) -> None:
+        """Reset any internal state before a new run (default: no-op)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Runs threads in a rotating order, ``quantum`` steps at a time.
+
+    A large quantum produces mostly sequential traces (few context
+    switches); a quantum of 1 maximises interleaving.
+    """
+
+    def __init__(self, quantum: int = 1) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be at least 1")
+        self.quantum = quantum
+        self._current: Optional[str] = None
+        self._remaining = 0
+
+    def reset(self) -> None:
+        self._current = None
+        self._remaining = 0
+
+    def pick(self, enabled: Sequence[str], step: int) -> str:
+        if self._current in enabled and self._remaining > 0:
+            self._remaining -= 1
+            return self._current
+        if self._current in enabled:
+            # Quantum expired: move to the next thread after the current one.
+            position = list(enabled).index(self._current)
+            chosen = enabled[(position + 1) % len(enabled)]
+        else:
+            chosen = enabled[0]
+        self._current = chosen
+        self._remaining = self.quantum - 1
+        return chosen
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random scheduling with a reproducible seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def pick(self, enabled: Sequence[str], step: int) -> str:
+        return self._rng.choice(list(enabled))
+
+
+class ScriptedScheduler(Scheduler):
+    """Follows a fixed list of thread choices, falling back when disabled.
+
+    Useful in tests to force a specific interleaving: each entry names the
+    thread to prefer at that step; if it is not enabled, the first enabled
+    thread runs instead.  After the script is exhausted the first enabled
+    thread always runs.
+    """
+
+    def __init__(self, script: Sequence[str]) -> None:
+        self.script = list(script)
+
+    def pick(self, enabled: Sequence[str], step: int) -> str:
+        if step < len(self.script) and self.script[step] in enabled:
+            return self.script[step]
+        return enabled[0]
+
+
+def enumerate_schedules(thread_names: Sequence[str], max_steps: int) -> Iterator[List[str]]:
+    """Yield every thread-choice script of length ``max_steps``.
+
+    Exponential; intended for exhaustively exploring tiny programs in tests
+    (e.g. to confirm that a predicted race is realised by *some* schedule).
+    """
+    for script in itertools.product(thread_names, repeat=max_steps):
+        yield list(script)

@@ -1,0 +1,38 @@
+"""Trace model.
+
+This subpackage defines the execution-trace substrate that every detector
+consumes:
+
+* :class:`~repro.trace.event.Event` and
+  :class:`~repro.trace.event.EventType` -- single events
+  (``acquire``/``release``/``read``/``write``/``fork``/``join``/``begin``/``end``).
+* :class:`~repro.trace.trace.Trace` -- an immutable sequence of events with
+  well-formedness checks (lock semantics and well nestedness, Section 2.1 of
+  the paper) plus derived lookups such as critical sections and projections.
+* :class:`~repro.trace.builder.TraceBuilder` -- a small DSL for writing the
+  paper's example traces by hand.
+* :mod:`~repro.trace.parsers` / :mod:`~repro.trace.writers` -- the STD text
+  format (one event per line, RAPID-compatible) and a CSV format.
+"""
+
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace, TraceError, LockSemanticsError, WellNestednessError
+from repro.trace.builder import TraceBuilder
+from repro.trace.parsers import parse_std, parse_csv, load_trace
+from repro.trace.writers import write_std, write_csv, dump_trace
+
+__all__ = [
+    "Event",
+    "EventType",
+    "Trace",
+    "TraceError",
+    "LockSemanticsError",
+    "WellNestednessError",
+    "TraceBuilder",
+    "parse_std",
+    "parse_csv",
+    "load_trace",
+    "write_std",
+    "write_csv",
+    "dump_trace",
+]

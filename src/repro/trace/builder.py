@@ -1,0 +1,144 @@
+"""TraceBuilder -- a small DSL for writing traces by hand.
+
+The paper's figures are given as small hand-written traces.  The builder
+lets tests and examples transcribe them almost literally::
+
+    trace = (
+        TraceBuilder()
+        .acquire("t1", "l")
+        .read("t1", "x")
+        .write("t1", "x")
+        .release("t1", "l")
+        .acquire("t2", "l")
+        .read("t2", "x")
+        .write("t2", "x")
+        .release("t2", "l")
+        .build()
+    )
+
+The ``sync(x)`` shorthand from the paper (an ``acq(x) r(xVar) w(xVar)
+rel(x)`` block) and the ``acrl(y)`` shorthand (``acq(y) rel(y)``) are
+provided as :meth:`TraceBuilder.sync` and :meth:`TraceBuilder.acrl`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+
+class TraceBuilder:
+    """Accumulates events and produces a validated :class:`Trace`."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._name = name
+        self._events: List[Event] = []
+
+    # ------------------------------------------------------------------ #
+    # Event constructors (all return self for chaining)
+    # ------------------------------------------------------------------ #
+
+    def acquire(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append an ``acq(lock)`` event by ``thread``."""
+        return self._add(thread, EventType.ACQUIRE, lock, loc)
+
+    def release(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``rel(lock)`` event by ``thread``."""
+        return self._add(thread, EventType.RELEASE, lock, loc)
+
+    def read(self, thread: str, variable: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append an ``r(variable)`` event by ``thread``."""
+        return self._add(thread, EventType.READ, variable, loc)
+
+    def write(self, thread: str, variable: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``w(variable)`` event by ``thread``."""
+        return self._add(thread, EventType.WRITE, variable, loc)
+
+    def fork(self, thread: str, child: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``fork(child)`` event by ``thread``."""
+        return self._add(thread, EventType.FORK, child, loc)
+
+    def join(self, thread: str, child: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``join(child)`` event by ``thread``."""
+        return self._add(thread, EventType.JOIN, child, loc)
+
+    def begin(self, thread: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a thread-begin marker."""
+        return self._add(thread, EventType.BEGIN, None, loc)
+
+    def end(self, thread: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a thread-end marker."""
+        return self._add(thread, EventType.END, None, loc)
+
+    # ------------------------------------------------------------------ #
+    # Paper shorthands
+    # ------------------------------------------------------------------ #
+
+    def sync(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append the paper's ``sync(lock)`` block.
+
+        ``sync(x)`` abbreviates ``acq(x) r(xVar) w(xVar) rel(x)`` where
+        ``xVar`` is the variable uniquely associated with lock ``x``
+        (Section 2.3).
+        """
+        variable = "%sVar" % lock
+        self.acquire(thread, lock, loc)
+        self.read(thread, variable, loc)
+        self.write(thread, variable, loc)
+        self.release(thread, lock, loc)
+        return self
+
+    def acrl(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append the paper's ``acrl(lock)`` shorthand: ``acq(lock) rel(lock)``."""
+        self.acquire(thread, lock, loc)
+        self.release(thread, lock, loc)
+        return self
+
+    def critical(self, thread: str, lock: str, *accesses: "tuple") -> "TraceBuilder":
+        """Append a whole critical section.
+
+        ``accesses`` are ``(kind, variable)`` pairs where ``kind`` is ``"r"``
+        or ``"w"``::
+
+            builder.critical("t1", "l", ("r", "x"), ("w", "y"))
+        """
+        self.acquire(thread, lock)
+        for kind, variable in accesses:
+            if kind == "r":
+                self.read(thread, variable)
+            elif kind == "w":
+                self.write(thread, variable)
+            else:
+                raise ValueError("access kind must be 'r' or 'w', got %r" % kind)
+        self.release(thread, lock)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+
+    def _add(
+        self,
+        thread: str,
+        etype: EventType,
+        target: Optional[str],
+        loc: Optional[str],
+    ) -> "TraceBuilder":
+        index = len(self._events)
+        if loc is None:
+            loc = "line%d" % (index + 1)
+        self._events.append(Event(index, thread, etype, target, loc))
+        return self
+
+    def events(self) -> List[Event]:
+        """Return the accumulated events without building a trace."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def build(self, validate: bool = True, name: Optional[str] = None) -> Trace:
+        """Return the accumulated events as a :class:`Trace`."""
+        return Trace(self._events, validate=validate, name=name or self._name)

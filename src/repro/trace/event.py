@@ -1,0 +1,191 @@
+"""Events.
+
+An event is a single operation performed by a thread.  The paper's formal
+model (Section 2.1) uses lock acquire/release and variable read/write
+events; the RAPID implementation additionally consumes thread fork/join
+events from the RVPredict logger, and we support those too (they induce
+happens-before edges between the forking/forked and joined/joining
+threads).
+
+Every event may carry an optional *program location* (``loc``), a string
+identifying the source line that produced it.  Race pairs are reported as
+unordered pairs of program locations, exactly as in the paper's Table 1
+("distinct race pairs ... of program locations").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class EventType(enum.Enum):
+    """The kind of operation an event performs."""
+
+    ACQUIRE = "acq"
+    RELEASE = "rel"
+    READ = "r"
+    WRITE = "w"
+    FORK = "fork"
+    JOIN = "join"
+    BEGIN = "begin"
+    END = "end"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Event types that operate on a lock.
+LOCK_EVENTS = frozenset({EventType.ACQUIRE, EventType.RELEASE})
+
+#: Event types that access a shared variable.
+ACCESS_EVENTS = frozenset({EventType.READ, EventType.WRITE})
+
+#: Event types that reference another thread.
+THREAD_EVENTS = frozenset({EventType.FORK, EventType.JOIN})
+
+
+class Event:
+    """A single trace event.
+
+    Parameters
+    ----------
+    index:
+        Zero-based position of the event in its trace.  Assigned by
+        :class:`repro.trace.trace.Trace`; builders may pass ``-1`` and let
+        the trace renumber.
+    thread:
+        Identifier of the performing thread (``t(e)`` in the paper).
+    etype:
+        The :class:`EventType`.
+    target:
+        The object operated on: a lock name for acquire/release, a variable
+        name for read/write, the child/peer thread for fork/join, ``None``
+        for begin/end.
+    loc:
+        Optional program location (source line) used for race de-duplication.
+    """
+
+    __slots__ = ("index", "thread", "etype", "target", "loc")
+
+    def __init__(
+        self,
+        index: int,
+        thread: str,
+        etype: EventType,
+        target: Optional[str] = None,
+        loc: Optional[str] = None,
+    ) -> None:
+        if etype in LOCK_EVENTS and target is None:
+            raise ValueError("lock events require a lock target")
+        if etype in ACCESS_EVENTS and target is None:
+            raise ValueError("read/write events require a variable target")
+        if etype in THREAD_EVENTS and target is None:
+            raise ValueError("fork/join events require a thread target")
+        self.index = index
+        self.thread = thread
+        self.etype = etype
+        self.target = target
+        self.loc = loc
+
+    # ------------------------------------------------------------------ #
+    # Classification helpers
+    # ------------------------------------------------------------------ #
+
+    def is_acquire(self) -> bool:
+        """Return True for lock-acquire events."""
+        return self.etype is EventType.ACQUIRE
+
+    def is_release(self) -> bool:
+        """Return True for lock-release events."""
+        return self.etype is EventType.RELEASE
+
+    def is_read(self) -> bool:
+        """Return True for variable-read events."""
+        return self.etype is EventType.READ
+
+    def is_write(self) -> bool:
+        """Return True for variable-write events."""
+        return self.etype is EventType.WRITE
+
+    def is_access(self) -> bool:
+        """Return True for read or write events."""
+        return self.etype in ACCESS_EVENTS
+
+    def is_lock_event(self) -> bool:
+        """Return True for acquire or release events."""
+        return self.etype in LOCK_EVENTS
+
+    def is_fork(self) -> bool:
+        """Return True for fork events."""
+        return self.etype is EventType.FORK
+
+    def is_join(self) -> bool:
+        """Return True for join events."""
+        return self.etype is EventType.JOIN
+
+    @property
+    def lock(self) -> str:
+        """The lock operated on (``l(e)``); only valid for acquire/release."""
+        if not self.is_lock_event():
+            raise AttributeError("event %r is not a lock event" % (self,))
+        return self.target  # type: ignore[return-value]
+
+    @property
+    def variable(self) -> str:
+        """The variable accessed; only valid for read/write events."""
+        if not self.is_access():
+            raise AttributeError("event %r is not an access event" % (self,))
+        return self.target  # type: ignore[return-value]
+
+    @property
+    def other_thread(self) -> str:
+        """The forked/joined thread; only valid for fork/join events."""
+        if self.etype not in THREAD_EVENTS:
+            raise AttributeError("event %r is not a fork/join event" % (self,))
+        return self.target  # type: ignore[return-value]
+
+    def conflicts_with(self, other: "Event") -> bool:
+        """Return True when the two events are conflicting (``e1 ~ e2``).
+
+        Conflicting means: accesses to the same variable, by different
+        threads, at least one of which is a write (Section 2.1).
+        """
+        if not (self.is_access() and other.is_access()):
+            return False
+        if self.thread == other.thread:
+            return False
+        if self.variable != other.variable:
+            return False
+        return self.is_write() or other.is_write()
+
+    def location(self) -> str:
+        """Return the program location, falling back to a synthesised one."""
+        if self.loc is not None:
+            return self.loc
+        return "%s:%s(%s)@%d" % (self.thread, self.etype.value, self.target, self.index)
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        return "Event(%d, %s, %s(%s))" % (
+            self.index,
+            self.thread,
+            self.etype.value,
+            self.target if self.target is not None else "",
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.index == other.index
+            and self.thread == other.thread
+            and self.etype is other.etype
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.thread, self.etype, self.target))

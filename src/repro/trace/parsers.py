@@ -1,0 +1,124 @@
+"""Trace parsers.
+
+Two on-disk formats are supported:
+
+* **STD** -- the RAPID-compatible one-event-per-line text format::
+
+      t1|acq(l)|42
+      t1|r(x)|43
+      t2|fork(t3)|44
+
+  Each line is ``thread|operation|location`` where the location field is
+  optional.  Blank lines and lines starting with ``#`` are ignored.
+
+* **CSV** -- ``thread,etype,target,loc`` with a header row.
+
+:func:`load_trace` dispatches on the file extension (``.std``/``.txt`` vs
+``.csv``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+_OP_PATTERN = re.compile(r"^\s*(\w+)\s*\(\s*([^)]*?)\s*\)\s*$")
+
+_OP_NAMES = {
+    "acq": EventType.ACQUIRE,
+    "acquire": EventType.ACQUIRE,
+    "lock": EventType.ACQUIRE,
+    "rel": EventType.RELEASE,
+    "release": EventType.RELEASE,
+    "unlock": EventType.RELEASE,
+    "r": EventType.READ,
+    "read": EventType.READ,
+    "w": EventType.WRITE,
+    "write": EventType.WRITE,
+    "fork": EventType.FORK,
+    "join": EventType.JOIN,
+    "begin": EventType.BEGIN,
+    "end": EventType.END,
+}
+
+
+class TraceParseError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+def _parse_operation(text: str, line_number: int) -> "tuple[EventType, Optional[str]]":
+    text = text.strip()
+    match = _OP_PATTERN.match(text)
+    if match:
+        name, argument = match.group(1).lower(), match.group(2) or None
+    else:
+        name, argument = text.lower(), None
+    if name not in _OP_NAMES:
+        raise TraceParseError(
+            "line %d: unknown operation %r" % (line_number, text)
+        )
+    return _OP_NAMES[name], argument
+
+
+def parse_std(source: Union[str, Iterable[str]], name: Optional[str] = None,
+              validate: bool = True) -> Trace:
+    """Parse the STD text format from a string or an iterable of lines."""
+    if isinstance(source, str):
+        lines: Iterable[str] = io.StringIO(source)
+    else:
+        lines = source
+    events: List[Event] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [part.strip() for part in line.split("|")]
+        if len(parts) < 2:
+            raise TraceParseError(
+                "line %d: expected 'thread|op(arg)[|loc]', got %r" % (line_number, raw)
+            )
+        thread = parts[0]
+        etype, target = _parse_operation(parts[1], line_number)
+        loc = parts[2] if len(parts) > 2 and parts[2] else None
+        events.append(Event(len(events), thread, etype, target, loc))
+    return Trace(events, validate=validate, name=name)
+
+
+def parse_csv(source: Union[str, Iterable[str]], name: Optional[str] = None,
+              validate: bool = True) -> Trace:
+    """Parse the CSV format (``thread,etype,target,loc`` with header)."""
+    if isinstance(source, str):
+        handle: Iterable[str] = io.StringIO(source)
+    else:
+        handle = source
+    reader = csv.DictReader(handle)
+    events: List[Event] = []
+    for row_number, row in enumerate(reader, start=2):
+        if row.get("thread") is None or row.get("etype") is None:
+            raise TraceParseError("row %d: missing thread/etype column" % row_number)
+        etype_name = row["etype"].strip().lower()
+        if etype_name not in _OP_NAMES:
+            raise TraceParseError(
+                "row %d: unknown event type %r" % (row_number, row["etype"])
+            )
+        target = (row.get("target") or "").strip() or None
+        loc = (row.get("loc") or "").strip() or None
+        events.append(
+            Event(len(events), row["thread"].strip(), _OP_NAMES[etype_name], target, loc)
+        )
+    return Trace(events, validate=validate, name=name)
+
+
+def load_trace(path: Union[str, Path], validate: bool = True) -> Trace:
+    """Load a trace from ``path``, dispatching on the file extension."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".csv":
+        return parse_csv(text, name=path.stem, validate=validate)
+    return parse_std(text, name=path.stem, validate=validate)

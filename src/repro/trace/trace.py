@@ -1,0 +1,362 @@
+"""The :class:`Trace` container.
+
+A trace (Section 2.1) is a sequence of events satisfying two properties:
+
+1. *lock semantics* -- critical sections over the same lock do not overlap:
+   between two acquires of the same lock there is a release by the first
+   acquiring thread;
+2. *well nestedness* -- critical sections of a single thread are properly
+   nested.
+
+:class:`Trace` validates both properties on construction (validation can be
+disabled for performance when the producer is trusted, e.g. the benchmark
+generators) and precomputes the per-event metadata the detectors need:
+
+* ``match`` of each acquire/release,
+* the set of locks held at each event (``e in l``),
+* the set of variables read/written inside each critical section,
+* per-thread and per-variable event indices.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.trace.event import Event, EventType
+
+
+class TraceError(ValueError):
+    """Base class for trace well-formedness violations."""
+
+
+class LockSemanticsError(TraceError):
+    """Raised when two critical sections over the same lock overlap."""
+
+
+class WellNestednessError(TraceError):
+    """Raised when critical sections of a thread are not properly nested."""
+
+
+class Trace:
+    """An immutable, validated sequence of :class:`~repro.trace.event.Event`.
+
+    Parameters
+    ----------
+    events:
+        The events in program (temporal) order.  Events are re-indexed so
+        that ``trace[i].index == i``.
+    validate:
+        When True (default) check lock semantics and well nestedness and
+        raise :class:`LockSemanticsError` / :class:`WellNestednessError` on
+        violation.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        validate: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        self.name = name or "trace"
+        self._events: List[Event] = []
+        for position, event in enumerate(events):
+            if event.index != position:
+                event = Event(position, event.thread, event.etype, event.target, event.loc)
+            self._events.append(event)
+
+        self._threads: List[str] = []
+        self._locks: List[str] = []
+        self._variables: List[str] = []
+        self._by_thread: Dict[str, List[int]] = defaultdict(list)
+        self._match: Dict[int, Optional[int]] = {}
+        self._held_locks: List[Tuple[str, ...]] = []
+        self._acquire_of_lock_at: List[Dict[str, int]] = []
+
+        self._index(validate)
+
+    # ------------------------------------------------------------------ #
+    # Indexing / validation
+    # ------------------------------------------------------------------ #
+
+    def _index(self, validate: bool) -> None:
+        seen_threads: Dict[str, None] = {}
+        seen_locks: Dict[str, None] = {}
+        seen_vars: Dict[str, None] = {}
+
+        # Per-thread stack of open acquires (for matching + nestedness).
+        open_stack: Dict[str, List[int]] = defaultdict(list)
+        # lock -> (thread, acquire index) currently holding it.
+        holder: Dict[str, Tuple[str, int]] = {}
+
+        for event in self._events:
+            thread = event.thread
+            seen_threads.setdefault(thread, None)
+            self._by_thread[thread].append(event.index)
+
+            if event.is_access():
+                seen_vars.setdefault(event.variable, None)
+            elif event.is_lock_event():
+                seen_locks.setdefault(event.lock, None)
+            elif event.etype in (EventType.FORK, EventType.JOIN):
+                seen_threads.setdefault(event.other_thread, None)
+
+            # Locks currently held by this thread (innermost last).
+            stack = open_stack[thread]
+            held = tuple(self._events[i].lock for i in stack)
+            self._held_locks.append(held)
+            self._acquire_of_lock_at.append(
+                {self._events[i].lock: i for i in stack}
+            )
+
+            if event.is_acquire():
+                lock = event.lock
+                if validate and lock in holder and holder[lock][0] != thread:
+                    raise LockSemanticsError(
+                        "lock %r acquired at event %d while held by thread %r "
+                        "(acquired at event %d)"
+                        % (lock, event.index, holder[lock][0], holder[lock][1])
+                    )
+                if validate and lock in holder and holder[lock][0] == thread:
+                    raise LockSemanticsError(
+                        "re-entrant acquire of lock %r at event %d; re-entrant "
+                        "locking must be flattened by the trace producer"
+                        % (lock, event.index)
+                    )
+                holder[lock] = (thread, event.index)
+                stack.append(event.index)
+                self._match[event.index] = None
+                # The acquire itself is inside its own critical section.
+                self._held_locks[-1] = held + (lock,)
+                self._acquire_of_lock_at[-1][lock] = event.index
+
+            elif event.is_release():
+                lock = event.lock
+                if not stack:
+                    if validate:
+                        raise LockSemanticsError(
+                            "release of %r at event %d with no lock held"
+                            % (lock, event.index)
+                        )
+                    self._match[event.index] = None
+                    continue
+                top = stack[-1]
+                top_lock = self._events[top].lock
+                if top_lock != lock:
+                    if validate:
+                        raise WellNestednessError(
+                            "release of %r at event %d does not match innermost "
+                            "open acquire of %r at event %d"
+                            % (lock, event.index, top_lock, top)
+                        )
+                    # Best-effort: find the matching open acquire anywhere.
+                    for candidate in reversed(stack):
+                        if self._events[candidate].lock == lock:
+                            stack.remove(candidate)
+                            self._match[candidate] = event.index
+                            self._match[event.index] = candidate
+                            break
+                    else:
+                        self._match[event.index] = None
+                    holder.pop(lock, None)
+                    continue
+                stack.pop()
+                self._match[top] = event.index
+                self._match[event.index] = top
+                holder.pop(lock, None)
+                # The release is still inside its own critical section.
+                self._held_locks[-1] = held
+                self._acquire_of_lock_at[-1][lock] = top
+
+        self._threads = list(seen_threads)
+        self._locks = list(seen_locks)
+        self._variables = list(seen_vars)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """The events in temporal order."""
+        return self._events
+
+    @property
+    def threads(self) -> List[str]:
+        """Thread identifiers in order of first appearance."""
+        return list(self._threads)
+
+    @property
+    def locks(self) -> List[str]:
+        """Lock identifiers in order of first appearance."""
+        return list(self._locks)
+
+    @property
+    def variables(self) -> List[str]:
+        """Variable identifiers in order of first appearance."""
+        return list(self._variables)
+
+    def thread_events(self, thread: str) -> List[Event]:
+        """Return the projection of the trace onto ``thread`` (sigma|t)."""
+        return [self._events[i] for i in self._by_thread.get(thread, [])]
+
+    def thread_indices(self, thread: str) -> List[int]:
+        """Return the indices of events performed by ``thread``."""
+        return list(self._by_thread.get(thread, []))
+
+    # ------------------------------------------------------------------ #
+    # Lock structure
+    # ------------------------------------------------------------------ #
+
+    def match(self, event: Event) -> Optional[Event]:
+        """Return the matching release of an acquire (or vice versa).
+
+        Returns None when the matching event does not exist in the trace
+        (e.g. a lock held until the end of the recorded execution).
+        """
+        partner = self._match.get(event.index)
+        if partner is None:
+            return None
+        return self._events[partner]
+
+    def held_locks(self, event: Event) -> Tuple[str, ...]:
+        """Return the locks whose critical sections contain ``event``.
+
+        The acquire and release of a critical section are both considered
+        contained in it (``e in l`` in the paper's notation).
+        """
+        return self._held_locks[event.index]
+
+    def enclosing_acquire(self, event: Event, lock: str) -> Optional[Event]:
+        """Return the acquire of ``lock`` whose critical section contains ``event``."""
+        acquire_index = self._acquire_of_lock_at[event.index].get(lock)
+        if acquire_index is None:
+            return None
+        return self._events[acquire_index]
+
+    def critical_section(self, event: Event) -> List[Event]:
+        """Return the events of the critical section started/ended at ``event``.
+
+        ``event`` must be an acquire or a release.  When the matching
+        release is absent (the lock is never released), the critical section
+        extends to the end of the thread.
+        """
+        if not event.is_lock_event():
+            raise ValueError("critical_section expects an acquire or release event")
+        if event.is_acquire():
+            acquire = event
+            release = self.match(event)
+        else:
+            release = event
+            acquire = self.match(event)
+            if acquire is None:
+                raise TraceError(
+                    "release at %d has no matching acquire" % event.index
+                )
+        thread_idx = self._by_thread[acquire.thread]
+        start = acquire.index
+        end = release.index if release is not None else self._events[-1].index
+        return [
+            self._events[i]
+            for i in thread_idx
+            if start <= i <= end
+        ]
+
+    def section_accesses(self, release: Event) -> Tuple[Set[str], Set[str]]:
+        """Return (read variables, written variables) of ``release``'s critical section."""
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        for section_event in self.critical_section(release):
+            if section_event.is_read():
+                reads.add(section_event.variable)
+            elif section_event.is_write():
+                writes.add(section_event.variable)
+        return reads, writes
+
+    # ------------------------------------------------------------------ #
+    # Access structure
+    # ------------------------------------------------------------------ #
+
+    def accesses(self, variable: str) -> List[Event]:
+        """Return all read/write events on ``variable`` in temporal order."""
+        return [
+            event for event in self._events
+            if event.is_access() and event.variable == variable
+        ]
+
+    def last_write_before(self, event: Event) -> Optional[Event]:
+        """Return the last write to ``event.variable`` strictly before ``event``."""
+        if not event.is_access():
+            raise ValueError("last_write_before expects a read/write event")
+        variable = event.variable
+        for i in range(event.index - 1, -1, -1):
+            candidate = self._events[i]
+            if candidate.is_write() and candidate.variable == variable:
+                return candidate
+        return None
+
+    def conflicting_pairs(self) -> Iterator[Tuple[Event, Event]]:
+        """Yield all conflicting pairs (e1, e2) with e1 earlier than e2.
+
+        Quadratic in the number of accesses per variable; intended for small
+        traces (tests, examples), not for the streaming detectors.
+        """
+        by_variable: Dict[str, List[Event]] = defaultdict(list)
+        for event in self._events:
+            if event.is_access():
+                by_variable[event.variable].append(event)
+        for events in by_variable.values():
+            for i, first in enumerate(events):
+                for second in events[i + 1:]:
+                    if first.conflicts_with(second):
+                        yield first, second
+
+    # ------------------------------------------------------------------ #
+    # Slicing / transformation
+    # ------------------------------------------------------------------ #
+
+    def window(self, start: int, size: int) -> "Trace":
+        """Return the sub-trace of ``size`` events starting at ``start``.
+
+        Windowed sub-traces may violate lock semantics at their boundaries
+        (an acquire without its release, or vice versa); validation is
+        therefore disabled, matching how windowed tools treat fragments.
+        """
+        chunk = self._events[start:start + size]
+        return Trace(
+            [Event(-1, e.thread, e.etype, e.target, e.loc) for e in chunk],
+            validate=False,
+            name="%s[%d:%d]" % (self.name, start, start + size),
+        )
+
+    def windows(self, size: int) -> Iterator["Trace"]:
+        """Yield consecutive non-overlapping windows of ``size`` events."""
+        for start in range(0, len(self._events), size):
+            yield self.window(start, size)
+
+    def stats(self) -> Dict[str, int]:
+        """Return basic counts (events, threads, locks, variables, accesses)."""
+        accesses = sum(1 for e in self._events if e.is_access())
+        return {
+            "events": len(self._events),
+            "threads": len(self._threads),
+            "locks": len(self._locks),
+            "variables": len(self._variables),
+            "accesses": accesses,
+        }
+
+    def __repr__(self) -> str:
+        return "Trace(%r, events=%d, threads=%d, locks=%d)" % (
+            self.name, len(self._events), len(self._threads), len(self._locks)
+        )

@@ -1,0 +1,45 @@
+"""Trace writers -- the inverse of :mod:`repro.trace.parsers`."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.trace.trace import Trace
+
+
+def write_std(trace: Trace) -> str:
+    """Serialize ``trace`` in the STD one-event-per-line format."""
+    lines = []
+    for event in trace:
+        target = event.target if event.target is not None else ""
+        loc = event.loc or ""
+        lines.append("%s|%s(%s)|%s" % (event.thread, event.etype.value, target, loc))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(trace: Trace) -> str:
+    """Serialize ``trace`` as CSV with a ``thread,etype,target,loc`` header."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["thread", "etype", "target", "loc"])
+    for event in trace:
+        writer.writerow([
+            event.thread,
+            event.etype.value,
+            event.target if event.target is not None else "",
+            event.loc or "",
+        ])
+    return buffer.getvalue()
+
+
+def dump_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path``, choosing the format from the extension."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        path.write_text(write_csv(trace))
+    else:
+        path.write_text(write_std(trace))
+    return path

@@ -1,0 +1,18 @@
+"""Vector clocks and epochs.
+
+This subpackage provides the logical-time machinery used by every partial
+order based detector in the library:
+
+* :class:`~repro.vectorclock.clock.VectorClock` -- a mutable mapping from
+  thread identifiers to integer local times, supporting the join
+  (pointwise maximum), pointwise comparison and component assignment
+  operations required by the paper's Algorithm 1.
+* :class:`~repro.vectorclock.epoch.Epoch` -- the FastTrack-style compressed
+  representation ``t@c`` of a vector clock that is known to have a single
+  relevant component.  Used by the epoch-optimised HB detector.
+"""
+
+from repro.vectorclock.clock import VectorClock
+from repro.vectorclock.epoch import Epoch
+
+__all__ = ["VectorClock", "Epoch"]

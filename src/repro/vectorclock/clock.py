@@ -1,0 +1,203 @@
+"""Vector clocks.
+
+A vector time (Section 3.1 of the paper) is a function ``VT : Tid -> Nat``
+mapping each thread to a non-negative integer.  The paper uses four
+operations on vector times:
+
+* pointwise comparison  ``V1 <= V2  iff  forall t: V1(t) <= V2(t)``
+* join                  ``V1 | V2  =  lambda t: max(V1(t), V2(t))``
+* component assignment  ``V[t := n]``
+* the bottom time ``0`` which maps every thread to ``0``.
+
+:class:`VectorClock` implements all of these.  Internally times are stored
+sparsely in a ``dict`` keyed by thread identifier; a missing key means the
+component is ``0``.  Thread identifiers may be any hashable value (the rest
+of the library uses strings such as ``"t1"``).
+
+The class is deliberately mutable -- Algorithm 1 performs a very large
+number of in-place joins, and allocating a fresh object per join would
+dominate the running time of the detectors.  Methods that mutate in place
+are named with verbs (:meth:`join`, :meth:`assign`, :meth:`increment`);
+operator overloads (``|``, ``<=``) return new objects / booleans and never
+mutate their operands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+ThreadId = Hashable
+
+
+class VectorClock:
+    """A sparse vector clock mapping thread ids to integer local times.
+
+    Examples
+    --------
+    >>> a = VectorClock({"t1": 3})
+    >>> b = VectorClock({"t2": 5})
+    >>> (a | b).as_dict()
+    {'t1': 3, 't2': 5}
+    >>> a <= (a | b)
+    True
+    >>> b <= a
+    False
+    """
+
+    __slots__ = ("_times",)
+
+    def __init__(self, times: Optional[Mapping[ThreadId, int]] = None) -> None:
+        self._times: Dict[ThreadId, int] = {}
+        if times:
+            for thread, value in times.items():
+                if value < 0:
+                    raise ValueError(
+                        "vector clock components must be non-negative, "
+                        "got %r for thread %r" % (value, thread)
+                    )
+                if value:
+                    self._times[thread] = value
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def bottom(cls) -> "VectorClock":
+        """Return the bottom vector time (all components zero)."""
+        return cls()
+
+    @classmethod
+    def single(cls, thread: ThreadId, value: int) -> "VectorClock":
+        """Return a clock whose only non-zero component is ``thread -> value``."""
+        return cls({thread: value})
+
+    def copy(self) -> "VectorClock":
+        """Return an independent copy of this clock."""
+        clone = VectorClock()
+        clone._times = dict(self._times)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, thread: ThreadId) -> int:
+        """Return the component for ``thread`` (0 if absent)."""
+        return self._times.get(thread, 0)
+
+    def __getitem__(self, thread: ThreadId) -> int:
+        return self._times.get(thread, 0)
+
+    def threads(self) -> Iterable[ThreadId]:
+        """Iterate over threads with non-zero components."""
+        return self._times.keys()
+
+    def items(self) -> Iterator[Tuple[ThreadId, int]]:
+        """Iterate over (thread, time) pairs with non-zero time."""
+        return iter(self._times.items())
+
+    def as_dict(self) -> Dict[ThreadId, int]:
+        """Return the non-zero components as a plain dict (sorted by key repr)."""
+        return dict(sorted(self._times.items(), key=lambda kv: repr(kv[0])))
+
+    def is_bottom(self) -> bool:
+        """Return True when every component is zero."""
+        return not self._times
+
+    def width(self) -> int:
+        """Return the number of non-zero components (memory footprint proxy)."""
+        return len(self._times)
+
+    # ------------------------------------------------------------------ #
+    # Mutators
+    # ------------------------------------------------------------------ #
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """In-place pointwise maximum with ``other``; returns ``self``."""
+        mine = self._times
+        for thread, value in other._times.items():
+            if value > mine.get(thread, 0):
+                mine[thread] = value
+        return self
+
+    def assign(self, thread: ThreadId, value: int) -> "VectorClock":
+        """In-place component assignment ``self[thread := value]``; returns ``self``."""
+        if value < 0:
+            raise ValueError("vector clock components must be non-negative")
+        if value:
+            self._times[thread] = value
+        else:
+            self._times.pop(thread, None)
+        return self
+
+    def increment(self, thread: ThreadId, amount: int = 1) -> "VectorClock":
+        """Increment the ``thread`` component in place; returns ``self``."""
+        self._times[thread] = self._times.get(thread, 0) + amount
+        return self
+
+    def clear(self) -> "VectorClock":
+        """Reset every component to zero; returns ``self``."""
+        self._times.clear()
+        return self
+
+    def update_from(self, other: "VectorClock") -> "VectorClock":
+        """Overwrite this clock with a copy of ``other``; returns ``self``."""
+        self._times = dict(other._times)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Operators (non-mutating)
+    # ------------------------------------------------------------------ #
+
+    def __or__(self, other: "VectorClock") -> "VectorClock":
+        return self.copy().join(other)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        other_times = other._times
+        for thread, value in self._times.items():
+            if value > other_times.get(thread, 0):
+                return False
+        return True
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def __ge__(self, other: "VectorClock") -> bool:
+        return other <= self
+
+    def __gt__(self, other: "VectorClock") -> bool:
+        return other < self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._times == other._times
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._times.items()))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Return True when neither clock is pointwise <= the other."""
+        return not (self <= other) and not (other <= self)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "%r: %d" % (thread, value) for thread, value in sorted(
+                self._times.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return "VectorClock({%s})" % inner
+
+    def __len__(self) -> int:
+        return len(self._times)

@@ -1,0 +1,92 @@
+"""Shared test fixtures and random-trace generation helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import pytest
+
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+
+def random_trace(
+    seed: int,
+    n_events: int = 40,
+    n_threads: int = 3,
+    n_locks: int = 2,
+    n_vars: int = 3,
+    name: Optional[str] = None,
+) -> Trace:
+    """Generate a random, well-formed trace.
+
+    The generator respects lock semantics and well nestedness by
+    construction: a thread only acquires locks it does not hold and that no
+    other thread holds, and only releases its innermost held lock.
+    """
+    rng = random.Random(seed)
+    threads = ["t%d" % i for i in range(n_threads)]
+    locks = ["l%d" % i for i in range(n_locks)]
+    variables = ["x%d" % i for i in range(n_vars)]
+
+    held = {thread: [] for thread in threads}
+    holder = {}
+    events: List[Event] = []
+
+    while len(events) < n_events:
+        thread = rng.choice(threads)
+        choices = ["read", "write"]
+        free_locks = [
+            lock for lock in locks
+            if lock not in holder and lock not in held[thread]
+        ]
+        if free_locks:
+            choices.append("acquire")
+        if held[thread]:
+            choices.append("release")
+        action = rng.choice(choices)
+        index = len(events)
+        if action == "acquire":
+            lock = rng.choice(free_locks)
+            held[thread].append(lock)
+            holder[lock] = thread
+            events.append(Event(index, thread, EventType.ACQUIRE, lock))
+        elif action == "release":
+            lock = held[thread].pop()
+            del holder[lock]
+            events.append(Event(index, thread, EventType.RELEASE, lock))
+        elif action == "read":
+            events.append(Event(index, thread, EventType.READ, rng.choice(variables)))
+        else:
+            events.append(Event(index, thread, EventType.WRITE, rng.choice(variables)))
+
+    # Close every open critical section so the trace is tidy (not required
+    # for validity, but keeps the examples realistic).
+    for thread in threads:
+        while held[thread]:
+            lock = held[thread].pop()
+            events.append(Event(len(events), thread, EventType.RELEASE, lock))
+
+    return Trace(events, name=name or "random_%d" % seed)
+
+
+@pytest.fixture
+def simple_race_trace() -> Trace:
+    """Two unsynchronised writes: the simplest possible racy trace."""
+    return Trace([
+        Event(0, "t1", EventType.WRITE, "x", "a.py:1"),
+        Event(1, "t2", EventType.WRITE, "x", "b.py:2"),
+    ], name="simple_race")
+
+
+@pytest.fixture
+def protected_trace() -> Trace:
+    """Two lock-protected updates: race-free."""
+    events = []
+    for thread in ("t1", "t2"):
+        events.append(Event(len(events), thread, EventType.ACQUIRE, "l"))
+        events.append(Event(len(events), thread, EventType.READ, "x"))
+        events.append(Event(len(events), thread, EventType.WRITE, "x"))
+        events.append(Event(len(events), thread, EventType.RELEASE, "l"))
+    return Trace(events, name="protected")

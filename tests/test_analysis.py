@@ -1,0 +1,179 @@
+"""Tests for windowing, metrics, the comparison harness and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    BenchmarkRow,
+    HeldLockTracker,
+    WindowedDetector,
+    compare_on_trace,
+    format_table,
+    make_window_trace,
+    max_race_distance,
+    queue_statistics,
+    race_distances,
+    run_table,
+    trace_summary,
+)
+from repro.analysis.metrics import long_distance_races, min_race_distance
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+from repro.trace.builder import TraceBuilder
+from repro.trace.event import Event, EventType
+
+from conftest import random_trace
+
+
+class TestHeldLockTracker:
+    def test_tracks_nested_locks(self):
+        tracker = HeldLockTracker()
+        tracker.observe(Event(0, "t1", EventType.ACQUIRE, "a"))
+        tracker.observe(Event(1, "t1", EventType.ACQUIRE, "b"))
+        prefix = tracker.carried_prefix()
+        assert [(e.thread, e.lock) for e in prefix] == [("t1", "a"), ("t1", "b")]
+
+    def test_releases_remove_locks(self):
+        tracker = HeldLockTracker()
+        tracker.observe(Event(0, "t1", EventType.ACQUIRE, "a"))
+        tracker.observe(Event(1, "t1", EventType.RELEASE, "a"))
+        assert tracker.carried_prefix() == []
+
+    def test_accesses_are_ignored(self):
+        tracker = HeldLockTracker()
+        tracker.observe(Event(0, "t1", EventType.WRITE, "x"))
+        assert tracker.carried_prefix() == []
+
+    def test_make_window_trace_prepends_prefix(self):
+        prefix = [Event(0, "t1", EventType.ACQUIRE, "a", "carried")]
+        window = make_window_trace(
+            [Event(0, "t1", EventType.WRITE, "x")], prefix, "w0"
+        )
+        assert len(window) == 2
+        assert window[0].is_acquire()
+
+
+class TestWindowedDetector:
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            WindowedDetector(HBDetector(), 0)
+
+    def test_windowing_loses_distant_races(self):
+        builder = TraceBuilder().write("t1", "z", loc="first")
+        for index in range(60):
+            builder.write("t2", "pad%d" % index)
+        builder.write("t3", "z", loc="second")
+        trace = builder.build()
+        full = HBDetector().run(trace)
+        windowed = WindowedDetector(HBDetector(), 20).run(trace)
+        assert full.count() == 1
+        assert windowed.count() == 0
+
+    def test_windowing_keeps_local_races(self, simple_race_trace):
+        report = WindowedDetector(WCPDetector(), 10).run(simple_race_trace)
+        assert report.count() == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_windowed_cp_subset_of_windowed_wcp(self, seed):
+        # With identical windows, CP races are always a subset of WCP races
+        # (CP has strictly more orderings); the windowed wrappers must
+        # preserve that relationship.
+        from repro.cp import CPDetector
+
+        trace = random_trace(seed=seed, n_events=80, n_threads=3)
+        windowed_wcp = set(
+            WindowedDetector(WCPDetector(), 20).run(trace).location_pairs()
+        )
+        windowed_cp = set(CPDetector(window_size=20).run(trace).location_pairs())
+        assert windowed_cp <= windowed_wcp
+
+    def test_window_statistics(self):
+        trace = random_trace(seed=9, n_events=50)
+        report = WindowedDetector(HBDetector(), 10).run(trace)
+        expected_windows = -(-len(trace) // 10)  # ceiling division
+        assert report.stats["windows"] == float(expected_windows)
+        assert "[w=10]" in report.detector_name
+
+
+class TestMetrics:
+    def _racy_report(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "a", loc="p1")
+            .write("t2", "a", loc="p2")
+            .write("t1", "b", loc="q1")
+            .write("t1", "pad").write("t1", "pad").write("t1", "pad")
+            .write("t2", "b", loc="q2")
+            .build()
+        )
+        return HBDetector().run(trace)
+
+    def test_race_distances(self):
+        report = self._racy_report()
+        distances = race_distances(report)
+        assert distances[frozenset({"p1", "p2"})] == 1
+        assert distances[frozenset({"q1", "q2"})] == 4
+        assert max_race_distance(report) == 4
+        assert min_race_distance(report) == 1
+
+    def test_long_distance_races(self):
+        report = self._racy_report()
+        assert long_distance_races(report, threshold=3) == [frozenset({"q1", "q2"})]
+
+    def test_min_distance_empty_report(self, protected_trace):
+        report = HBDetector().run(protected_trace)
+        assert min_race_distance(report) is None
+
+    def test_queue_statistics_extraction(self, protected_trace):
+        wcp_report = WCPDetector().run(protected_trace)
+        stats = queue_statistics(wcp_report)
+        assert set(stats) == {"max_queue_total", "max_queue_fraction"}
+        hb_report = HBDetector().run(protected_trace)
+        assert queue_statistics(hb_report)["max_queue_total"] == 0.0
+
+    def test_trace_summary(self, protected_trace):
+        summary = trace_summary(protected_trace)
+        assert summary == {"events": 8, "threads": 2, "locks": 1, "variables": 1}
+
+
+class TestCompareHarness:
+    def test_compare_on_trace(self, simple_race_trace):
+        row = compare_on_trace(simple_race_trace, [WCPDetector(), HBDetector()])
+        assert row.races("WCP") == row.races("HB") == 1
+        assert row.time_s("WCP") >= 0.0
+        assert row.races("missing") == 0
+        assert row.time_s("missing") == 0.0
+        assert row.as_dict()["benchmark"] == "simple_race"
+        assert "BenchmarkRow" in repr(row)
+
+    def test_queue_fraction_picked_from_wcp(self, protected_trace):
+        row = compare_on_trace(protected_trace, [WCPDetector()])
+        assert row.queue_fraction() >= 0.0
+        hb_only = compare_on_trace(protected_trace, [HBDetector()])
+        assert hb_only.queue_fraction() == 0.0
+
+    def test_run_table(self):
+        traces = {
+            "a": random_trace(seed=1, n_events=30),
+            "b": random_trace(seed=2, n_events=30),
+        }
+        rows, table = run_table(traces, lambda: [WCPDetector(), HBDetector()])
+        assert len(rows) == 2
+        assert "WCP races" in table and "benchmark" in table
+        assert "a" in table and "b" in table
+
+    def test_run_table_empty(self):
+        rows, table = run_table({}, lambda: [HBDetector()])
+        assert rows == [] and "no benchmarks" in table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(["name", "value"], [["x", 1], ["longer-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "longer-name" in lines[3]
+
+    def test_short_rows_padded(self):
+        table = format_table(["a", "b", "c"], [["only"]])
+        assert "only" in table

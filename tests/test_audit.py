@@ -1,0 +1,61 @@
+"""Tests for the race-report audit (triage against the ground truth)."""
+
+import pytest
+
+from repro.analysis import Verdict, audit_report
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+from repro.lockset import EraserDetector
+from repro.bench.paper_figures import figure_2b, figure_5
+from repro.trace.builder import TraceBuilder
+
+
+class TestAuditReport:
+    def test_confirmed_race(self):
+        trace = figure_2b()
+        report = WCPDetector().run(trace)
+        result = audit_report(trace, report)
+        assert result.count(Verdict.CONFIRMED_RACE) == 1
+        assert result.count(Verdict.DEADLOCK_ONLY) == 0
+        assert result.confirmed() == report.location_pairs()
+        assert "1 confirmed race" in result.summary()
+
+    def test_deadlock_only_classification(self):
+        # Figure 5: the WCP warning is real but only as a deadlock.
+        trace = figure_5()
+        report = WCPDetector().run(trace)
+        result = audit_report(trace, report)
+        assert result.count(Verdict.CONFIRMED_RACE) == 0
+        assert result.count(Verdict.DEADLOCK_ONLY) == 1
+
+    def test_unconfirmed_lockset_false_positive(self):
+        # Eraser flags the fork/join-protected accesses; the audit shows the
+        # warning has neither a race nor a deadlock witness.
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .fork("t1", "t2")
+            .write("t2", "x")
+            .join("t1", "t2")
+            .write("t1", "x")
+            .build()
+        )
+        report = EraserDetector().run(trace)
+        assert report.has_race()
+        result = audit_report(trace, report)
+        assert result.count(Verdict.CONFIRMED_RACE) == 0
+        assert result.count(Verdict.UNCONFIRMED) == len(report.pairs())
+
+    def test_empty_report(self, protected_trace):
+        report = HBDetector().run(protected_trace)
+        result = audit_report(protected_trace, report)
+        assert result.verdicts == {}
+        assert "0 reported pair(s)" in result.summary()
+        assert "AuditResult" in repr(result)
+
+    def test_budget_exhaustion_marks_pairs(self, simple_race_trace):
+        report = WCPDetector().run(simple_race_trace)
+        # A one-state budget cannot even reach the goal check for some pairs,
+        # but must never crash; verdicts are still produced for every pair.
+        result = audit_report(simple_race_trace, report, max_states_per_pair=1)
+        assert len(result.verdicts) == len(report.pairs())

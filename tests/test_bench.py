@@ -1,0 +1,168 @@
+"""Tests for the benchmark generators, the suite registry and the
+lower-bound trace family."""
+
+import pytest
+
+from repro.bench import BENCHMARKS, benchmark_names, get_benchmark, lower_bound_trace
+from repro.bench.contest import CONTEST_SPECS, build_contest_program, build_contest_trace
+from repro.bench.generators import FillerMill, add_hb_race, add_wcp_only_race
+from repro.bench.synthetic import SyntheticSpec, build_synthetic_trace
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+from repro.trace.trace import Trace
+
+
+class TestGeneratorBuildingBlocks:
+    def test_hb_race_pattern_yields_exactly_one_race(self):
+        events = []
+        add_hb_race(events, "t1", "t2", "v", "seed0")
+        trace = Trace(events)
+        assert HBDetector().run(trace).count() == 1
+        assert WCPDetector().run(trace).count() == 1
+
+    def test_wcp_only_pattern_yields_exactly_one_wcp_race(self):
+        events = []
+        add_wcp_only_race(events, "t1", "t2", "l", "p0", "seed0")
+        trace = Trace(events)
+        assert HBDetector().run(trace).count() == 0
+        assert WCPDetector().run(trace).count() == 1
+
+    def test_filler_is_race_free(self):
+        events = []
+        mill = FillerMill(events, ["t1", "t2", "t3"], ["l1", "l2"])
+        mill.emit_events(200)
+        trace = Trace(events)
+        assert len(trace) >= 180
+        assert WCPDetector().run(trace).count() == 0
+
+    def test_filler_assigns_private_lock_when_none_given(self):
+        events = []
+        FillerMill(events, ["t1"], []).emit(2)
+        trace = Trace(events)
+        assert trace.locks == ["fill_lock_t1"]
+
+
+class TestSyntheticGenerator:
+    def test_counts_match_spec(self):
+        spec = SyntheticSpec(
+            "demo", events=2000, threads=4, locks=10,
+            hb_races=7, wcp_only_races=2, local_races=3, local_wcp_races=1,
+        )
+        trace = build_synthetic_trace(spec)
+        assert WCPDetector().run(trace).count() == spec.wcp_races == 9
+        assert HBDetector().run(trace).count() == spec.hb_races == 7
+
+    def test_scale_controls_size(self):
+        spec = SyntheticSpec("demo", events=4000, threads=3, locks=4, hb_races=2)
+        small = build_synthetic_trace(spec, scale=0.25)
+        large = build_synthetic_trace(spec, scale=1.0)
+        assert len(large) > 2 * len(small)
+
+    def test_distant_races_span_most_of_the_trace(self):
+        spec = SyntheticSpec(
+            "demo", events=3000, threads=3, locks=4,
+            hb_races=4, local_races=0,
+        )
+        trace = build_synthetic_trace(spec)
+        report = HBDetector().run(trace)
+        assert report.max_distance() > len(trace) // 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec("demo", events=100, threads=1, locks=0, hb_races=1)
+        spec = SyntheticSpec("demo", events=100, threads=2, locks=0, hb_races=1)
+        with pytest.raises(ValueError):
+            build_synthetic_trace(spec, scale=0)
+
+    def test_lock_free_spec_has_no_locks(self):
+        spec = SyntheticSpec("demo", events=500, threads=2, locks=0, hb_races=3)
+        trace = build_synthetic_trace(spec)
+        assert trace.locks == []
+        assert HBDetector().run(trace).count() == 3
+
+
+class TestContestPrograms:
+    def test_program_structure(self):
+        program = build_contest_program(CONTEST_SPECS["account"])
+        assert "main" in program.threads
+        assert len(program.thread_names()) == CONTEST_SPECS["account"].threads
+
+    @pytest.mark.parametrize("name", ["account", "airline", "critical", "pingpong"])
+    def test_race_counts_are_scheduler_independent(self, name):
+        spec = CONTEST_SPECS[name]
+        counts = {
+            HBDetector().run(build_contest_trace(spec, seed=seed)).count()
+            for seed in range(3)
+        }
+        assert counts == {spec.races}
+
+
+class TestSuiteRegistry:
+    def test_all_eighteen_benchmarks_present(self):
+        assert len(BENCHMARKS) == 18
+        assert set(benchmark_names("contest")) == set(CONTEST_SPECS)
+        assert len(benchmark_names("grande")) == 3
+        assert len(benchmark_names("realworld")) == 6
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            get_benchmark("no-such-benchmark")
+
+    @pytest.mark.parametrize("name", ["account", "mergesort", "raytracer", "xalan"])
+    def test_generated_counts_match_expectations(self, name):
+        spec = BENCHMARKS[name]
+        scale = 1.0 if spec.category == "contest" else 0.05
+        trace = spec.generate(scale=scale)
+        assert WCPDetector().run(trace).count() == spec.expected_wcp_races
+        assert HBDetector().run(trace).count() == spec.expected_hb_races
+
+    @pytest.mark.parametrize("name", ["eclipse", "jigsaw", "xalan"])
+    def test_wcp_only_benchmarks_show_the_gap(self, name):
+        # The boldfaced Table 1 rows: WCP finds strictly more than HB.
+        trace = get_benchmark(name, scale=0.03)
+        wcp = WCPDetector().run(trace).count()
+        hb = HBDetector().run(trace).count()
+        assert wcp > hb
+        assert wcp == BENCHMARKS[name].expected_wcp_races
+
+    def test_paper_numbers_recorded(self):
+        paper = BENCHMARKS["eclipse"].paper
+        assert paper.wcp_races == 66 and paper.hb_races == 64
+        assert BENCHMARKS["derby"].paper.rv_10k is None  # timed out in the paper
+
+    def test_threads_and_locks_shape(self):
+        trace = get_benchmark("ftpserver", scale=0.05)
+        assert len(trace.threads) == BENCHMARKS["ftpserver"].paper.threads
+        assert len(trace.locks) > 0
+
+
+class TestLowerBoundFamily:
+    def test_queue_growth_is_linear(self):
+        sizes = {}
+        for n in (10, 40, 80):
+            report = WCPDetector().run(lower_bound_trace(n))
+            sizes[n] = report.stats["max_queue_total"]
+        assert sizes[40] > 3 * sizes[10]
+        assert sizes[80] > 1.8 * sizes[40]
+
+    def test_queue_fraction_stays_high(self):
+        # Unlike the benchmarks, the adversarial family keeps the queues at a
+        # constant *fraction* of the trace -- the linear-space lower bound.
+        report = WCPDetector().run(lower_bound_trace(100))
+        assert report.stats["max_queue_fraction"] > 0.3
+
+    def test_bits_parameterisation(self):
+        trace = lower_bound_trace(4, first_bits=[0, 1, 0, 1], second_bits=[1, 1, 0, 0])
+        assert "l0" in trace.locks and "l1" in trace.locks
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            lower_bound_trace(0)
+        with pytest.raises(ValueError):
+            lower_bound_trace(3, first_bits=[0, 1])
+        with pytest.raises(ValueError):
+            lower_bound_trace(2, first_bits=[0, 7])
+
+    def test_final_conflicting_writes_race(self):
+        report = WCPDetector().run(lower_bound_trace(5))
+        assert any(pair.variable == "z" for pair in report.pairs())

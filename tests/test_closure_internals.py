@@ -1,0 +1,143 @@
+"""Tests for the closure helpers (HB predecessors, must-happen-before,
+critical-section indexing) used by the CP/WCP oracles."""
+
+from repro.core.closure import (
+    HBClosure,
+    compute_hb_predecessors,
+    compute_must_happen_before,
+    _critical_section_indices,
+)
+from repro.trace.builder import TraceBuilder
+
+
+class TestHBPredecessors:
+    def test_thread_order_edges(self):
+        trace = TraceBuilder().write("t1", "a").write("t1", "b").write("t1", "c").build()
+        predecessors = compute_hb_predecessors(trace)
+        assert predecessors[2] == {0, 1}
+        assert predecessors[0] == set()
+
+    def test_release_acquire_edges_are_transitive(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .acquire("t1", "l").release("t1", "l")
+            .acquire("t2", "l").release("t2", "l")
+            .acquire("t3", "l").write("t3", "y").release("t3", "l")
+            .build()
+        )
+        predecessors = compute_hb_predecessors(trace)
+        write_y = next(e.index for e in trace if e.is_write() and e.variable == "y")
+        assert 0 in predecessors[write_y]
+
+    def test_no_edge_from_later_release(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "l").release("t1", "l")
+            .acquire("t2", "l").release("t2", "l")
+            .build()
+        )
+        predecessors = compute_hb_predecessors(trace)
+        # The first acquire has no cross-thread predecessors.
+        assert predecessors[0] == set()
+        # The second acquire is preceded by the first release.
+        assert 1 in predecessors[2]
+
+    def test_fork_and_join_edges(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "before")
+            .fork("t1", "t2")
+            .write("t2", "child")
+            .join("t1", "t2")
+            .write("t1", "after")
+            .build()
+        )
+        predecessors = compute_hb_predecessors(trace)
+        assert {0, 1} <= predecessors[2]      # child after fork (and before it)
+        assert 2 in predecessors[4]           # parent's post-join event after child
+
+
+class TestMustHappenBefore:
+    def test_excludes_lock_edges(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "l").write("t1", "x").release("t1", "l")
+            .acquire("t2", "l").write("t2", "x").release("t2", "l")
+            .build()
+        )
+        mhb = compute_must_happen_before(trace)
+        hb = compute_hb_predecessors(trace)
+        second_write = 4
+        # HB orders the writes via the lock; must-happen-before does not.
+        assert 1 in hb[second_write]
+        assert 1 not in mhb[second_write]
+
+    def test_includes_fork_join_and_thread_order(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "a")
+            .fork("t1", "t2")
+            .write("t2", "b")
+            .join("t1", "t2")
+            .write("t1", "c")
+            .build()
+        )
+        mhb = compute_must_happen_before(trace)
+        assert {0, 1} <= mhb[2]
+        assert 2 in mhb[4]
+        assert 0 in mhb[4]
+
+
+class TestCriticalSectionIndexing:
+    def test_sections_cover_their_events(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "l").read("t1", "x").write("t1", "y").release("t1", "l")
+            .build()
+        )
+        sections = _critical_section_indices(trace)
+        assert sections[0] == [0, 1, 2, 3]
+        assert sections[3] == [0, 1, 2, 3]
+
+    def test_unmatched_release_skipped(self):
+        trace = (
+            TraceBuilder()
+            .release("t1", "l")
+            .write("t1", "x")
+            .build(validate=False)
+        )
+        sections = _critical_section_indices(trace)
+        assert 0 not in sections
+
+    def test_unmatched_acquire_extends_to_thread_end(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "l").write("t1", "x").write("t1", "y")
+            .build()
+        )
+        sections = _critical_section_indices(trace)
+        assert sections[0] == [0, 1, 2]
+
+
+class TestHBClosureQueries:
+    def test_ordered_is_reflexive_and_directional(self):
+        trace = TraceBuilder().write("t1", "a").write("t2", "b").build()
+        closure = HBClosure(trace)
+        assert closure.ordered(0, 0)
+        assert not closure.ordered(1, 0)
+        assert not closure.ordered(0, 1)
+
+    def test_races_lists_unordered_conflicts_only(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .acquire("t1", "l").release("t1", "l")
+            .acquire("t2", "l").release("t2", "l")
+            .write("t2", "x")
+            .write("t2", "z")
+            .write("t1", "z")
+            .build()
+        )
+        racy_variables = {b.variable for _, b in HBClosure(trace).races()}
+        assert racy_variables == {"z"}

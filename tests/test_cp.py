@@ -1,0 +1,119 @@
+"""Tests for the Causally-Precedes closure and windowed detector."""
+
+import pytest
+
+from repro.core.closure import HBClosure, WCPClosure
+from repro.cp import CPClosure, CPDetector
+from repro.hb import HBDetector
+from repro.core.wcp import WCPDetector
+from repro.trace.builder import TraceBuilder
+from repro.bench.paper_figures import figure_1b, figure_2a, figure_2b
+
+from conftest import random_trace
+
+
+class TestCPClosure:
+    def test_figure_1b_detected(self):
+        # No conflicting accesses inside the critical sections, so CP keeps
+        # them unordered and sees the race on y (the paper's Figure 1b).
+        assert len(CPClosure(figure_1b()).races()) == 1
+
+    def test_figure_2b_missed(self):
+        # CP is agnostic to the order of events inside a critical section,
+        # so it misses the predictable race of Figure 2b.
+        assert len(CPClosure(figure_2b()).races()) == 0
+
+    def test_figure_2a_no_race(self):
+        assert len(CPClosure(figure_2a()).races()) == 0
+
+    def test_rule_a_orders_entire_sections(self):
+        # Conflicting accesses in two critical sections order the release
+        # before the *acquire*: the y accesses become ordered even though
+        # they would race under WCP's weaker rule.
+        trace = (
+            TraceBuilder()
+            .write("t1", "y")
+            .acquire("t1", "l").write("t1", "x").release("t1", "l")
+            .acquire("t2", "l").read("t2", "y").read("t2", "x").release("t2", "l")
+            .build()
+        )
+        closure = CPClosure(trace)
+        write_y, read_y = trace[0], trace[5]
+        assert closure.ordered(write_y.index, read_y.index)
+
+    def test_ordered_is_reflexive_and_respects_thread_order(self):
+        trace = figure_2b()
+        closure = CPClosure(trace)
+        assert closure.ordered(2, 2)
+        assert closure.ordered(1, 3)      # same thread
+        assert not closure.ordered(7, 1)  # backwards
+
+    def test_report_adapter(self):
+        report = CPClosure(figure_1b()).report()
+        assert report.count() == 1
+        assert report.detector_name == "CP-closure"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cp_races_between_hb_and_wcp(self, seed):
+        # WCP <= CP <= HB as relations, hence
+        # races(HB) <= races(CP) <= races(WCP) as sets of location pairs.
+        trace = random_trace(seed=seed, n_events=50, n_threads=3, n_locks=2)
+        hb_races = {
+            frozenset({a.location(), b.location()})
+            for a, b in HBClosure(trace).races()
+        }
+        cp_races = {
+            frozenset({a.location(), b.location()})
+            for a, b in CPClosure(trace).races()
+        }
+        wcp_races = {
+            frozenset({a.location(), b.location()})
+            for a, b in WCPClosure(trace).races()
+        }
+        assert hb_races <= cp_races <= wcp_races
+
+
+class TestCPDetector:
+    def test_whole_trace_mode(self):
+        detector = CPDetector(window_size=None)
+        assert detector.run(figure_1b()).count() == 1
+        assert detector.run(figure_2b()).count() == 0
+
+    def test_windowed_mode_counts_windows(self):
+        trace = random_trace(seed=3, n_events=90)
+        report = CPDetector(window_size=30).run(trace)
+        assert report.stats["windows"] == float(-(-len(trace) // 30))
+        assert report.stats["window_size"] == 30.0
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            CPDetector(window_size=0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_windowed_cp_never_exceeds_windowed_wcp(self, seed):
+        # On identical windows, CP's extra orderings mean its races are a
+        # subset of WCP's.  (Comparing against the *whole-trace* analysis
+        # would not be meaningful: any fragment-based analysis can flag
+        # pairs whose ordering evidence lies outside the fragment.)
+        from repro.analysis import WindowedDetector
+
+        trace = random_trace(seed=seed + 20, n_events=80, n_threads=3)
+        windowed_cp = set(CPDetector(window_size=25).run(trace).location_pairs())
+        windowed_wcp = set(
+            WindowedDetector(WCPDetector(), 25).run(trace).location_pairs()
+        )
+        assert windowed_cp <= windowed_wcp
+
+    def test_windowing_loses_distant_races(self):
+        # Two conflicting accesses far apart with unrelated traffic between
+        # them: whole-trace CP sees the race, a small window cannot.
+        builder = TraceBuilder().write("t1", "z")
+        for index in range(40):
+            thread = "t%d" % (2 + index % 2)
+            builder.acquire(thread, "l%d" % (index % 2))
+            builder.read(thread, "pad%d" % (index % 2))
+            builder.release(thread, "l%d" % (index % 2))
+        builder.write("t2", "z")
+        trace = builder.build()
+        assert CPDetector(window_size=None).run(trace).count() == 1
+        assert CPDetector(window_size=20).run(trace).count() == 0

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.trace.event`."""
+
+import pytest
+
+from repro.trace.event import Event, EventType
+
+
+class TestEventConstruction:
+    def test_lock_event_requires_target(self):
+        with pytest.raises(ValueError):
+            Event(0, "t1", EventType.ACQUIRE)
+
+    def test_access_event_requires_target(self):
+        with pytest.raises(ValueError):
+            Event(0, "t1", EventType.READ)
+
+    def test_fork_requires_target(self):
+        with pytest.raises(ValueError):
+            Event(0, "t1", EventType.FORK)
+
+    def test_begin_end_need_no_target(self):
+        Event(0, "t1", EventType.BEGIN)
+        Event(1, "t1", EventType.END)
+
+
+class TestEventClassification:
+    def test_acquire_release(self):
+        acquire = Event(0, "t1", EventType.ACQUIRE, "l")
+        release = Event(1, "t1", EventType.RELEASE, "l")
+        assert acquire.is_acquire() and not acquire.is_release()
+        assert release.is_release() and not release.is_acquire()
+        assert acquire.is_lock_event() and release.is_lock_event()
+        assert acquire.lock == release.lock == "l"
+
+    def test_read_write(self):
+        read = Event(0, "t1", EventType.READ, "x")
+        write = Event(1, "t1", EventType.WRITE, "x")
+        assert read.is_read() and read.is_access() and not read.is_write()
+        assert write.is_write() and write.is_access()
+        assert read.variable == write.variable == "x"
+
+    def test_fork_join(self):
+        fork = Event(0, "t1", EventType.FORK, "t2")
+        join = Event(1, "t1", EventType.JOIN, "t2")
+        assert fork.is_fork() and join.is_join()
+        assert fork.other_thread == join.other_thread == "t2"
+
+    def test_property_errors_on_wrong_kind(self):
+        read = Event(0, "t1", EventType.READ, "x")
+        with pytest.raises(AttributeError):
+            read.lock
+        acquire = Event(0, "t1", EventType.ACQUIRE, "l")
+        with pytest.raises(AttributeError):
+            acquire.variable
+        with pytest.raises(AttributeError):
+            acquire.other_thread
+
+
+class TestConflicts:
+    def test_write_write_conflict(self):
+        a = Event(0, "t1", EventType.WRITE, "x")
+        b = Event(1, "t2", EventType.WRITE, "x")
+        assert a.conflicts_with(b) and b.conflicts_with(a)
+
+    def test_read_write_conflict(self):
+        a = Event(0, "t1", EventType.READ, "x")
+        b = Event(1, "t2", EventType.WRITE, "x")
+        assert a.conflicts_with(b)
+
+    def test_read_read_no_conflict(self):
+        a = Event(0, "t1", EventType.READ, "x")
+        b = Event(1, "t2", EventType.READ, "x")
+        assert not a.conflicts_with(b)
+
+    def test_same_thread_no_conflict(self):
+        a = Event(0, "t1", EventType.WRITE, "x")
+        b = Event(1, "t1", EventType.WRITE, "x")
+        assert not a.conflicts_with(b)
+
+    def test_different_variable_no_conflict(self):
+        a = Event(0, "t1", EventType.WRITE, "x")
+        b = Event(1, "t2", EventType.WRITE, "y")
+        assert not a.conflicts_with(b)
+
+    def test_non_access_no_conflict(self):
+        a = Event(0, "t1", EventType.ACQUIRE, "l")
+        b = Event(1, "t2", EventType.WRITE, "x")
+        assert not a.conflicts_with(b)
+
+
+class TestLocation:
+    def test_explicit_location(self):
+        event = Event(0, "t1", EventType.WRITE, "x", loc="Foo.java:42")
+        assert event.location() == "Foo.java:42"
+
+    def test_synthesised_location_is_unique_per_event(self):
+        a = Event(0, "t1", EventType.WRITE, "x")
+        b = Event(1, "t1", EventType.WRITE, "x")
+        assert a.location() != b.location()
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Event(0, "t1", EventType.WRITE, "x")
+        b = Event(0, "t1", EventType.WRITE, "x")
+        assert a == b and hash(a) == hash(b)
+        assert a != Event(1, "t1", EventType.WRITE, "x")
+        assert a != "nope"
+
+    def test_repr(self):
+        assert "w(x)" in repr(Event(0, "t1", EventType.WRITE, "x"))

@@ -1,0 +1,91 @@
+"""Tests for report/row export (JSON and CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    compare_on_trace,
+    report_to_csv,
+    report_to_dict,
+    report_to_json,
+    rows_to_csv,
+    rows_to_json,
+    save_report,
+)
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+from repro.trace.builder import TraceBuilder
+
+
+@pytest.fixture
+def racy_report():
+    trace = (
+        TraceBuilder("export-demo")
+        .write("t1", "a", loc="A.java:1")
+        .write("t2", "a", loc="B.java:2")
+        .write("t1", "b", loc="A.java:3")
+        .write("t2", "b", loc="B.java:4")
+        .build()
+    )
+    return WCPDetector().run(trace)
+
+
+class TestReportExport:
+    def test_report_to_dict_structure(self, racy_report):
+        payload = report_to_dict(racy_report)
+        assert payload["detector"] == "WCP"
+        assert payload["trace"] == "export-demo"
+        assert payload["distinct_races"] == 2
+        assert len(payload["races"]) == 2
+        first = payload["races"][0]
+        assert set(first) >= {
+            "locations", "variable", "distance", "first_thread", "second_thread",
+        }
+
+    def test_report_to_json_round_trips(self, racy_report):
+        parsed = json.loads(report_to_json(racy_report))
+        assert parsed["distinct_races"] == 2
+        assert parsed["stats"]["events"] == 4
+
+    def test_report_to_csv(self, racy_report):
+        rows = list(csv.DictReader(io.StringIO(report_to_csv(racy_report))))
+        assert len(rows) == 2
+        assert {row["variable"] for row in rows} == {"a", "b"}
+        assert rows[0]["detector"] == "WCP"
+
+    def test_empty_report_exports(self, protected_trace):
+        report = HBDetector().run(protected_trace)
+        assert json.loads(report_to_json(report))["races"] == []
+        assert len(report_to_csv(report).strip().splitlines()) == 1
+
+    def test_save_report_json_and_csv(self, racy_report, tmp_path):
+        json_path = save_report(racy_report, tmp_path / "out.json")
+        csv_path = save_report(racy_report, tmp_path / "out.csv")
+        assert json.loads(json_path.read_text())["distinct_races"] == 2
+        assert "variable" in csv_path.read_text()
+
+    def test_save_report_rejects_unknown_extension(self, racy_report, tmp_path):
+        with pytest.raises(ValueError):
+            save_report(racy_report, tmp_path / "out.xml")
+
+
+class TestRowExport:
+    def _rows(self, simple_race_trace):
+        return [compare_on_trace(simple_race_trace, [WCPDetector(), HBDetector()])]
+
+    def test_rows_to_json(self, simple_race_trace):
+        payload = json.loads(rows_to_json(self._rows(simple_race_trace)))
+        assert payload[0]["benchmark"] == "simple_race"
+        assert payload[0]["WCP_races"] == 1
+
+    def test_rows_to_csv(self, simple_race_trace):
+        text = rows_to_csv(self._rows(simple_race_trace))
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["benchmark"] == "simple_race"
+        assert rows[0]["HB_races"] == "1"
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""

@@ -1,0 +1,69 @@
+"""Tests for the Eraser lockset detector (the unsound baseline)."""
+
+from repro.hb import HBDetector
+from repro.lockset import EraserDetector
+from repro.trace.builder import TraceBuilder
+
+
+class TestEraser:
+    def test_unprotected_shared_write_reported(self, simple_race_trace):
+        assert EraserDetector().run(simple_race_trace).count() == 1
+
+    def test_consistent_locking_not_reported(self, protected_trace):
+        assert EraserDetector().run(protected_trace).count() == 0
+
+    def test_exclusive_phase_not_reported(self):
+        # A variable touched by a single thread never leaves exclusive mode.
+        trace = (
+            TraceBuilder()
+            .write("t1", "x").read("t1", "x").write("t1", "x")
+            .build()
+        )
+        assert EraserDetector().run(trace).count() == 0
+
+    def test_read_shared_phase_not_reported(self):
+        # Initialisation by one thread then read-only sharing is fine.
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .read("t2", "x").read("t3", "x")
+            .build()
+        )
+        assert EraserDetector().run(trace).count() == 0
+
+    def test_inconsistent_locking_reported(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "a").write("t1", "x").release("t1", "a")
+            .acquire("t2", "b").write("t2", "x").release("t2", "b")
+            .build()
+        )
+        assert EraserDetector().run(trace).count() == 1
+
+    def test_false_positive_on_fork_join_ordering(self):
+        # The classic Eraser unsoundness: fork/join ordering protects the
+        # accesses (no lock needed, HB proves it), but the lockset is empty
+        # so Eraser complains anyway.
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .fork("t1", "t2")
+            .write("t2", "x")
+            .join("t1", "t2")
+            .write("t1", "x")
+            .build()
+        )
+        assert HBDetector().run(trace).count() == 0
+        assert EraserDetector().run(trace).count() >= 1
+
+    def test_partial_lockset_refinement(self):
+        # Accesses share lock "a" consistently even though other locks vary.
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "a").acquire("t1", "b").write("t1", "x")
+            .release("t1", "b").release("t1", "a")
+            .acquire("t2", "a").acquire("t2", "c").write("t2", "x")
+            .release("t2", "c").release("t2", "a")
+            .build()
+        )
+        assert EraserDetector().run(trace).count() == 0

@@ -1,0 +1,127 @@
+"""Tests for the maximal-causal-model (RVPredict-like) predictor."""
+
+import pytest
+
+from repro.hb import HBDetector
+from repro.core.wcp import WCPDetector
+from repro.mcm import CandidateRace, MCMPredictor, OrderingSolver, SolverOutcome, collect_candidates
+from repro.trace.builder import TraceBuilder
+from repro.bench.paper_figures import figure_1a, figure_1b, figure_2b
+
+from conftest import random_trace
+
+
+class TestCandidateCollection:
+    def test_candidates_are_conflicting_pairs(self):
+        trace = figure_2b()
+        candidates = collect_candidates(trace)
+        assert all(c.first.conflicts_with(c.second) for c in candidates)
+        variables = {c.first.variable for c in candidates}
+        assert variables == {"x", "y"}
+
+    def test_deduplication_by_location_pair(self):
+        builder = TraceBuilder()
+        for _ in range(5):
+            builder.write("t1", "v", loc="A")
+            builder.write("t2", "v", loc="B")
+        candidates = collect_candidates(builder.build(), per_location_limit=2)
+        assert len(candidates) == 2
+        assert all(c.location_pair == frozenset({"A", "B"}) for c in candidates)
+
+    def test_candidates_sorted_by_span(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "far", loc="far1")
+            .write("t1", "near", loc="near1")
+            .write("t2", "near", loc="near2")
+            .write("t2", "far", loc="far2")
+            .build()
+        )
+        candidates = collect_candidates(trace)
+        assert candidates[0].location_pair == frozenset({"near1", "near2"})
+
+    def test_candidate_repr_and_span(self):
+        trace = TraceBuilder().write("t1", "v").write("t2", "v").build()
+        candidate = CandidateRace(trace[1], trace[0])
+        assert candidate.first.index == 0
+        assert candidate.span == 1
+        assert "CandidateRace" in repr(candidate)
+
+
+class TestOrderingSolver:
+    def test_witnessed_outcome(self, simple_race_trace):
+        solver = OrderingSolver(simple_race_trace)
+        candidate = CandidateRace(simple_race_trace[0], simple_race_trace[1])
+        assert solver.query(candidate) is SolverOutcome.WITNESSED
+        assert solver.witnessed == 1
+
+    def test_infeasible_outcome(self):
+        trace = figure_1a()
+        solver = OrderingSolver(trace)
+        candidates = collect_candidates(trace)
+        outcomes = {solver.query(candidate) for candidate in candidates}
+        assert outcomes == {SolverOutcome.INFEASIBLE}
+
+    def test_timeout_outcome(self, simple_race_trace):
+        solver = OrderingSolver(simple_race_trace, time_budget_s=0.0)
+        candidate = CandidateRace(simple_race_trace[0], simple_race_trace[1])
+        assert solver.budget_exhausted()
+        assert solver.query(candidate) is SolverOutcome.TIMEOUT
+        assert solver.timeouts == 1
+
+    def test_remaining_time_unbounded(self, simple_race_trace):
+        assert OrderingSolver(simple_race_trace).remaining_time() is None
+
+
+class TestMCMPredictor:
+    def test_finds_hb_invisible_race_in_window(self):
+        # Figure 2b's race is invisible to HB but predictable; the maximal
+        # predictor must find it when the window covers the whole trace.
+        report = MCMPredictor(window_size=100).run(figure_2b())
+        assert report.count() == 1
+        assert HBDetector().run(figure_2b()).count() == 0
+
+    def test_no_false_positive_on_figure_1a(self):
+        assert MCMPredictor(window_size=100).run(figure_1a()).count() == 0
+
+    def test_misses_cross_window_races(self):
+        # A race whose accesses land in different windows is invisible.
+        builder = TraceBuilder().write("t1", "z", loc="first")
+        for index in range(30):
+            builder.write("t2", "pad%d" % index)
+        builder.write("t3", "z", loc="second")
+        trace = builder.build()
+        whole = MCMPredictor(window_size=100).run(trace)
+        windowed = MCMPredictor(window_size=10).run(trace)
+        assert whole.count() == 1
+        assert windowed.count() == 0
+        assert windowed.stats["windows"] >= 3
+
+    def test_window_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MCMPredictor(window_size=0)
+
+    def test_statistics_populated(self):
+        report = MCMPredictor(window_size=50).run(figure_1b())
+        for key in ("windows", "candidates", "candidates_witnessed", "window_size"):
+            assert key in report.stats
+
+    def test_zero_timeout_reports_nothing(self, simple_race_trace):
+        report = MCMPredictor(window_size=10, solver_timeout_s=0.0).run(
+            simple_race_trace
+        )
+        assert report.count() == 0
+        assert report.stats["windows_timed_out"] >= 1.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_finds_at_least_the_hb_races_on_random_traces(self, seed):
+        # HB is strongly sound, so every HB race is a predictable race; a
+        # maximal predictor whose window spans the whole trace must witness
+        # all of them (it typically finds more, like Figure 2b's race).
+        trace = random_trace(seed=seed, n_events=40, n_threads=3)
+        predicted = MCMPredictor(
+            window_size=1000, max_states_per_query=200_000
+        ).run(trace)
+        hb = HBDetector().run(trace)
+        if hb.has_race():
+            assert predicted.has_race()

@@ -1,0 +1,124 @@
+"""The paper's example traces, classified exactly as the paper claims.
+
+This is the most direct check that the reproduction implements the same
+relations as the paper: Figures 1-5 each come with an explicit statement of
+which of HB / CP / WCP detects a race and what the ground truth is
+(predictable race, predictable deadlock, or neither).
+"""
+
+import pytest
+
+from repro.bench import paper_figures
+from repro.core.closure import HBClosure, WCPClosure
+from repro.core.wcp import WCPDetector
+from repro.cp import CPClosure
+from repro.hb import HBDetector
+from repro.reordering import (
+    find_deadlock_witness,
+    find_race_witness,
+    find_all_predictable_races,
+)
+
+# figure -> (hb_race, cp_race, wcp_race, predictable_race, predictable_deadlock)
+# Note: Figure 4 has a predictable race (the paper's point); its three-lock
+# cyclic acquisition pattern also admits a predictable deadlock, which the
+# paper does not discuss but the witness search correctly finds.
+EXPECTED = {
+    "figure_1a": (False, False, False, False, False),
+    "figure_1b": (False, True, True, True, False),
+    "figure_2a": (False, False, False, False, False),
+    "figure_2b": (False, False, True, True, False),
+    "figure_3": (False, False, True, True, False),
+    "figure_4": (False, False, True, True, True),
+    "figure_5": (False, False, True, False, True),
+}
+
+
+@pytest.mark.parametrize("figure", sorted(EXPECTED))
+class TestPaperFigureClassification:
+    def _trace(self, figure):
+        return paper_figures.ALL_FIGURES[figure]()
+
+    def test_hb_classification(self, figure):
+        expected_hb = EXPECTED[figure][0]
+        trace = self._trace(figure)
+        assert bool(HBClosure(trace).races()) == expected_hb
+        assert HBDetector().run(trace).has_race() == expected_hb
+
+    def test_cp_classification(self, figure):
+        expected_cp = EXPECTED[figure][1]
+        assert bool(CPClosure(self._trace(figure)).races()) == expected_cp
+
+    def test_wcp_classification(self, figure):
+        expected_wcp = EXPECTED[figure][2]
+        trace = self._trace(figure)
+        assert bool(WCPClosure(trace).races()) == expected_wcp
+        assert WCPDetector().run(trace).has_race() == expected_wcp
+
+    def test_ground_truth_race(self, figure):
+        expected_race = EXPECTED[figure][3]
+        trace = self._trace(figure)
+        witnesses = find_all_predictable_races(trace, max_states_per_pair=200_000)
+        assert bool(witnesses) == expected_race
+
+    def test_ground_truth_deadlock(self, figure):
+        expected_deadlock = EXPECTED[figure][4]
+        trace = self._trace(figure)
+        result = find_deadlock_witness(trace, max_states=200_000)
+        assert result.found == expected_deadlock
+
+
+class TestFigureDetails:
+    def test_figure_1b_race_is_on_y(self):
+        trace = paper_figures.figure_1b()
+        racy_variables = {
+            second.variable for _, second in WCPClosure(trace).races()
+        }
+        assert racy_variables == {"y"}
+
+    def test_figure_2b_witness_matches_paper(self):
+        # The paper reveals the race with the reordering e5, e1, e6.
+        trace = paper_figures.figure_2b()
+        write_y = trace[0]
+        read_y = trace[5]
+        result = find_race_witness(trace, write_y, read_y)
+        assert result.found
+        schedule = result.schedule
+        assert schedule[-2:] in (
+            [write_y, read_y], [read_y, write_y],
+        ) or {schedule[-1], schedule[-2]} == {write_y, read_y}
+
+    def test_figure_3_race_is_on_z_only(self):
+        trace = paper_figures.figure_3()
+        racy_variables = {
+            second.variable for _, second in WCPClosure(trace).races()
+        }
+        assert racy_variables == {"z"}
+
+    def test_figure_4_cp_orders_but_wcp_does_not(self):
+        trace = paper_figures.figure_4()
+        read_z = next(e for e in trace if e.is_read() and e.variable == "z")
+        write_z = next(e for e in trace if e.is_write() and e.variable == "z")
+        assert CPClosure(trace).ordered(read_z.index, write_z.index)
+        assert not WCPClosure(trace).ordered(read_z.index, write_z.index)
+
+    def test_figure_5_weak_soundness_case(self):
+        # WCP flags the z pair, there is no predictable race, but there is a
+        # predictable deadlock -- exactly the weak-soundness guarantee.
+        trace = paper_figures.figure_5()
+        assert WCPDetector().run(trace).has_race()
+        read_z = next(e for e in trace if e.is_read() and e.variable == "z")
+        write_z = next(e for e in trace if e.is_write() and e.variable == "z")
+        assert not find_race_witness(trace, read_z, write_z, max_states=300_000).found
+        assert find_deadlock_witness(trace).found
+
+    def test_figure_6_is_race_free_and_uses_queues(self):
+        trace = paper_figures.figure_6()
+        report = WCPDetector().run(trace)
+        assert not report.has_race()
+        assert report.stats["max_queue_total"] > 0
+
+    def test_all_figures_are_valid_traces(self):
+        for name, build in paper_figures.ALL_FIGURES.items():
+            trace = build()
+            assert len(trace) > 0, name

@@ -1,0 +1,187 @@
+"""Tests for correct-reordering checking and witness search."""
+
+import pytest
+
+from repro.reordering import (
+    check_correct_reordering,
+    find_all_predictable_races,
+    find_deadlock_witness,
+    find_race_witness,
+    has_predictable_race,
+    is_correct_reordering,
+)
+from repro.trace.builder import TraceBuilder
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+from repro.bench.paper_figures import figure_1a, figure_1b, figure_2b, figure_5
+
+from conftest import random_trace
+
+
+def _rebuild(events):
+    return Trace(
+        [Event(-1, e.thread, e.etype, e.target, e.loc) for e in events],
+        validate=False,
+    )
+
+
+class TestCorrectReordering:
+    def test_identity_is_correct(self):
+        trace = random_trace(seed=1, n_events=30)
+        assert is_correct_reordering(trace, trace)
+
+    def test_prefix_is_correct(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "x").write("t2", "y").write("t1", "z")
+            .build()
+        )
+        prefix = _rebuild(list(trace)[:2])
+        assert is_correct_reordering(trace, prefix)
+
+    def test_swapping_independent_threads_is_correct(self):
+        trace = (
+            TraceBuilder().write("t1", "x").write("t2", "y").build()
+        )
+        swapped = _rebuild([trace[1], trace[0]])
+        assert is_correct_reordering(trace, swapped)
+
+    def test_thread_order_violation_rejected(self):
+        trace = (
+            TraceBuilder().write("t1", "x").read("t1", "y").build()
+        )
+        swapped = _rebuild([trace[1], trace[0]])
+        violations = check_correct_reordering(trace, swapped)
+        assert any(v.kind == "prefix" for v in violations)
+
+    def test_read_from_violation_rejected(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .read("t2", "x")
+            .build()
+        )
+        # Dropping the write changes what the read observes.
+        candidate = _rebuild([trace[1]])
+        violations = check_correct_reordering(trace, candidate)
+        assert any(v.kind == "read-from" for v in violations)
+
+    def test_lock_semantics_violation_rejected(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "l").release("t1", "l")
+            .acquire("t2", "l").release("t2", "l")
+            .build()
+        )
+        overlapping = _rebuild([trace[0], trace[2], trace[1], trace[3]])
+        violations = check_correct_reordering(trace, overlapping)
+        assert any(v.kind == "lock-semantics" for v in violations)
+
+    def test_extra_events_rejected(self):
+        trace = TraceBuilder().write("t1", "x").build()
+        longer = (
+            TraceBuilder().write("t1", "x").write("t1", "y").build()
+        )
+        violations = check_correct_reordering(trace, longer)
+        assert any(v.kind == "prefix" for v in violations)
+        assert "ReorderingViolation" in repr(violations[0])
+
+
+class TestRaceWitness:
+    def test_trivial_adjacent_race(self, simple_race_trace):
+        result = find_race_witness(
+            simple_race_trace, simple_race_trace[0], simple_race_trace[1]
+        )
+        assert result.found
+        assert result.states_explored >= 1
+        assert bool(result) is True
+
+    def test_non_conflicting_pair_rejected(self):
+        trace = TraceBuilder().read("t1", "x").read("t2", "x").build()
+        assert not find_race_witness(trace, trace[0], trace[1]).found
+
+    def test_figure_1a_has_no_witness(self):
+        trace = figure_1a()
+        for first, second in trace.conflicting_pairs():
+            assert not find_race_witness(trace, first, second).found
+
+    def test_figure_1b_and_2b_have_witnesses(self):
+        for trace in (figure_1b(), figure_2b()):
+            racy = [
+                (a, b) for a, b in trace.conflicting_pairs() if a.variable == "y"
+            ]
+            assert has_predictable_race(trace, *racy[0])
+
+    def test_witness_schedule_is_a_correct_reordering(self):
+        trace = figure_2b()
+        write_y, read_y = trace[0], trace[5]
+        result = find_race_witness(trace, write_y, read_y)
+        assert result.found
+        candidate = _rebuild(result.schedule)
+        assert is_correct_reordering(trace, candidate)
+
+    def test_budget_exhaustion_is_reported(self):
+        trace = random_trace(seed=11, n_events=80, n_threads=4)
+        pairs = list(trace.conflicting_pairs())
+        assert pairs
+        result = find_race_witness(trace, pairs[-1][0], pairs[-1][1], max_states=1)
+        assert result.states_explored <= 1
+        if not result.found:
+            assert result.exhausted
+
+    def test_find_all_predictable_races(self):
+        trace = figure_2b()
+        witnesses = find_all_predictable_races(trace)
+        assert len(witnesses) == 1
+        assert witnesses[0][0].variable == "y"
+
+    def test_fork_constrains_child_events(self):
+        # The child's write cannot be reordered before its fork, so the
+        # parent's pre-fork write cannot race with it.
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .fork("t1", "t2")
+            .write("t2", "x")
+            .build()
+        )
+        assert not find_race_witness(trace, trace[0], trace[2]).found
+
+    def test_join_requires_child_completion(self):
+        trace = (
+            TraceBuilder()
+            .fork("t1", "t2")
+            .write("t2", "x")
+            .join("t1", "t2")
+            .write("t1", "x")
+            .build()
+        )
+        assert not find_race_witness(trace, trace[1], trace[3]).found
+
+
+class TestDeadlockWitness:
+    def test_figure_5_deadlock(self):
+        assert find_deadlock_witness(figure_5()).found
+
+    def test_classic_two_lock_deadlock(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "a").acquire("t1", "b").release("t1", "b").release("t1", "a")
+            .acquire("t2", "b").acquire("t2", "a").release("t2", "a").release("t2", "b")
+            .build()
+        )
+        result = find_deadlock_witness(trace)
+        assert result.found
+
+    def test_consistent_lock_order_has_no_deadlock(self):
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "a").acquire("t1", "b").release("t1", "b").release("t1", "a")
+            .acquire("t2", "a").acquire("t2", "b").release("t2", "b").release("t2", "a")
+            .build()
+        )
+        assert not find_deadlock_witness(trace).found
+
+    def test_race_free_single_thread_no_deadlock(self):
+        trace = TraceBuilder().acquire("t1", "a").release("t1", "a").build()
+        assert not find_deadlock_witness(trace).found

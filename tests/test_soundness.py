@@ -1,0 +1,118 @@
+"""Empirical validation of the paper's soundness theorems on random traces.
+
+Theorem 1 (weak soundness of WCP): if a trace has a WCP-race then it has a
+predictable race or a predictable deadlock.  We check the per-pair variant
+the detectors rely on in practice -- for the *first* WCP race in the trace
+-- and the strong soundness of HB, by searching for explicit witnesses with
+the reordering engine.
+"""
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.core.closure import WCPClosure
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+from repro.reordering import find_deadlock_witness, find_race_witness
+
+from conftest import random_trace
+
+
+def _first_racy_event(trace, ordered):
+    """Return (earliest racy second event, its unordered conflicting partners)."""
+    best_second = None
+    partners = []
+    for first, second in trace.conflicting_pairs():
+        if ordered(first.index, second.index):
+            continue
+        if best_second is None or second.index < best_second.index:
+            best_second = second
+            partners = [first]
+        elif second.index == best_second.index:
+            partners.append(first)
+    return best_second, partners
+
+
+class TestWeakSoundnessOfWCP:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_first_wcp_race_has_race_or_deadlock_witness(self, seed):
+        # Theorem 1 guarantees that the first WCP race signals a predictable
+        # race or deadlock: some unordered partner of the earliest racy
+        # event must be witnessable, or the trace must have a predictable
+        # deadlock.
+        trace = random_trace(
+            seed=seed, n_events=30, n_threads=3, n_locks=2, n_vars=2
+        )
+        closure = WCPClosure(trace)
+        second, partners = _first_racy_event(trace, closure.ordered)
+        if second is None:
+            return
+        racy = any(
+            find_race_witness(trace, first, second, max_states=300_000).found
+            for first in partners
+        )
+        deadlocky = find_deadlock_witness(trace, max_states=300_000).found
+        assert racy or deadlocky, (
+            "seed %d: WCP flagged event %r but no race/deadlock witness exists"
+            % (seed, second)
+        )
+
+
+class TestStrongSoundnessOfHB:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_first_hb_race_has_a_race_witness(self, seed):
+        # HB is strongly sound for its first race: the earliest racy event
+        # has at least one unordered partner it can actually be adjacent to
+        # in a correct reordering.
+        trace = random_trace(
+            seed=seed + 500, n_events=30, n_threads=3, n_locks=2, n_vars=2
+        )
+        from repro.core.closure import HBClosure
+
+        closure = HBClosure(trace)
+        second, partners = _first_racy_event(trace, closure.ordered)
+        if second is None:
+            return
+        assert any(
+            find_race_witness(trace, first, second, max_states=300_000).found
+            for first in partners
+        )
+
+
+class TestDetectorDeterminism:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_wcp_detector_is_deterministic(self, seed):
+        trace = random_trace(seed=seed, n_events=40)
+        first = WCPDetector().run(trace)
+        second = WCPDetector().run(trace)
+        assert set(first.location_pairs()) == set(second.location_pairs())
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_hb_races_always_subset_of_wcp_races(self, seed):
+        trace = random_trace(seed=seed, n_events=50, n_threads=3)
+        hb = set(HBDetector().run(trace).location_pairs())
+        wcp = set(WCPDetector().run(trace).location_pairs())
+        assert hb <= wcp
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_wcp_detector_agrees_with_closure(self, seed, threads, locks):
+        trace = random_trace(
+            seed=seed, n_events=30, n_threads=threads, n_locks=locks
+        )
+        detector = set(WCPDetector().run(trace).location_pairs())
+        closure = {
+            frozenset({a.location(), b.location()})
+            for a, b in WCPClosure(trace).races()
+        }
+        assert detector == closure

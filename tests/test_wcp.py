@@ -1,0 +1,155 @@
+"""Tests for the WCP detector (Algorithm 1) and its closure oracle.
+
+The headline test is the Theorem 2 cross-validation: on randomly generated
+traces, the streaming vector-clock algorithm's timestamps must characterise
+exactly the same ordering as the explicit fixpoint computation of
+Definition 3.
+"""
+
+import pytest
+
+from repro.core.closure import WCPClosure, WCPClosureDetector
+from repro.core.wcp import WCPDetector
+from repro.hb import HBDetector
+from repro.trace.builder import TraceBuilder
+from repro.bench.paper_figures import figure_2a, figure_2b
+
+from conftest import random_trace
+
+
+class TestWCPDetectorBasics:
+    def test_simple_race(self, simple_race_trace):
+        assert WCPDetector().run(simple_race_trace).count() == 1
+
+    def test_protected_updates_do_not_race(self, protected_trace):
+        # Figure 1a: conflicting accesses inside both critical sections pin
+        # the sections together.
+        assert WCPDetector().run(protected_trace).count() == 0
+
+    def test_figure_2b_race_found(self):
+        report = WCPDetector().run(figure_2b())
+        assert report.count() == 1
+        assert report.pairs()[0].variable == "y"
+
+    def test_figure_2a_no_race(self):
+        assert WCPDetector().run(figure_2a()).count() == 0
+
+    def test_rule_a_orders_conflicting_sections(self):
+        # Same shape as Figure 1a but with extra accesses outside the lock:
+        # the WCP Rule (a) edge (release before later conflicting access)
+        # must order the x accesses but nothing else.
+        trace = (
+            TraceBuilder()
+            .acquire("t1", "l").write("t1", "x").release("t1", "l")
+            .acquire("t2", "l").read("t2", "x").release("t2", "l")
+            .build()
+        )
+        assert WCPDetector().run(trace).count() == 0
+
+    def test_queue_statistics_reported(self, protected_trace):
+        report = WCPDetector().run(protected_trace)
+        assert "max_queue_total" in report.stats
+        assert "max_queue_fraction" in report.stats
+        assert report.stats["max_queue_fraction"] >= 0.0
+
+    def test_queue_statistics_can_be_disabled(self, protected_trace):
+        report = WCPDetector(track_queue_stats=False).run(protected_trace)
+        assert "max_queue_total" not in report.stats
+
+    def test_prune_queues_does_not_change_result(self):
+        for seed in range(6):
+            trace = random_trace(seed=seed, n_events=80, n_threads=4, n_locks=3)
+            pruned = WCPDetector(prune_queues=True).run(trace)
+            unpruned = WCPDetector(prune_queues=False).run(trace)
+            assert set(pruned.location_pairs()) == set(unpruned.location_pairs())
+
+    def test_fork_join_edges_respected(self):
+        trace = (
+            TraceBuilder()
+            .write("t1", "x")
+            .fork("t1", "t2")
+            .write("t2", "x")
+            .join("t1", "t2")
+            .write("t1", "x")
+            .build()
+        )
+        assert WCPDetector().run(trace).count() == 0
+
+    def test_wcp_races_superset_of_hb_races(self):
+        for seed in range(10):
+            trace = random_trace(seed=seed, n_events=70, n_threads=3, n_locks=2)
+            hb_races = set(HBDetector().run(trace).location_pairs())
+            wcp_races = set(WCPDetector().run(trace).location_pairs())
+            assert hb_races <= wcp_races
+
+    def test_strict_pseudocode_mode_never_adds_races(self):
+        # The literal Algorithm 1 joins same-thread release times as well,
+        # which can only add orderings (hence remove races).
+        for seed in range(8):
+            trace = random_trace(seed=seed, n_events=70, n_threads=3, n_locks=2)
+            faithful = set(WCPDetector().run(trace).location_pairs())
+            literal = set(
+                WCPDetector(strict_pseudocode=True).run(trace).location_pairs()
+            )
+            assert literal <= faithful
+
+
+class TestTheorem2CrossValidation:
+    """Streaming timestamps agree with the explicit WCP closure."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_ordering_equivalence_on_random_traces(self, seed):
+        trace = random_trace(
+            seed=seed, n_events=45, n_threads=3, n_locks=2, n_vars=3
+        )
+        clocks = WCPDetector().timestamps(trace)
+        closure = WCPClosure(trace)
+        for second in range(len(trace)):
+            for first in range(second):
+                expected = closure.ordered(first, second)
+                observed = clocks[first] <= clocks[second]
+                assert observed == expected, (
+                    "WCP mismatch at events (%d, %d) of seed %d: "
+                    "closure=%s algorithm=%s"
+                    % (first, second, seed, expected, observed)
+                )
+
+    @pytest.mark.parametrize("seed", [100, 101, 102, 103])
+    def test_ordering_equivalence_more_threads(self, seed):
+        trace = random_trace(
+            seed=seed, n_events=40, n_threads=4, n_locks=3, n_vars=2
+        )
+        clocks = WCPDetector().timestamps(trace)
+        closure = WCPClosure(trace)
+        for second in range(len(trace)):
+            for first in range(second):
+                assert (clocks[first] <= clocks[second]) == closure.ordered(
+                    first, second
+                )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_detector_and_closure_report_same_races(self, seed):
+        trace = random_trace(seed=seed + 50, n_events=60, n_threads=3)
+        detector_races = set(WCPDetector().run(trace).location_pairs())
+        closure_races = set(WCPClosureDetector().run(trace).location_pairs())
+        assert detector_races == closure_races
+
+
+class TestWCPClosureQueries:
+    def test_reflexive_and_trace_order(self):
+        trace = figure_2b()
+        closure = WCPClosure(trace)
+        assert closure.ordered(3, 3)
+        assert not closure.ordered(5, 3)  # later event never ordered before earlier
+
+    def test_unordered_helper(self):
+        trace = figure_2b()
+        closure = WCPClosure(trace)
+        # w(y) at index 0 and r(y) at index 5 are the racy pair.
+        assert closure.unordered(0, 5)
+        assert closure.unordered(5, 0)
+
+    def test_report_adapter(self):
+        report = WCPClosure(figure_2b()).report()
+        assert report.count() == 1
+        assert report.detector_name == "WCP-closure"
