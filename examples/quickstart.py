@@ -1,16 +1,19 @@
 #!/usr/bin/env python
-"""Quickstart: build a trace, run the WCP detector, inspect the races.
+"""Quickstart: build a trace, drive the streaming engine, inspect the races.
 
 This is the smallest end-to-end use of the library: the trace is the
 paper's Figure 2b, whose race on ``y`` is invisible to happens-before but
-caught by WCP.
+caught by WCP.  The analysis runs through the single-pass
+:class:`~repro.engine.RaceEngine`: every detector sees each event exactly
+once, in one iteration of the event source -- the shape the paper's
+linear-time claim is about.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import TraceBuilder, compare_detectors, detect_races
+from repro import EngineConfig, TraceBuilder, detect_races, run_engine
 
 
 def build_trace():
@@ -35,15 +38,27 @@ def main():
         len(trace), len(trace.threads), len(trace.locks)
     ))
 
-    # One detector (WCP is the default).
+    # One detector (WCP is the default).  detect_races accepts a trace, a
+    # log-file path, or any event source.
     report = detect_races(trace)
     print("\nWCP analysis:")
     print(report.summary())
 
-    # Side-by-side comparison: HB misses the race, WCP finds it.
-    print("\nDetector comparison:")
-    for name, detector_report in compare_detectors(trace, ["hb", "wcp", "eraser"]).items():
-        print("  %-8s -> %d race(s)" % (name, detector_report.count()))
+    # The engine proper: N detectors, ONE pass over the events.  HB misses
+    # the race on y; WCP finds it.
+    config = EngineConfig().with_detectors("hb", "wcp", "eraser")
+    result = run_engine(trace, config=config)
+    print("\nSingle-pass detector comparison:")
+    print(result.summary())
+
+    # Early-stop policies make the engine usable as a monitor: stop the
+    # moment any detector sees a race.
+    first = run_engine(
+        trace, config=EngineConfig().with_detectors("wcp").stop_on_first_race()
+    )
+    print("\nFirst-race mode: stopped after %d/%d event(s) (%s)" % (
+        first.events, len(trace), first.stop_reason
+    ))
 
 
 if __name__ == "__main__":

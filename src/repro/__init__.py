@@ -35,11 +35,30 @@ from repro.trace import (
     dump_trace,
 )
 from repro.core import Detector, RacePair, RaceReport, WCPDetector, WCPClosure
+from repro.core.races import ReportSnapshot
 from repro.hb import HBDetector, FastTrackDetector
 from repro.cp import CPDetector, CPClosure
 from repro.lockset import EraserDetector
 from repro.mcm import MCMPredictor
-from repro.api import detect_races, compare_detectors, available_detectors, make_detector
+from repro.engine import (
+    CountingSource,
+    EngineConfig,
+    EngineResult,
+    EventSource,
+    FileSource,
+    IterableSource,
+    RaceEngine,
+    SimulatorSource,
+    TraceSource,
+    as_source,
+)
+from repro.api import (
+    available_detectors,
+    compare_detectors,
+    detect_races,
+    make_detector,
+    run_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -65,9 +84,21 @@ __all__ = [
     "CPClosure",
     "EraserDetector",
     "MCMPredictor",
+    "ReportSnapshot",
+    "RaceEngine",
+    "EngineConfig",
+    "EngineResult",
+    "EventSource",
+    "TraceSource",
+    "FileSource",
+    "IterableSource",
+    "SimulatorSource",
+    "CountingSource",
+    "as_source",
     "detect_races",
     "compare_detectors",
     "available_detectors",
     "make_detector",
+    "run_engine",
     "__version__",
 ]

@@ -1,25 +1,46 @@
-"""Top-level convenience API.
+"""Top-level convenience API, backed by the single-pass streaming engine.
 
-Most users only need two calls:
+The primary abstraction is the :class:`~repro.engine.RaceEngine`: one
+iteration over one *event source* drives any number of detectors
+simultaneously, matching the paper's "linear time, constant work per
+event" architecture.  An event source can be an in-memory
+:class:`~repro.trace.trace.Trace`, a path to a log file (parsed lazily,
+never fully materialised), a live simulator run, or any iterable of
+events -- see :mod:`repro.engine.sources`.
 
-* :func:`detect_races` -- run one detector (WCP by default) on a trace;
-* :func:`compare_detectors` -- run several detectors on the same trace and
-  get their reports side by side (the shape of a Table 1 row).
+Three calls cover most uses:
+
+* :func:`detect_races` -- run one detector (WCP by default) on a source;
+* :func:`compare_detectors` -- run several detectors over the same source
+  in a **single pass** and get their reports side by side (the shape of a
+  Table 1 row);
+* :func:`run_engine` -- the full-fidelity entry point returning an
+  :class:`~repro.engine.EngineResult` (per-detector reports plus run
+  metadata, snapshots and the early-stop reason).
+
+Engine behaviour (early stop, snapshot cadence, cost accounting) is
+configured with the fluent :class:`~repro.engine.EngineConfig` builder::
+
+    from repro import EngineConfig, run_engine
+    result = run_engine(
+        "trace.std",
+        config=EngineConfig().with_detectors("wcp", "hb").stop_on_first_race(),
+    )
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.detector import Detector
 from repro.core.races import RaceReport
 from repro.core.wcp import WCPDetector
 from repro.cp.detector import CPDetector
+from repro.engine import EngineConfig, EngineResult, RaceEngine
 from repro.hb.fasttrack import FastTrackDetector
 from repro.hb.hb import HBDetector
 from repro.lockset.eraser import EraserDetector
 from repro.mcm.predictor import MCMPredictor
-from repro.trace.trace import Trace
 
 #: Registry of detector names accepted by :func:`make_detector` and the CLI.
 _DETECTOR_FACTORIES = {
@@ -50,30 +71,49 @@ def make_detector(name: str, **kwargs) -> Detector:
     return factory(**kwargs)
 
 
+def run_engine(
+    source,
+    detectors: Optional[Sequence[Union[str, Detector]]] = None,
+    config: Optional[EngineConfig] = None,
+) -> EngineResult:
+    """Run a single engine pass over ``source`` and return the full result.
+
+    ``source`` is anything :func:`repro.engine.as_source` accepts (trace,
+    path, event source, iterable of events).  ``detectors`` overrides the
+    configuration's selection; the default is WCP + HB.
+    """
+    return RaceEngine(config).run(source, detectors=detectors)
+
+
 def detect_races(
-    trace: Trace, detector: Union[str, Detector, None] = None, **kwargs
+    source, detector: Union[str, Detector, None] = None, **kwargs
 ) -> RaceReport:
-    """Run ``detector`` (name, instance or None for WCP) on ``trace``."""
+    """Run ``detector`` (name, instance or None for WCP) on ``source``.
+
+    ``kwargs`` are forwarded to the detector constructor when ``detector``
+    is a name or None.  ``source`` may be a trace, a log-file path, or any
+    event source/iterable.
+    """
     if detector is None:
         detector = WCPDetector(**kwargs)
     elif isinstance(detector, str):
         detector = make_detector(detector, **kwargs)
-    return detector.run(trace)
+    result = RaceEngine().run(source, detectors=[detector])
+    return next(iter(result.values()))
 
 
 def compare_detectors(
-    trace: Trace,
+    source,
     detectors: Optional[Iterable[Union[str, Detector]]] = None,
+    config: Optional[EngineConfig] = None,
 ) -> Dict[str, RaceReport]:
-    """Run several detectors on the same trace.
+    """Run several detectors over ``source`` in one pass.
 
     Returns a mapping from detector name to its report.  The default
-    selection (WCP and HB) matches the paper's primary comparison.
+    selection (WCP and HB) matches the paper's primary comparison.  The
+    source is iterated exactly **once** no matter how many detectors run.
     """
-    if detectors is None:
-        detectors = [WCPDetector(), HBDetector()]
-    reports: Dict[str, RaceReport] = {}
-    for entry in detectors:
-        instance = make_detector(entry) if isinstance(entry, str) else entry
-        reports[instance.name] = instance.run(trace)
-    return reports
+    result = RaceEngine(config).run(
+        source, detectors=list(detectors) if detectors is not None else None
+    )
+    return dict(result.items())

@@ -1,14 +1,19 @@
-"""The benchmark registry.
+"""The benchmark registry and the single-pass suite runner.
 
 :data:`BENCHMARKS` maps benchmark names to :class:`BenchmarkSpec` objects
 that know how to generate the trace (at a chosen scale and seed) and what
 the paper reported for that benchmark (Table 1), so that the benchmark
 harness and EXPERIMENTS.md can put "paper" and "measured" side by side.
+
+:func:`run_suite` drives the selected benchmarks through the streaming
+:class:`~repro.engine.RaceEngine`: each benchmark trace is iterated
+exactly once no matter how many detectors are compared (the legacy
+harness paid one iteration per detector).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.bench.contest import CONTEST_SPECS, ContestSpec, build_contest_trace
 from repro.bench.grande import GRANDE_SPECS
@@ -162,3 +167,35 @@ def get_benchmark(name: str, scale: float = 1.0, seed: int = 0) -> Trace:
             % (name, ", ".join(sorted(BENCHMARKS)))
         ) from None
     return spec.generate(scale=scale, seed=seed)
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    detectors: Union[str, Sequence[str]] = ("wcp", "hb"),
+    scale: float = 0.05,
+    seed: int = 0,
+):
+    """Run the Table-1 comparison over the selected benchmarks.
+
+    Each benchmark trace is generated once and analysed by every detector
+    in a **single** engine pass.  ``detectors`` may be a comma-separated
+    string or a sequence of names.  Returns ``(rows, table)`` exactly like
+    :func:`repro.analysis.compare.run_table`.
+    """
+    # Imported here: repro.analysis.compare pulls in the engine, and the
+    # benchmark registry must stay importable on its own.
+    from repro.analysis.compare import run_table
+    from repro.api import make_detector
+
+    if isinstance(detectors, str):
+        detectors = [name.strip() for name in detectors.split(",") if name.strip()]
+    detector_names = list(detectors)
+    if not detector_names:
+        raise ValueError("run_suite requires at least one detector")
+    selected = list(names) if names is not None else sorted(BENCHMARKS)
+    traces = {
+        name: get_benchmark(name, scale=scale, seed=seed) for name in selected
+    }
+    return run_table(
+        traces, lambda: [make_detector(name) for name in detector_names]
+    )

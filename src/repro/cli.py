@@ -1,33 +1,42 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
-    repro-race analyze TRACE_FILE [--detector wcp] [--window N] [--json OUT]
+    repro-race analyze TRACE_FILE [--detector wcp,hb] [--stream] [--window N]
+                       [--first-race] [--max-events N] [--json OUT]
+    repro-race compare TRACE_FILE [--detectors wcp,hb] [--stream]
     repro-race bench [--benchmark NAME ...] [--scale 0.1] [--detectors wcp,hb]
     repro-race generate BENCHMARK -o trace.std [--scale 0.1] [--seed 0]
     repro-race stats TRACE_FILE
     repro-race witness TRACE_FILE [--detector wcp] [--max-states N]
 
-``analyze`` runs one detector on a logged trace file (STD or CSV format),
-``bench`` regenerates Table-1-style rows on the synthetic benchmark suite,
-``generate`` writes a benchmark trace to disk for use with other tools,
-``stats`` prints the trace's descriptive columns, and ``witness`` searches
-for a correct-reordering witness of the first detected race (turning a
-warning into a concrete alternative schedule).
+``analyze`` runs one or more detectors (comma-separated) on a logged trace
+file (STD or CSV format) in a single engine pass; with ``--stream`` the
+file is parsed lazily and analysed without ever materialising a full
+in-memory trace.  ``compare`` prints a side-by-side single-pass comparison
+table for one trace.  ``bench`` regenerates Table-1-style rows on the
+synthetic benchmark suite, ``generate`` writes a benchmark trace to disk
+for use with other tools, ``stats`` prints the trace's descriptive
+columns, and ``witness`` searches for a correct-reordering witness of the
+first detected race (turning a warning into a concrete alternative
+schedule).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.compare import run_table
 from repro.analysis.export import save_report
 from repro.analysis.metrics import trace_summary
+from repro.analysis.tables import format_table
 from repro.analysis.windowing import WindowedDetector
-from repro.api import available_detectors, make_detector
+from repro.api import available_detectors, make_detector, run_engine
 from repro.bench.suite import BENCHMARKS, get_benchmark
+from repro.engine import EngineConfig, FileSource
 from repro.reordering.witness import find_race_witness
 from repro.trace.parsers import load_trace
 from repro.trace.writers import dump_trace
@@ -43,12 +52,26 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze = subparsers.add_parser("analyze", help="analyze a trace file")
     analyze.add_argument("trace", help="path to a .std/.txt/.csv trace file")
     analyze.add_argument(
-        "--detector", default="wcp", choices=available_detectors(),
-        help="which analysis to run (default: wcp)",
+        "--detector", default="wcp", metavar="NAMES",
+        help="comma-separated detector list run in one pass "
+             "(default: wcp; available: %s)" % ", ".join(available_detectors()),
+    )
+    analyze.add_argument(
+        "--stream", action="store_true",
+        help="parse the file lazily and analyse it without materialising "
+             "a full in-memory trace (constant memory, no validation)",
     )
     analyze.add_argument(
         "--window", type=int, default=None,
-        help="optionally window the detector to this many events",
+        help="optionally window the detector(s) to this many events",
+    )
+    analyze.add_argument(
+        "--first-race", action="store_true",
+        help="stop the pass as soon as any detector reports a race",
+    )
+    analyze.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="stop the pass after N events",
     )
     analyze.add_argument(
         "--no-validate", action="store_true",
@@ -56,7 +79,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--json", dest="json_out", default=None, metavar="PATH",
-        help="additionally write the report as JSON (or CSV if PATH ends in .csv)",
+        help="additionally write the report as JSON (or CSV if PATH ends in "
+             ".csv); with several detectors the detector name is appended",
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="run several detectors over one trace in a single pass"
+    )
+    compare.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+    compare.add_argument(
+        "--detectors", default="wcp,hb", metavar="NAMES",
+        help="comma-separated detector names (default: wcp,hb)",
+    )
+    compare.add_argument(
+        "--stream", action="store_true",
+        help="parse the file lazily (constant memory, no validation)",
+    )
+    compare.add_argument(
+        "--no-validate", action="store_true",
+        help="skip trace well-formedness validation",
     )
 
     bench = subparsers.add_parser("bench", help="run the Table 1 benchmark suite")
@@ -97,17 +138,82 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _split_detector_names(spec: str) -> List[str]:
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise ValueError("no detector names given")
+    return names
+
+
+def _make_source(args: argparse.Namespace):
+    """Build the analyze/compare event source from the CLI arguments."""
+    if args.stream:
+        return FileSource(args.trace)
+    return load_trace(args.trace, validate=not getattr(args, "no_validate", False))
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace, validate=not args.no_validate)
-    detector = make_detector(args.detector)
+    try:
+        names = _split_detector_names(args.detector)
+        detectors = [make_detector(name) for name in names]
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     if args.window:
-        detector = WindowedDetector(detector, args.window)
-    report = detector.run(trace)
-    print(report.summary())
+        detectors = [WindowedDetector(inner, args.window) for inner in detectors]
+
+    config = EngineConfig().with_detectors(*detectors)
+    if args.first_race:
+        config.stop_on_first_race()
+    if args.max_events:
+        config.stop_after_events(args.max_events)
+
+    result = run_engine(_make_source(args), config=config)
+    for position, report in enumerate(result.values()):
+        if position:
+            print()
+        print(report.summary())
+    if result.stopped_early():
+        print("(pass stopped early after %d event(s): %s)"
+              % (result.events, result.stop_reason))
     if args.json_out:
-        path = save_report(report, args.json_out)
-        print("report written to %s" % path)
-    return 0 if not report.has_race() else 1
+        for key, report in result.items():
+            target = args.json_out
+            if len(result) > 1:
+                # Suffix the (engine-disambiguated) detector key so that
+                # duplicate detectors cannot overwrite each other's file.
+                stem, extension = os.path.splitext(target)
+                label = (
+                    key.lower()
+                    .replace("[", "_").replace("]", "").replace("#", "_")
+                )
+                target = "%s.%s%s" % (stem, label, extension)
+            path = save_report(report, target)
+            print("report written to %s" % path)
+    return 1 if result.has_race() else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        names = _split_detector_names(args.detectors)
+        detectors = [make_detector(name) for name in names]
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    result = run_engine(_make_source(args), detectors=detectors)
+    headers = ["detector", "races", "raw races", "time(s)", "events/s"]
+    rows = []
+    for name, report in result.items():
+        rows.append([
+            name,
+            report.count(),
+            report.raw_race_count,
+            "%.3f" % float(report.stats.get("time_s", 0.0)),
+            "%.0f" % float(report.stats.get("events_per_s", 0.0)),
+        ])
+    print("%s: %d event(s) in one pass" % (result.source_name, result.events))
+    print(format_table(headers, rows))
+    return 1 if result.has_race() else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -154,7 +260,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         name: get_benchmark(name, scale=args.scale, seed=args.seed)
         for name in names
     }
-    detector_names = [name.strip() for name in args.detectors.split(",") if name.strip()]
+    detector_names = _split_detector_names(args.detectors)
 
     def factory():
         return [make_detector(name) for name in detector_names]
@@ -176,6 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "generate":

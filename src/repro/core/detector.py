@@ -1,10 +1,26 @@
 """The detector interface shared by every analysis in the library.
 
-A detector consumes a :class:`~repro.trace.trace.Trace` and produces a
-:class:`~repro.core.races.RaceReport`.  Streaming detectors (HB, FastTrack,
-WCP) additionally expose an event-at-a-time API (:meth:`Detector.reset`,
-:meth:`Detector.process`) so that they can be driven online, e.g. directly
-from the simulator without materialising a trace first.
+A detector consumes a stream of events and produces a
+:class:`~repro.core.races.RaceReport`.  Every detector is written in the
+streaming style (:meth:`Detector.reset`, :meth:`Detector.process`,
+:meth:`Detector.finish`) so that it can be driven online -- by
+:meth:`Detector.run` over a materialised :class:`~repro.trace.trace.Trace`,
+or by the :class:`~repro.engine.RaceEngine`, which multiplexes one event
+stream into several detectors in a single pass.
+
+``reset`` accepts either a full :class:`~repro.trace.trace.Trace` or any
+*trace-like* object exposing ``name``, ``threads``, ``__len__`` and
+``is_complete`` (the engine's stream context sets ``is_complete = False``
+to signal that the event sequence cannot be pre-scanned).
+
+Timing contract
+---------------
+``report.stats["time_s"]`` always means the *whole* analysis -- the time
+spent in ``reset`` (which may do per-trace precomputation, e.g. WCP's
+queue-pruning prescan), the event loop, and ``finish`` (which may flush
+buffered windows, e.g. the CP/MCM detectors).  ``stats["events_per_s"]``
+is ``events / time_s``.  The engine reports the same quantities per
+detector when per-event cost accounting is enabled.
 """
 
 from __future__ import annotations
@@ -13,7 +29,7 @@ import abc
 import time
 from typing import Optional
 
-from repro.core.races import RaceReport
+from repro.core.races import RaceReport, ReportSnapshot
 from repro.trace.event import Event
 from repro.trace.trace import Trace
 
@@ -23,7 +39,8 @@ class Detector(abc.ABC):
 
     Subclasses must implement :meth:`reset` and :meth:`process`; the default
     :meth:`run` drives them over a whole trace and records the wall-clock
-    analysis time in ``report.stats["time_s"]``.
+    analysis time in ``report.stats["time_s"]`` (see the module docstring
+    for the exact timing contract).
     """
 
     #: Human-readable detector name, overridden by subclasses.
@@ -31,6 +48,8 @@ class Detector(abc.ABC):
 
     def __init__(self) -> None:
         self._report: Optional[RaceReport] = None
+        self._cost_time_s = 0.0
+        self._cost_events = 0
 
     # ------------------------------------------------------------------ #
     # Streaming API
@@ -38,7 +57,12 @@ class Detector(abc.ABC):
 
     @abc.abstractmethod
     def reset(self, trace: Trace) -> None:
-        """Prepare internal state for a fresh run over ``trace``."""
+        """Prepare internal state for a fresh run over ``trace``.
+
+        ``trace`` may be any trace-like object (see the module docstring);
+        detectors that want to pre-scan the whole event sequence must first
+        check ``getattr(trace, "is_complete", True)``.
+        """
 
     @abc.abstractmethod
     def process(self, event: Event) -> None:
@@ -56,23 +80,82 @@ class Detector(abc.ABC):
 
     def _new_report(self, trace: Trace) -> RaceReport:
         self._report = RaceReport(self.name, trace.name)
+        self._cost_time_s = 0.0
+        self._cost_events = 0
         return self._report
+
+    # ------------------------------------------------------------------ #
+    # Engine hooks: cost accounting and snapshotting
+    # ------------------------------------------------------------------ #
+
+    def account_cost(self, seconds: float, events: int = 1) -> None:
+        """Attribute ``seconds`` of analysis time (over ``events`` events).
+
+        Called by the streaming engine around each :meth:`process` (and the
+        final :meth:`finish`) so that a multi-detector single-pass run can
+        still report a per-detector ``time_s``.
+        """
+        self._cost_time_s += seconds
+        self._cost_events += events
+
+    @property
+    def cost_time_s(self) -> float:
+        """Seconds attributed to this detector since the last reset."""
+        return self._cost_time_s
+
+    @property
+    def cost_events(self) -> int:
+        """Events attributed to this detector since the last reset."""
+        return self._cost_events
+
+    def snapshot(self, events: Optional[int] = None) -> ReportSnapshot:
+        """Return a point-in-time view of the current report.
+
+        ``events`` defaults to the number of events attributed through
+        :meth:`account_cost` (which the engine keeps up to date even when
+        per-event timing is disabled).
+        """
+        report = self.report
+        return ReportSnapshot(
+            detector_name=self.name,
+            trace_name=report.trace_name,
+            events=self._cost_events if events is None else events,
+            races=report.count(),
+            raw_races=report.raw_race_count,
+            time_s=self._cost_time_s,
+        )
+
+    def finalize_stats(self, events: int, elapsed_s: float) -> RaceReport:
+        """Record the normalized timing statistics on the current report."""
+        report = self.report
+        report.stats["time_s"] = elapsed_s
+        report.stats["events"] = events
+        report.stats["events_per_s"] = (
+            events / elapsed_s if elapsed_s > 0.0 else 0.0
+        )
+        return report
 
     # ------------------------------------------------------------------ #
     # Batch API
     # ------------------------------------------------------------------ #
 
     def run(self, trace: Trace) -> RaceReport:
-        """Run the detector over the whole trace and return its report."""
-        self.reset(trace)
+        """Run the detector over the whole trace and return its report.
+
+        The timed region covers ``reset`` + the event loop + ``finish`` so
+        that ``stats["time_s"]`` means the same thing for every detector
+        regardless of where it does its work.
+        """
         started = time.perf_counter()
+        self.reset(trace)
+        events = 0
         for event in trace:
             self.process(event)
+            events += 1
         self.finish()
-        report = self.report
-        report.stats["time_s"] = time.perf_counter() - started
-        report.stats["events"] = len(trace)
-        return report
+        elapsed = time.perf_counter() - started
+        self.account_cost(elapsed, events=events)
+        return self.finalize_stats(events, elapsed)
 
     def __repr__(self) -> str:
         return "%s()" % type(self).__name__

@@ -63,6 +63,57 @@ class RacePair:
         )
 
 
+class ReportSnapshot:
+    """An immutable point-in-time view of a detector's progress.
+
+    Snapshots are cheap (a handful of scalars, no event references beyond
+    the report's own pairs) and are emitted by the streaming engine at
+    configurable intervals so that long-running analyses can be monitored
+    incrementally.
+    """
+
+    __slots__ = (
+        "detector_name", "trace_name", "events", "races", "raw_races", "time_s"
+    )
+
+    def __init__(
+        self,
+        detector_name: str,
+        trace_name: str,
+        events: int,
+        races: int,
+        raw_races: int,
+        time_s: float = 0.0,
+    ) -> None:
+        self.detector_name = detector_name
+        self.trace_name = trace_name
+        #: Number of events the detector had processed at snapshot time.
+        self.events = events
+        #: Distinct race pairs found so far.
+        self.races = races
+        #: Raw (non-deduplicated) racy event pairs observed so far.
+        self.raw_races = raw_races
+        #: Analysis seconds attributed to this detector so far (0.0 when
+        #: per-detector cost accounting is disabled).
+        self.time_s = time_s
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the snapshot for logging or serialization."""
+        return {
+            "detector": self.detector_name,
+            "trace": self.trace_name,
+            "events": self.events,
+            "races": self.races,
+            "raw_races": self.raw_races,
+            "time_s": self.time_s,
+        }
+
+    def __repr__(self) -> str:
+        return "ReportSnapshot(%s@%d: %d race(s))" % (
+            self.detector_name, self.events, self.races
+        )
+
+
 class RaceReport:
     """The result of running one detector on one trace.
 

@@ -23,6 +23,18 @@ detector processes the trace in a single streaming pass and maintains:
     release HB-times of critical sections performed by *other* threads
     (these implement Rule (b)).
 
+The pseudocode's per-(lock, thread) queues are represented here as one
+shared per-lock **log** of critical sections (acquire timestamp, release
+HB-time, owning thread) plus a per-(lock, thread) FIFO *cursor* into it.
+The two are observationally identical on complete traces -- each thread's
+queue is exactly the other-thread suffix of the log past its cursor --
+but the log form has two advantages: appends are O(1) instead of O(T),
+and a thread first observed *mid-stream* (the engine's live sources have
+no thread census at reset time) still sees every earlier critical
+section, which per-thread queues materialised at append time cannot
+provide.  Consumed log entries are reclaimed when queue pruning is
+active (see below).
+
 The derived event timestamp is ``C_e = P_t[t := N_t]`` taken right after
 processing ``e``.  Theorem 2 states ``a <=_WCP b  iff  C_a <= C_b`` (for
 ``a`` earlier than ``b``), so the race check is a per-variable clock
@@ -49,14 +61,20 @@ Complexity matches Theorem 3: ``O(N * (T^2 + L))`` time; space is linear in
 the worst case due to the FIFO queues, and the detector records the maximum
 total queue length so Table 1's column 11 can be reproduced.
 
-One exact (semantics-preserving) optimisation is applied by default: the
-queues ``Acq_l(t)`` / ``Rel_l(t)`` are only maintained for threads ``t``
-that release ``l`` somewhere in the trace.  A queue belonging to a thread
-that never releases the lock is only ever written, never read, so dropping
-it cannot change any timestamp -- but it changes the memory profile
-dramatically on traces with thread-local locks (which would otherwise
-accumulate entries forever).  Pass ``prune_queues=False`` to keep every
-queue, e.g. when feeding events online without a complete trace.
+One exact (semantics-preserving) optimisation is applied by default: log
+entries are reclaimed once every thread that releases ``l`` somewhere in
+the trace has consumed them (a thread that never releases the lock never
+reads its cursor, so it cannot hold entries alive).  This changes the
+memory profile dramatically on traces with thread-local locks (which
+would otherwise accumulate entries forever).  The releaser census needs
+the whole trace at :meth:`reset`; when fed from a stream
+(``is_complete`` False) or with ``prune_queues=False`` the log is kept
+in full, matching the pseudocode's worst-case linear space.
+
+``report.stats["max_queue_total"]`` still reports the *pseudocode's*
+queue occupancy (each critical section contributes one acquire and one
+release entry per other-thread queue) so that Table 1's column 11 stays
+comparable with the paper.
 """
 
 from __future__ import annotations
@@ -85,9 +103,10 @@ class WCPDetector(Detector):
         include releases performed by the accessing thread itself (see the
         module docstring).  Default False (agree with Definition 3).
     prune_queues:
-        When True (default) only keep per-(lock, thread) queues for threads
-        that release the lock somewhere in the trace (exactly equivalent,
-        far less memory).  Requires the full trace at :meth:`reset`.
+        When True (default) reclaim critical-section log entries consumed
+        by every releasing thread (exactly equivalent, far less memory).
+        Requires the full trace at :meth:`reset`; automatically disabled
+        when reset with a non-prescannable stream context.
     """
 
     name = "WCP"
@@ -129,9 +148,17 @@ class WCPDetector(Detector):
         self._lr: Dict[Tuple[str, str], Dict[str, VectorClock]] = defaultdict(dict)
         self._lw: Dict[Tuple[str, str], Dict[str, VectorClock]] = defaultdict(dict)
 
-        # Per (lock, thread) FIFO queues for Rule (b).
-        self._acq_q: Dict[Tuple[str, str], Deque[VectorClock]] = defaultdict(deque)
-        self._rel_q: Dict[Tuple[str, str], Deque[VectorClock]] = defaultdict(deque)
+        # Rule (b) state: per-lock shared log of critical sections.  Each
+        # entry is [acquire clock, release HB-time or None while open,
+        # owning thread]; ``_cs_base`` is the absolute index of the log's
+        # first retained entry (entries below it were reclaimed), and
+        # ``_cursor[(lock, thread)]`` is the absolute index up to which
+        # ``thread`` has consumed the log.
+        self._cs_log: Dict[str, Deque[list]] = defaultdict(deque)
+        self._cs_base: Dict[str, int] = defaultdict(int)
+        self._cursor: Dict[Tuple[str, str], int] = {}
+        # Absolute log index of each thread's currently-open section per lock.
+        self._open_entry: Dict[Tuple[str, str], int] = {}
 
         # Per-thread stack of open critical sections:
         # (lock, variables read, variables written).
@@ -144,9 +171,14 @@ class WCPDetector(Detector):
         self._max_queue_total = 0
 
         # Threads that release each lock somewhere in the trace: queues for
-        # other threads are never read, so they need not be kept.
+        # other threads are never read, so they need not be kept.  The
+        # prescan needs the whole trace up front; when fed from a stream
+        # (``is_complete`` False) fall back to keeping every queue.
         self._releasers: Dict[str, Set[str]] = defaultdict(set)
-        if self._prune_queues:
+        self._effective_prune = (
+            self._prune_queues and getattr(trace, "is_complete", True)
+        )
+        if self._effective_prune:
             for event in trace:
                 if event.is_release():
                     self._releasers[event.lock].add(event.thread)
@@ -221,12 +253,13 @@ class WCPDetector(Detector):
         # Lines 1-2: receive the HB / WCP knowledge of the last release of l.
         self._ht[thread].join(self._hl[lock])
         self._pt[thread].join(self._pl[lock])
-        # Line 3: advertise this acquire's timestamp to every other thread
-        # (that will ever read its queue, i.e. that releases this lock).
-        acquire_clock = self._clock_c(thread)
-        for other in self._queue_audience(lock, thread):
-            self._acq_q[(lock, other)].append(acquire_clock)
-            self._bump_queue_total(1)
+        # Line 3: advertise this acquire's timestamp by opening a log entry
+        # (the pseudocode appends to every other thread's Acq queue; the
+        # shared log defers that fan-out to the consumers' cursors).
+        log = self._cs_log[lock]
+        self._open_entry[(lock, thread)] = self._cs_base[lock] + len(log)
+        log.append([self._clock_c(thread), None, thread])
+        self._bump_queue_total(self._audience_size(lock, thread))
         # Track the opening of the critical section for R/W collection.
         self._open_sections[thread].append((lock, set(), set()))
 
@@ -235,20 +268,27 @@ class WCPDetector(Detector):
         pt = self._pt[thread]
 
         # Lines 4-6: apply Rule (b) for every earlier critical section of
-        # this lock whose acquire is WCP-ordered before this release.
-        acq_queue = self._acq_q[(lock, thread)]
-        rel_queue = self._rel_q[(lock, thread)]
-        while acq_queue:
-            current_clock = self._clock_c(thread)
-            if not (acq_queue[0] <= current_clock):
+        # this lock (by another thread) whose acquire is WCP-ordered before
+        # this release.  The cursor is this thread's FIFO position in the
+        # shared log; own sections are invisible to it.
+        log = self._cs_log[lock]
+        base = self._cs_base[lock]
+        cursor = max(self._cursor.get((lock, thread), 0), base)
+        while cursor - base < len(log):
+            acq_clock, release_time, owner = log[cursor - base]
+            if owner == thread:
+                cursor += 1
+                continue
+            if not (acq_clock <= self._clock_c(thread)):
                 break
-            if not rel_queue:
-                # Only possible on malformed (e.g. windowed) traces where the
-                # earlier critical section's release was cut off.
+            if release_time is None:
+                # The earlier critical section is still open (only possible
+                # on malformed, e.g. windowed, traces).
                 break
-            acq_queue.popleft()
-            pt.join(rel_queue.popleft())
+            pt.join(release_time)
             self._bump_queue_total(-2)
+            cursor += 1
+        self._cursor[(lock, thread)] = cursor
 
         # Close the critical section and fetch its accessed variables.
         reads: Set[str] = set()
@@ -274,20 +314,53 @@ class WCPDetector(Detector):
         self._hl[lock] = ht_full.copy()
         self._pl[lock] = pt.copy()
 
-        # Line 10: advertise this release's HB time to every other thread
-        # (that will ever read its queue).
-        release_time = ht_full.copy()
-        for other in self._queue_audience(lock, thread):
-            self._rel_q[(lock, other)].append(release_time)
-            self._bump_queue_total(1)
+        # Line 10: advertise this release's HB time (close the log entry).
+        open_index = self._open_entry.pop((lock, thread), None)
+        if open_index is not None and open_index >= self._cs_base[lock]:
+            log[open_index - self._cs_base[lock]][1] = ht_full.copy()
+        self._bump_queue_total(self._audience_size(lock, thread))
 
-    def _queue_audience(self, lock: str, thread: str) -> List[str]:
-        """Threads whose (lock, thread) queues must receive this entry."""
-        if self._prune_queues:
+        if self._effective_prune:
+            self._reclaim(lock)
+
+    def _audience_size(self, lock: str, thread: str) -> int:
+        """Number of pseudocode queues this entry would be appended to.
+
+        Only used for the Table-1 queue statistics: with pruning, queues
+        exist for threads that release the lock; otherwise for every
+        known thread (minus the owner in both cases).
+        """
+        if self._effective_prune:
             audience = self._releasers.get(lock, ())
         else:
             audience = self._threads
-        return [other for other in audience if other != thread]
+        size = len(audience)
+        return size - 1 if thread in audience else size
+
+    def _reclaim(self, lock: str) -> None:
+        """Drop closed log entries that every possible consumer has passed.
+
+        Consumers of an entry are the threads that release ``lock`` other
+        than the entry's owner; with the releaser census available (pruned
+        mode) an entry whose consumers' cursors have all moved past it can
+        never be read again.
+        """
+        log = self._cs_log[lock]
+        base = self._cs_base[lock]
+        releasers = self._releasers.get(lock, ())
+        while log:
+            _, release_time, owner = log[0]
+            if release_time is None:
+                break
+            if any(
+                consumer != owner
+                and self._cursor.get((lock, consumer), 0) <= base
+                for consumer in releasers
+            ):
+                break
+            log.popleft()
+            base += 1
+        self._cs_base[lock] = base
 
     @staticmethod
     def _join_release_time(

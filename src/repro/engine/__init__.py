@@ -1,0 +1,54 @@
+"""The streaming race engine: one pass, many detectors, pluggable sources.
+
+This subsystem is the architectural core the paper's linear-time claim
+deserves: instead of materialising a :class:`~repro.trace.trace.Trace`
+and re-iterating it once per detector, a
+:class:`~repro.engine.engine.RaceEngine` takes any
+:class:`~repro.engine.sources.EventSource` -- an in-memory trace, a
+lazily-parsed log file, a live simulator run -- and multiplexes the
+events into N detectors during a **single** iteration, with incremental
+:class:`~repro.core.races.ReportSnapshot` emission and early-stop
+policies (first race / race budget / event budget) configured through the
+fluent :class:`~repro.engine.config.EngineConfig` builder.
+
+The top-level helpers :func:`repro.api.detect_races` and
+:func:`repro.api.compare_detectors` are thin wrappers over this engine.
+"""
+
+from repro.core.races import ReportSnapshot
+from repro.engine.config import EngineConfig
+from repro.engine.engine import (
+    EngineResult,
+    RaceEngine,
+    StreamContext,
+    STOP_EVENT_BUDGET,
+    STOP_EXHAUSTED,
+    STOP_RACE_BUDGET,
+)
+from repro.engine.sources import (
+    CountingSource,
+    EventSource,
+    FileSource,
+    IterableSource,
+    SimulatorSource,
+    TraceSource,
+    as_source,
+)
+
+__all__ = [
+    "RaceEngine",
+    "EngineConfig",
+    "EngineResult",
+    "ReportSnapshot",
+    "StreamContext",
+    "EventSource",
+    "TraceSource",
+    "FileSource",
+    "IterableSource",
+    "SimulatorSource",
+    "CountingSource",
+    "as_source",
+    "STOP_EXHAUSTED",
+    "STOP_RACE_BUDGET",
+    "STOP_EVENT_BUDGET",
+]

@@ -1,0 +1,142 @@
+"""Engine configuration: a small fluent builder.
+
+An :class:`EngineConfig` collects everything a
+:class:`~repro.engine.engine.RaceEngine` run needs besides the event
+source: which detectors to drive, when to stop early, how often to emit
+:class:`~repro.core.races.ReportSnapshot` objects, and whether to pay for
+per-event cost accounting.  All ``with_*`` / ``stop_*`` methods mutate and
+return ``self`` so configurations read as one chain::
+
+    config = (EngineConfig()
+              .with_detectors("wcp", "hb")
+              .stop_after_races(1)
+              .snapshot_every(10_000))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.detector import Detector
+from repro.core.races import ReportSnapshot
+
+#: What a run accepts as a detector selection entry.
+DetectorSpec = Union[str, Detector]
+
+
+class EngineConfig:
+    """Builder for :class:`~repro.engine.engine.RaceEngine` runs.
+
+    Defaults: WCP + HB (the paper's primary comparison), no early stop,
+    no snapshots, per-detector cost accounting enabled.
+    """
+
+    def __init__(self) -> None:
+        self.detectors: Optional[List[DetectorSpec]] = None
+        #: Stop once any detector has found this many distinct race pairs.
+        self.race_budget: Optional[int] = None
+        #: Stop after this many events from the source.
+        self.event_budget: Optional[int] = None
+        #: Emit a snapshot per detector every N events (None disables).
+        self.snapshot_interval: Optional[int] = None
+        #: Optional callback invoked with each ReportSnapshot as emitted.
+        self.snapshot_callback: Optional[Callable[[ReportSnapshot], None]] = None
+        #: Time every process() call per detector (2 clock reads per event
+        #: per detector); disable for maximum single-detector throughput.
+        self.cost_accounting: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Fluent setters
+    # ------------------------------------------------------------------ #
+
+    def with_detectors(self, *detectors: DetectorSpec) -> "EngineConfig":
+        """Select the detectors to drive (names or instances)."""
+        if len(detectors) == 1 and isinstance(detectors[0], (list, tuple)):
+            detectors = tuple(detectors[0])
+        if not detectors:
+            raise ValueError("with_detectors requires at least one detector")
+        self.detectors = list(detectors)
+        return self
+
+    def stop_on_first_race(self) -> "EngineConfig":
+        """Stop the pass as soon as any detector reports a race."""
+        return self.stop_after_races(1)
+
+    def stop_after_races(self, budget: int) -> "EngineConfig":
+        """Stop once any detector has found ``budget`` distinct race pairs."""
+        if budget <= 0:
+            raise ValueError("race budget must be positive")
+        self.race_budget = budget
+        return self
+
+    def stop_after_events(self, budget: int) -> "EngineConfig":
+        """Stop after ``budget`` events have been taken from the source."""
+        if budget <= 0:
+            raise ValueError("event budget must be positive")
+        self.event_budget = budget
+        return self
+
+    def snapshot_every(
+        self,
+        interval: int,
+        callback: Optional[Callable[[ReportSnapshot], None]] = None,
+    ) -> "EngineConfig":
+        """Emit per-detector snapshots every ``interval`` events.
+
+        Snapshots are collected on the run result; ``callback`` is
+        additionally invoked with each one as it is taken.
+        """
+        if interval <= 0:
+            raise ValueError("snapshot interval must be positive")
+        self.snapshot_interval = interval
+        if callback is not None:
+            self.snapshot_callback = callback
+        return self
+
+    def with_cost_accounting(self, enabled: bool = True) -> "EngineConfig":
+        """Enable/disable per-event, per-detector wall-clock attribution."""
+        self.cost_accounting = enabled
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Resolution helpers (used by the engine)
+    # ------------------------------------------------------------------ #
+
+    def resolve_detectors(
+        self, override: Optional[Sequence[DetectorSpec]] = None
+    ) -> List[Detector]:
+        """Instantiate the configured (or overriding) detector selection."""
+        # Imported lazily: repro.api imports repro.engine at module load.
+        from repro.api import make_detector
+
+        selection = list(override) if override is not None else self.detectors
+        if selection is None:
+            selection = ["wcp", "hb"]
+        if not selection:
+            raise ValueError("engine run requires at least one detector")
+        resolved: List[Detector] = []
+        for entry in selection:
+            if isinstance(entry, Detector):
+                resolved.append(entry)
+            elif isinstance(entry, str):
+                resolved.append(make_detector(entry))
+            else:
+                raise TypeError(
+                    "detector entry must be a name or Detector instance, "
+                    "got %r" % (type(entry).__name__,)
+                )
+        return resolved
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.detectors is not None:
+            parts.append("detectors=%r" % (self.detectors,))
+        if self.race_budget is not None:
+            parts.append("race_budget=%d" % self.race_budget)
+        if self.event_budget is not None:
+            parts.append("event_budget=%d" % self.event_budget)
+        if self.snapshot_interval is not None:
+            parts.append("snapshot_every=%d" % self.snapshot_interval)
+        if not self.cost_accounting:
+            parts.append("cost_accounting=False")
+        return "EngineConfig(%s)" % ", ".join(parts)

@@ -1,0 +1,317 @@
+"""The single-pass streaming race engine.
+
+This is the runtime the paper's "linear time, constant work per event"
+claim calls for: one iteration over one event source drives any number of
+detectors simultaneously.  The legacy shape (``detector.run(trace)`` once
+per detector) pays one full pass of the trace per detector *and* requires
+the trace to be materialised; :class:`RaceEngine` pays exactly one pass
+and accepts lazily-produced streams.
+
+The engine hands each detector either the backing
+:class:`~repro.trace.trace.Trace` (when the source is complete, so
+trace-wide optimisations like WCP's queue pruning stay enabled) or a
+:class:`StreamContext` -- a lightweight trace stand-in whose
+``is_complete`` flag tells detectors not to pre-scan.
+
+Early-stop policies, snapshot cadence and per-detector cost accounting
+come from :class:`~repro.engine.config.EngineConfig`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.detector import Detector
+from repro.core.races import RaceReport, ReportSnapshot
+from repro.engine.config import DetectorSpec, EngineConfig
+from repro.engine.sources import EventSource, as_source
+from repro.trace.event import Event
+
+
+class StreamContext:
+    """A trace-like stand-in handed to ``Detector.reset`` for live streams.
+
+    Exposes the small protocol detectors consult at reset time -- ``name``,
+    ``threads`` (empty; detectors discover threads lazily), ``__len__``
+    (events seen so far, updated by the engine) and ``is_complete = False``
+    so detectors skip whole-trace prescans.
+    """
+
+    is_complete = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.events_seen = 0
+
+    @property
+    def threads(self) -> List[str]:
+        """No thread census is available ahead of a stream."""
+        return []
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return self.events_seen
+
+    def __repr__(self) -> str:
+        return "StreamContext(%r, events_seen=%d)" % (self.name, self.events_seen)
+
+
+#: Stop reasons reported on :class:`EngineResult`.
+STOP_EXHAUSTED = "exhausted"
+STOP_RACE_BUDGET = "race_budget"
+STOP_EVENT_BUDGET = "event_budget"
+
+
+class EngineResult:
+    """The outcome of one engine pass: reports keyed by detector name.
+
+    Behaves as a read-only mapping from detector name to
+    :class:`~repro.core.races.RaceReport` (duplicate detector names are
+    disambiguated with ``#2``, ``#3``, ...), plus run-level metadata:
+    ``events`` processed, wall-clock ``elapsed_s``, the ``stop_reason``
+    (one of ``"exhausted"``, ``"race_budget"``, ``"event_budget"``) and
+    the accumulated ``snapshots``.
+    """
+
+    def __init__(
+        self,
+        source_name: str,
+        reports: "Dict[str, RaceReport]",
+        events: int,
+        elapsed_s: float,
+        stop_reason: str,
+        snapshots: List[ReportSnapshot],
+    ) -> None:
+        self.source_name = source_name
+        self.reports = reports
+        self.events = events
+        self.elapsed_s = elapsed_s
+        self.stop_reason = stop_reason
+        self.snapshots = snapshots
+
+    # Mapping-style access -------------------------------------------------
+
+    def __getitem__(self, detector_name: str) -> RaceReport:
+        return self.reports[detector_name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __contains__(self, detector_name: object) -> bool:
+        return detector_name in self.reports
+
+    def keys(self):
+        return self.reports.keys()
+
+    def values(self):
+        return self.reports.values()
+
+    def items(self):
+        return self.reports.items()
+
+    def get(self, detector_name: str, default: Optional[RaceReport] = None):
+        return self.reports.get(detector_name, default)
+
+    # Queries --------------------------------------------------------------
+
+    def has_race(self) -> bool:
+        """True when any detector found at least one race."""
+        return any(report.has_race() for report in self.reports.values())
+
+    def total_distinct_races(self) -> int:
+        """Sum of distinct race-pair counts across detectors."""
+        return sum(report.count() for report in self.reports.values())
+
+    def stopped_early(self) -> bool:
+        """True when an early-stop policy cut the pass short."""
+        return self.stop_reason != STOP_EXHAUSTED
+
+    def summary(self) -> str:
+        """Return a short human-readable multi-line run summary."""
+        lines = [
+            "engine pass over %s: %d event(s), %.3fs, stop=%s" % (
+                self.source_name, self.events, self.elapsed_s, self.stop_reason
+            )
+        ]
+        for name, report in self.reports.items():
+            lines.append(
+                "  %-12s %d distinct race(s), %d raw, %.3fs" % (
+                    name, report.count(), report.raw_race_count,
+                    float(report.stats.get("time_s", 0.0)),
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "EngineResult(%r, events=%d, %s)" % (
+            self.source_name,
+            self.events,
+            {name: report.count() for name, report in self.reports.items()},
+        )
+
+
+class RaceEngine:
+    """Drive N detectors over one event source in a single pass.
+
+    Usage::
+
+        engine = RaceEngine(EngineConfig().with_detectors("wcp", "hb"))
+        result = engine.run(trace_or_path_or_source)
+        result["WCP"].count()
+
+    ``run`` also accepts a ``detectors=`` override, so a default-configured
+    engine doubles as a one-liner: ``RaceEngine().run(trace)``.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------ #
+    # The single pass
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        source,
+        detectors: Optional[Sequence[DetectorSpec]] = None,
+    ) -> EngineResult:
+        """Run the configured detectors over ``source`` in one pass.
+
+        ``source`` may be an :class:`~repro.engine.sources.EventSource`, a
+        :class:`~repro.trace.trace.Trace`, a file path, or an iterable of
+        events (see :func:`~repro.engine.sources.as_source`).
+        """
+        config = self.config
+        resolved = config.resolve_detectors(detectors)
+        if len({id(detector) for detector in resolved}) != len(resolved):
+            raise ValueError(
+                "the same Detector instance appears more than once in the "
+                "selection; it would process every event twice -- pass "
+                "distinct instances (or names) instead"
+            )
+        event_source = as_source(source)
+
+        # Complete sources hand detectors the real trace so reset-time
+        # prescans keep working; streams get a non-prescannable context.
+        trace = event_source.trace
+        context = trace if trace is not None else StreamContext(event_source.name)
+
+        # Per-event attribution only pays off with several detectors; for a
+        # single one it necessarily equals the pass total, so skip the two
+        # clock reads per event and use the (cleaner) overall elapsed time.
+        accounting = config.cost_accounting and len(resolved) > 1
+        clock = time.perf_counter
+
+        started = clock()
+        # reset() may do real per-trace work (e.g. WCP's queue-pruning
+        # prescan), so it is part of each detector's attributed cost; the
+        # attribution happens after reset() since reset zeroes the counters.
+        for detector in resolved:
+            before = clock()
+            detector.reset(context)
+            if accounting:
+                detector.account_cost(clock() - before, events=0)
+        race_budget = config.race_budget
+        event_budget = config.event_budget
+        interval = config.snapshot_interval
+
+        snapshots: List[ReportSnapshot] = []
+        stop_reason = STOP_EXHAUSTED
+        events = 0
+
+        for event in event_source:
+            # Streams may carry unnumbered events (builder convention -1);
+            # renumber so race distances stay well-defined.
+            if event.index != events:
+                event = Event(events, event.thread, event.etype, event.target, event.loc)
+
+            if accounting:
+                for detector in resolved:
+                    before = clock()
+                    detector.process(event)
+                    detector.account_cost(clock() - before)
+            else:
+                for detector in resolved:
+                    detector.process(event)
+                    detector.account_cost(0.0)
+
+            events += 1
+            if context is not trace:
+                context.events_seen = events
+
+            if interval is not None and events % interval == 0:
+                self._take_snapshots(resolved, events, snapshots, config)
+
+            if race_budget is not None and any(
+                detector.report.count() >= race_budget for detector in resolved
+            ):
+                stop_reason = STOP_RACE_BUDGET
+                break
+            if event_budget is not None and events >= event_budget:
+                stop_reason = STOP_EVENT_BUDGET
+                break
+
+        # finish() may still do real work (flush buffered windows), so it
+        # is both always called and included in the per-detector cost.
+        for detector in resolved:
+            if accounting:
+                before = clock()
+                detector.finish()
+                detector.account_cost(clock() - before, events=0)
+            else:
+                detector.finish()
+
+        elapsed = time.perf_counter() - started
+
+        reports: Dict[str, RaceReport] = {}
+        for detector in resolved:
+            per_detector = detector.cost_time_s if accounting else elapsed
+            report = detector.finalize_stats(events, per_detector)
+            reports[self._unique_name(reports, detector.name)] = report
+
+        if interval is not None and (events == 0 or events % interval != 0):
+            self._take_snapshots(resolved, events, snapshots, config)
+
+        return EngineResult(
+            source_name=event_source.name,
+            reports=reports,
+            events=events,
+            elapsed_s=elapsed,
+            stop_reason=stop_reason,
+            snapshots=snapshots,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _take_snapshots(
+        detectors: Sequence[Detector],
+        events: int,
+        snapshots: List[ReportSnapshot],
+        config: EngineConfig,
+    ) -> None:
+        for detector in detectors:
+            snap = detector.snapshot(events=events)
+            snapshots.append(snap)
+            if config.snapshot_callback is not None:
+                config.snapshot_callback(snap)
+
+    @staticmethod
+    def _unique_name(existing: Dict[str, RaceReport], name: str) -> str:
+        if name not in existing:
+            return name
+        suffix = 2
+        while "%s#%d" % (name, suffix) in existing:
+            suffix += 1
+        return "%s#%d" % (name, suffix)
+
+    def __repr__(self) -> str:
+        return "RaceEngine(%r)" % (self.config,)

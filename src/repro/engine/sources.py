@@ -1,0 +1,193 @@
+"""Event sources: pluggable producers of event streams for the engine.
+
+An :class:`EventSource` is anything that can hand the
+:class:`~repro.engine.engine.RaceEngine` a sequence of
+:class:`~repro.trace.event.Event` objects exactly once.  Concrete sources:
+
+* :class:`TraceSource` -- an in-memory, validated
+  :class:`~repro.trace.trace.Trace` (``is_complete``: detectors may
+  pre-scan it, e.g. WCP's queue pruning);
+* :class:`FileSource` -- a log file parsed lazily, line by line, through
+  the streaming entry points of :mod:`repro.trace.parsers`; the full trace
+  is never materialised;
+* :class:`IterableSource` -- any iterable/generator of events (e.g. an
+  instrumentation callback queue);
+* :class:`SimulatorSource` -- a simulator program run under a scheduler,
+  feeding the emitted events straight into the engine;
+* :class:`CountingSource` -- a transparent wrapper that counts iteration
+  passes and events, used by tests and benchmarks to *prove* the engine's
+  single-pass property.
+
+:func:`as_source` coerces plain traces, paths and iterables, so the
+public API accepts all of them interchangeably.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.trace.event import Event
+from repro.trace.parsers import iter_trace_file
+from repro.trace.trace import Trace
+
+
+class EventSource:
+    """Base class for event stream producers.
+
+    Attributes
+    ----------
+    name:
+        Human-readable stream name, used as the trace name in reports.
+    is_complete:
+        True when the underlying events are fully materialised and may be
+        iterated repeatedly (detectors may pre-scan); False for genuine
+        streams, which the engine guarantees to iterate exactly once.
+    """
+
+    name = "stream"
+    is_complete = False
+
+    def __iter__(self) -> Iterator[Event]:
+        raise NotImplementedError
+
+    def length_hint(self) -> Optional[int]:
+        """Return the number of events when known up front, else None."""
+        return None
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        """The backing :class:`Trace` when one exists, else None.
+
+        The engine passes a real trace to ``Detector.reset`` when
+        available so trace-wide optimisations stay enabled.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+
+class TraceSource(EventSource):
+    """Adapt an in-memory :class:`Trace` to the source interface."""
+
+    is_complete = True
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+        self.name = trace.name
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._trace)
+
+    def length_hint(self) -> Optional[int]:
+        return len(self._trace)
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return self._trace
+
+
+class FileSource(EventSource):
+    """Stream a trace log from disk without materialising a :class:`Trace`.
+
+    The file is re-opened on every iteration, so the source is replayable,
+    but the engine only ever takes a single pass.  Format is dispatched on
+    the file extension exactly like
+    :func:`repro.trace.parsers.load_trace`.
+    """
+
+    def __init__(self, path: Union[str, Path], name: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.name = name or self.path.stem
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter_trace_file(self.path)
+
+    def __repr__(self) -> str:
+        return "FileSource(%r)" % (str(self.path),)
+
+
+class IterableSource(EventSource):
+    """Wrap an arbitrary iterable (or one-shot generator) of events."""
+
+    def __init__(self, events: Iterable[Event], name: str = "stream") -> None:
+        self._events = events
+        self.name = name
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+
+class SimulatorSource(EventSource):
+    """Feed the engine from a live simulator run.
+
+    The program is executed (under the given scheduler) when the engine
+    starts iterating, and the emitted events flow straight into the
+    detectors -- the caller never touches the intermediate trace.  Note
+    the current interpreter accumulates its event list internally while
+    executing; making it fully incremental is a ROADMAP follow-on.
+    """
+
+    def __init__(self, program, scheduler=None, allow_deadlock: bool = False,
+                 name: Optional[str] = None) -> None:
+        self.program = program
+        self.scheduler = scheduler
+        self.allow_deadlock = allow_deadlock
+        self.name = name or getattr(program, "name", "simulation")
+
+    def __iter__(self) -> Iterator[Event]:
+        from repro.simulator.interpreter import run_program
+
+        trace = run_program(
+            self.program, self.scheduler, allow_deadlock=self.allow_deadlock
+        )
+        return iter(trace)
+
+
+class CountingSource(EventSource):
+    """Transparent wrapper that counts passes and events.
+
+    Used to demonstrate (in tests and benchmarks) that the engine drives
+    ``k`` detectors with exactly **one** iteration of the underlying
+    source, where the legacy one-detector-at-a-time path took ``k``.
+    """
+
+    def __init__(self, inner: Union[EventSource, Trace, Iterable[Event]],
+                 name: Optional[str] = None) -> None:
+        self._inner = as_source(inner)
+        self.name = name or self._inner.name
+        #: Number of times iteration was started.
+        self.passes = 0
+        #: Number of events handed out across all passes.
+        self.events_emitted = 0
+
+    def __iter__(self) -> Iterator[Event]:
+        self.passes += 1
+        for event in self._inner:
+            self.events_emitted += 1
+            yield event
+
+    def length_hint(self) -> Optional[int]:
+        return self._inner.length_hint()
+
+
+def as_source(obj: Union[EventSource, Trace, str, Path, Iterable[Event]],
+              name: Optional[str] = None) -> EventSource:
+    """Coerce ``obj`` into an :class:`EventSource`.
+
+    Accepts an existing source (returned unchanged), a :class:`Trace`, a
+    file path (``str`` / ``Path``), or any iterable of events.
+    """
+    if isinstance(obj, EventSource):
+        return obj
+    if isinstance(obj, Trace):
+        return TraceSource(obj)
+    if isinstance(obj, (str, Path)):
+        return FileSource(obj, name=name)
+    if hasattr(obj, "__iter__"):
+        return IterableSource(obj, name=name or "stream")
+    raise TypeError(
+        "cannot build an event source from %r (expected EventSource, Trace, "
+        "path, or iterable of events)" % (type(obj).__name__,)
+    )

@@ -13,8 +13,19 @@ Two on-disk formats are supported:
 
 * **CSV** -- ``thread,etype,target,loc`` with a header row.
 
-:func:`load_trace` dispatches on the file extension (``.std``/``.txt`` vs
-``.csv``).
+Two layers of entry points:
+
+* the *streaming* layer (:func:`iter_std_events`, :func:`iter_csv_events`,
+  :func:`iter_trace_file`) yields :class:`~repro.trace.event.Event`
+  objects one at a time without materialising anything -- this is what the
+  :class:`~repro.engine.FileSource` feeds to the streaming engine so that
+  arbitrarily large logs can be analysed in constant memory;
+* the *batch* layer (:func:`parse_std`, :func:`parse_csv`,
+  :func:`load_trace`) builds a validated
+  :class:`~repro.trace.trace.Trace` on top of the streaming layer.
+
+:func:`load_trace` / :func:`iter_trace_file` dispatch on the file
+extension (``.std``/``.txt`` vs ``.csv``).
 """
 
 from __future__ import annotations
@@ -23,7 +34,7 @@ import csv
 import io
 import re
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
@@ -66,14 +77,17 @@ def _parse_operation(text: str, line_number: int) -> "tuple[EventType, Optional[
     return _OP_NAMES[name], argument
 
 
-def parse_std(source: Union[str, Iterable[str]], name: Optional[str] = None,
-              validate: bool = True) -> Trace:
-    """Parse the STD text format from a string or an iterable of lines."""
-    if isinstance(source, str):
-        lines: Iterable[str] = io.StringIO(source)
-    else:
-        lines = source
-    events: List[Event] = []
+# --------------------------------------------------------------------- #
+# Streaming layer
+# --------------------------------------------------------------------- #
+
+def iter_std_events(lines: Iterable[str]) -> Iterator[Event]:
+    """Lazily parse STD-format lines into a stream of events.
+
+    Events are numbered in order of appearance.  Nothing is buffered, so
+    this can feed the streaming engine from arbitrarily large log files.
+    """
+    index = 0
     for line_number, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -86,19 +100,14 @@ def parse_std(source: Union[str, Iterable[str]], name: Optional[str] = None,
         thread = parts[0]
         etype, target = _parse_operation(parts[1], line_number)
         loc = parts[2] if len(parts) > 2 and parts[2] else None
-        events.append(Event(len(events), thread, etype, target, loc))
-    return Trace(events, validate=validate, name=name)
+        yield Event(index, thread, etype, target, loc)
+        index += 1
 
 
-def parse_csv(source: Union[str, Iterable[str]], name: Optional[str] = None,
-              validate: bool = True) -> Trace:
-    """Parse the CSV format (``thread,etype,target,loc`` with header)."""
-    if isinstance(source, str):
-        handle: Iterable[str] = io.StringIO(source)
-    else:
-        handle = source
-    reader = csv.DictReader(handle)
-    events: List[Event] = []
+def iter_csv_events(lines: Iterable[str]) -> Iterator[Event]:
+    """Lazily parse CSV-format lines (header row required) into events."""
+    reader = csv.DictReader(lines)
+    index = 0
     for row_number, row in enumerate(reader, start=2):
         if row.get("thread") is None or row.get("etype") is None:
             raise TraceParseError("row %d: missing thread/etype column" % row_number)
@@ -109,16 +118,57 @@ def parse_csv(source: Union[str, Iterable[str]], name: Optional[str] = None,
             )
         target = (row.get("target") or "").strip() or None
         loc = (row.get("loc") or "").strip() or None
-        events.append(
-            Event(len(events), row["thread"].strip(), _OP_NAMES[etype_name], target, loc)
-        )
-    return Trace(events, validate=validate, name=name)
+        yield Event(index, row["thread"].strip(), _OP_NAMES[etype_name], target, loc)
+        index += 1
+
+
+def iter_trace_file(path: Union[str, Path]) -> Iterator[Event]:
+    """Lazily stream the events of a trace file, one line at a time.
+
+    The file is opened when iteration starts and closed when the iterator
+    is exhausted; at no point is the whole file (or a ``Trace``) held in
+    memory.  Dispatches on the file extension like :func:`load_trace`.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        if path.suffix.lower() == ".csv":
+            parse = iter_csv_events(handle)
+        else:
+            parse = iter_std_events(handle)
+        for event in parse:
+            yield event
+
+
+# --------------------------------------------------------------------- #
+# Batch layer
+# --------------------------------------------------------------------- #
+
+def _as_lines(source: Union[str, Iterable[str]]) -> Iterable[str]:
+    if isinstance(source, str):
+        return io.StringIO(source)
+    return source
+
+
+def parse_std(source: Union[str, Iterable[str]], name: Optional[str] = None,
+              validate: bool = True) -> Trace:
+    """Parse the STD text format from a string or an iterable of lines."""
+    return Trace(iter_std_events(_as_lines(source)), validate=validate, name=name)
+
+
+def parse_csv(source: Union[str, Iterable[str]], name: Optional[str] = None,
+              validate: bool = True) -> Trace:
+    """Parse the CSV format (``thread,etype,target,loc`` with header)."""
+    return Trace(iter_csv_events(_as_lines(source)), validate=validate, name=name)
 
 
 def load_trace(path: Union[str, Path], validate: bool = True) -> Trace:
-    """Load a trace from ``path``, dispatching on the file extension."""
+    """Load a trace from ``path``, dispatching on the file extension.
+
+    The file is parsed line by line through the streaming layer, so only
+    the event objects (never the raw text) are held in memory.
+    """
     path = Path(path)
-    text = path.read_text()
-    if path.suffix.lower() == ".csv":
-        return parse_csv(text, name=path.stem, validate=validate)
-    return parse_std(text, name=path.stem, validate=validate)
+    with path.open("r", newline="") as handle:
+        if path.suffix.lower() == ".csv":
+            return parse_csv(handle, name=path.stem, validate=validate)
+        return parse_std(handle, name=path.stem, validate=validate)

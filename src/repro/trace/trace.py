@@ -41,6 +41,11 @@ class WellNestednessError(TraceError):
 class Trace:
     """An immutable, validated sequence of :class:`~repro.trace.event.Event`.
 
+    A trace is *complete*: the whole event sequence is materialised and may
+    be iterated any number of times (``is_complete`` is the protocol flag
+    detectors check before pre-scanning; the streaming engine's contexts
+    set it to False).
+
     Parameters
     ----------
     events:
@@ -53,6 +58,9 @@ class Trace:
     name:
         Optional human-readable name used in reports.
     """
+
+    #: A materialised trace can always be re-iterated / pre-scanned.
+    is_complete = True
 
     def __init__(
         self,

@@ -1,0 +1,391 @@
+"""Tests for the single-pass streaming engine (repro.engine)."""
+
+import pytest
+
+from repro import (
+    CountingSource,
+    EngineConfig,
+    EraserDetector,
+    FastTrackDetector,
+    FileSource,
+    HBDetector,
+    IterableSource,
+    RaceEngine,
+    SimulatorSource,
+    TraceSource,
+    WCPDetector,
+    as_source,
+    compare_detectors,
+    detect_races,
+    run_engine,
+)
+from repro.cli import main
+from repro.core.races import ReportSnapshot
+from repro.cp.detector import CPDetector
+from repro.engine import STOP_EVENT_BUDGET, STOP_EXHAUSTED, STOP_RACE_BUDGET
+from repro.engine.engine import StreamContext
+from repro.simulator import Program, Write
+from repro.trace.writers import dump_trace
+
+from conftest import random_trace
+
+
+def _report_fingerprint(report):
+    """Everything that identifies a report's findings (not its timings)."""
+    return (
+        sorted(tuple(sorted(key)) for key in report.location_pairs()),
+        report.raw_race_count,
+        report.count(),
+        report.max_distance(),
+    )
+
+
+class TestSources:
+    def test_as_source_coercions(self, simple_race_trace, tmp_path):
+        assert isinstance(as_source(simple_race_trace), TraceSource)
+        path = dump_trace(simple_race_trace, tmp_path / "t.std")
+        assert isinstance(as_source(str(path)), FileSource)
+        assert isinstance(as_source(iter(simple_race_trace)), IterableSource)
+        existing = TraceSource(simple_race_trace)
+        assert as_source(existing) is existing
+        with pytest.raises(TypeError):
+            as_source(42)
+
+    def test_trace_source_is_complete(self, simple_race_trace):
+        source = TraceSource(simple_race_trace)
+        assert source.is_complete
+        assert source.trace is simple_race_trace
+        assert source.length_hint() == len(simple_race_trace)
+
+    def test_file_source_replayable_but_lazy(self, tmp_path):
+        trace = random_trace(seed=1, n_events=30)
+        path = dump_trace(trace, tmp_path / "t.std")
+        source = FileSource(path)
+        assert not source.is_complete
+        assert source.trace is None
+        first = [event.target for event in source]
+        second = [event.target for event in source]
+        assert first == second and len(first) == len(trace)
+
+    def test_counting_source_counts(self, simple_race_trace):
+        source = CountingSource(simple_race_trace)
+        assert source.passes == 0
+        list(source)
+        list(source)
+        assert source.passes == 2
+        assert source.events_emitted == 2 * len(simple_race_trace)
+
+
+class TestSinglePass:
+    def test_compare_detectors_iterates_source_exactly_once(self):
+        """The acceptance property: k detectors, ONE iteration of the source."""
+        trace = random_trace(seed=7, n_events=60)
+        source = CountingSource(IterableSource(iter(trace), name=trace.name))
+        reports = compare_detectors(
+            source, [WCPDetector(), HBDetector(), FastTrackDetector(), EraserDetector()]
+        )
+        assert source.passes == 1
+        assert source.events_emitted == len(trace)
+        assert set(reports) == {"WCP", "HB", "FastTrack", "Eraser"}
+
+    def test_engine_run_over_trace(self, simple_race_trace):
+        result = RaceEngine().run(simple_race_trace)
+        assert set(result.keys()) == {"WCP", "HB"}
+        assert result.events == len(simple_race_trace)
+        assert result.stop_reason == STOP_EXHAUSTED
+        assert result.has_race()
+        assert result["WCP"].count() == 1
+
+    def test_duplicate_detector_names_are_disambiguated(self, simple_race_trace):
+        result = RaceEngine().run(
+            simple_race_trace, detectors=[HBDetector(), HBDetector()]
+        )
+        assert set(result.keys()) == {"HB", "HB#2"}
+
+    def test_same_detector_instance_twice_is_rejected(self, simple_race_trace):
+        detector = HBDetector()
+        with pytest.raises(ValueError):
+            RaceEngine().run(simple_race_trace, detectors=[detector, detector])
+
+    def test_result_mapping_protocol(self, simple_race_trace):
+        result = run_engine(simple_race_trace, detectors=["hb"])
+        assert "HB" in result and len(result) == 1
+        assert list(result) == ["HB"]
+        assert result.get("nope") is None
+        assert "HB" in result.summary()
+
+
+class TestStreamingBatchParity:
+    DETECTOR_FACTORIES = [
+        lambda: WCPDetector(),
+        lambda: HBDetector(),
+        lambda: FastTrackDetector(),
+        lambda: EraserDetector(),
+    ]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_engine_multi_detector_matches_per_detector_run(self, seed):
+        """Property: one engine pass == k independent Detector.run calls."""
+        trace = random_trace(seed=seed, n_events=60, n_threads=4, n_vars=3)
+
+        expected = {}
+        for factory in self.DETECTOR_FACTORIES:
+            detector = factory()
+            expected[detector.name] = _report_fingerprint(detector.run(trace))
+
+        result = RaceEngine().run(
+            trace, detectors=[factory() for factory in self.DETECTOR_FACTORIES]
+        )
+        for name, report in result.items():
+            assert _report_fingerprint(report) == expected[name], name
+            assert report.stats["events"] == len(trace)
+            assert report.stats["time_s"] >= 0.0
+            assert "events_per_s" in report.stats
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_windowed_cp_parity(self, seed):
+        trace = random_trace(seed=seed, n_events=40)
+        batch = CPDetector(window_size=20).run(trace)
+        streamed = RaceEngine().run(trace, detectors=[CPDetector(window_size=20)])
+        assert _report_fingerprint(streamed["CP"]) == _report_fingerprint(batch)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stream_source_matches_trace_source(self, seed):
+        """Feeding the same events as a non-prescannable stream changes
+        nothing: WCP's queue pruning is semantics-preserving."""
+        trace = random_trace(seed=seed, n_events=50, n_threads=3)
+        batch = {
+            name: _report_fingerprint(report)
+            for name, report in RaceEngine().run(trace).items()
+        }
+        stream = RaceEngine().run(IterableSource(iter(trace), name=trace.name))
+        assert {
+            name: _report_fingerprint(report) for name, report in stream.items()
+        } == batch
+
+    def test_file_source_matches_in_memory(self, tmp_path):
+        trace = random_trace(seed=11, n_events=50)
+        path = dump_trace(trace, tmp_path / "t.std")
+        from_file = detect_races(FileSource(path))
+        in_memory = detect_races(trace)
+        assert _report_fingerprint(from_file) == _report_fingerprint(in_memory)
+
+
+class TestEarlyStop:
+    def test_stop_on_first_race(self):
+        trace = random_trace(seed=3, n_events=60)
+        baseline = detect_races(trace)
+        assert baseline.has_race()
+        config = EngineConfig().with_detectors("wcp").stop_on_first_race()
+        result = RaceEngine(config).run(trace)
+        assert result.stop_reason == STOP_RACE_BUDGET
+        assert result.stopped_early()
+        assert result.events < len(trace)
+        assert result["WCP"].count() >= 1
+
+    def test_event_budget(self, simple_race_trace):
+        config = EngineConfig().with_detectors("hb").stop_after_events(1)
+        result = RaceEngine(config).run(simple_race_trace)
+        assert result.stop_reason == STOP_EVENT_BUDGET
+        assert result.events == 1
+        assert not result.has_race()
+
+    def test_race_free_trace_runs_to_exhaustion(self, protected_trace):
+        config = EngineConfig().with_detectors("wcp").stop_on_first_race()
+        result = RaceEngine(config).run(protected_trace)
+        assert result.stop_reason == STOP_EXHAUSTED
+        assert result.events == len(protected_trace)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig().stop_after_races(0)
+        with pytest.raises(ValueError):
+            EngineConfig().stop_after_events(-1)
+        with pytest.raises(ValueError):
+            EngineConfig().snapshot_every(0)
+        with pytest.raises(ValueError):
+            EngineConfig().with_detectors()
+
+
+class TestSnapshots:
+    def test_snapshot_cadence_and_callback(self):
+        trace = random_trace(seed=5, n_events=40)
+        seen = []
+        config = (
+            EngineConfig()
+            .with_detectors("wcp", "hb")
+            .snapshot_every(10, callback=seen.append)
+        )
+        result = RaceEngine(config).run(trace)
+        assert result.snapshots and result.snapshots == seen
+        assert all(isinstance(snap, ReportSnapshot) for snap in result.snapshots)
+        # Snapshots come in per-detector groups at each interval, ending at
+        # the final event count.
+        events_at = [snap.events for snap in result.snapshots]
+        assert events_at == sorted(events_at)
+        assert events_at[-1] == len(trace)
+        final = [s for s in result.snapshots if s.events == len(trace)]
+        assert {snap.detector_name for snap in final} == {"WCP", "HB"}
+        # The last snapshot of each detector agrees with its report.
+        for snap in final:
+            assert snap.races == result[snap.detector_name].count()
+
+    def test_detector_snapshot_hook(self, simple_race_trace):
+        detector = WCPDetector()
+        detector.run(simple_race_trace)
+        snap = detector.snapshot()
+        assert snap.races == 1
+        assert snap.events == len(simple_race_trace)
+        assert snap.as_dict()["detector"] == "WCP"
+
+
+class TestStreamContext:
+    def test_stream_context_protocol(self):
+        context = StreamContext("live")
+        assert not context.is_complete
+        assert context.threads == []
+        assert len(context) == 0
+        assert list(context) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_late_appearing_threads_keep_rule_b(self, seed):
+        """Regression: a thread first seen mid-stream must still observe
+        every earlier critical section of Rule (b).  With per-thread
+        queues materialised at append time this diverged; the shared
+        critical-section log makes stream and batch WCP clocks identical."""
+        import random
+
+        from repro.trace.event import Event, EventType
+        from repro.trace.trace import Trace
+
+        rng = random.Random(seed)
+        events = []
+        # Threads run strictly one after another: the worst case for a
+        # detector discovering threads lazily.
+        for thread in ("t1", "t2", "t3"):
+            held = []
+            for _ in range(rng.randint(4, 10)):
+                choices = ["r", "w"]
+                free = [lock for lock in ("l0", "l1") if lock not in held]
+                if free:
+                    choices.append("a")
+                if held:
+                    choices.append("rel")
+                action = rng.choice(choices)
+                if action == "a":
+                    lock = rng.choice(free)
+                    held.append(lock)
+                    events.append(Event(len(events), thread, EventType.ACQUIRE, lock))
+                elif action == "rel":
+                    events.append(Event(len(events), thread, EventType.RELEASE, held.pop()))
+                else:
+                    etype = EventType.READ if action == "r" else EventType.WRITE
+                    events.append(Event(len(events), thread, etype, rng.choice("xyz")))
+            while held:
+                events.append(Event(len(events), thread, EventType.RELEASE, held.pop()))
+        trace = Trace(events, name="late%d" % seed)
+
+        batch = WCPDetector().run(trace)
+        streamed = detect_races(IterableSource(iter(trace), name=trace.name))
+        assert _report_fingerprint(streamed) == _report_fingerprint(batch)
+
+    def test_wcp_reset_on_stream_context_keeps_all_queues(self):
+        """Pruning needs a prescan; a stream context must disable it, not
+        silently drop Rule (b) exchanges."""
+        trace = random_trace(seed=2, n_events=50, n_locks=2)
+        pruned = WCPDetector().run(trace)
+        streamed = detect_races(IterableSource(iter(trace), name=trace.name))
+        assert _report_fingerprint(streamed) == _report_fingerprint(pruned)
+
+
+class TestSimulatorSource:
+    def test_live_simulation_feeds_engine(self):
+        program = Program(
+            {"t1": [Write("x", loc="a:1")], "t2": [Write("x", loc="b:1")]},
+            name="sim-race",
+        )
+        result = RaceEngine().run(SimulatorSource(program))
+        assert result.source_name == "sim-race"
+        assert result["WCP"].count() == 1
+
+
+class TestTimingNormalization:
+    def test_run_sets_normalized_stats(self, simple_race_trace):
+        for detector in (WCPDetector(), HBDetector(), CPDetector(window_size=10)):
+            report = detector.run(simple_race_trace)
+            assert report.stats["time_s"] >= 0.0
+            assert report.stats["events"] == len(simple_race_trace)
+            assert report.stats["events_per_s"] >= 0.0
+
+    def test_cost_accounting_can_be_disabled(self, simple_race_trace):
+        config = EngineConfig().with_detectors("wcp", "hb").with_cost_accounting(False)
+        result = RaceEngine(config).run(simple_race_trace)
+        # Without per-event attribution every detector reports the shared
+        # pass time.
+        times = {
+            round(report.stats["time_s"], 9) for report in result.values()
+        }
+        assert len(times) == 1
+
+
+class TestCliStreaming:
+    def test_analyze_stream_never_materialises_a_trace(self, tmp_path, monkeypatch, capsys):
+        trace = random_trace(seed=3, n_events=30)
+        path = dump_trace(trace, tmp_path / "t.std")
+
+        import repro.trace.trace as trace_module
+
+        def _forbidden(self, *args, **kwargs):
+            raise AssertionError("--stream must not materialise a Trace")
+
+        monkeypatch.setattr(trace_module.Trace, "__init__", _forbidden)
+        code = main(["analyze", str(path), "--stream", "--detector", "wcp,hb"])
+        output = capsys.readouterr().out
+        assert "WCP" in output and "HB" in output
+        assert code in (0, 1)
+
+    def test_analyze_comma_separated_detectors(self, tmp_path, capsys):
+        path = dump_trace(random_trace(seed=3, n_events=30), tmp_path / "t.std")
+        code = main(["analyze", str(path), "--detector", "wcp,hb,eraser"])
+        output = capsys.readouterr().out
+        assert "WCP" in output and "HB" in output and "Eraser" in output
+        assert code in (0, 1)
+
+    def test_analyze_unknown_detector(self, tmp_path, capsys):
+        path = dump_trace(random_trace(seed=3, n_events=10), tmp_path / "t.std")
+        assert main(["analyze", str(path), "--detector", "quantum"]) == 2
+
+    def test_analyze_first_race_stops_early(self, tmp_path, capsys):
+        trace = random_trace(seed=3, n_events=60)
+        path = dump_trace(trace, tmp_path / "t.std")
+        code = main(["analyze", str(path), "--detector", "wcp", "--first-race"])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "stopped early" in output
+
+    def test_analyze_multi_detector_json_with_dotted_dir(self, tmp_path, capsys):
+        # A dot in a directory component must not be mistaken for the
+        # file extension when deriving per-detector report paths.
+        path = dump_trace(random_trace(seed=3, n_events=20), tmp_path / "t.std")
+        out_dir = tmp_path / "runs.v2"
+        out_dir.mkdir()
+        main([
+            "analyze", str(path), "--detector", "wcp,hb",
+            "--json", str(out_dir / "out.json"),
+        ])
+        assert (out_dir / "out.wcp.json").exists()
+        assert (out_dir / "out.hb.json").exists()
+
+    def test_compare_subcommand(self, tmp_path, capsys):
+        path = dump_trace(random_trace(seed=3, n_events=40), tmp_path / "t.std")
+        code = main(["compare", str(path), "--detectors", "wcp,hb"])
+        output = capsys.readouterr().out
+        assert "one pass" in output
+        assert "WCP" in output and "HB" in output
+        assert code in (0, 1)
+
+    def test_compare_stream(self, tmp_path, capsys):
+        path = dump_trace(random_trace(seed=4, n_events=40), tmp_path / "t.std")
+        code = main(["compare", str(path), "--detectors", "wcp,hb", "--stream"])
+        assert "one pass" in capsys.readouterr().out
+        assert code in (0, 1)

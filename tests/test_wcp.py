@@ -63,6 +63,42 @@ class TestWCPDetectorBasics:
             unpruned = WCPDetector(prune_queues=False).run(trace)
             assert set(pruned.location_pairs()) == set(unpruned.location_pairs())
 
+    def test_prune_queues_timestamps_identical(self):
+        for seed in range(4):
+            trace = random_trace(seed=seed, n_events=60, n_threads=4, n_locks=2)
+            pruned = WCPDetector(prune_queues=True).timestamps(trace)
+            unpruned = WCPDetector(prune_queues=False).timestamps(trace)
+            assert [str(c) for c in pruned] == [str(c) for c in unpruned]
+
+    def test_thread_local_lock_log_is_reclaimed(self):
+        # A lock only ever touched by one thread has no consumers: with
+        # pruning, its critical-section log must stay bounded instead of
+        # accumulating one entry per section.
+        builder = TraceBuilder()
+        for _ in range(50):
+            builder.acquire("t1", "l").write("t1", "x").release("t1", "l")
+        builder.write("t2", "y")
+        trace = builder.build()
+        detector = WCPDetector(prune_queues=True)
+        detector.run(trace)
+        assert len(detector._cs_log["l"]) <= 1
+        # Without the releaser census the log is kept in full.
+        unpruned = WCPDetector(prune_queues=False)
+        unpruned.run(trace)
+        assert len(unpruned._cs_log["l"]) == 50
+
+    def test_shared_lock_log_reclaimed_after_consumption(self):
+        builder = TraceBuilder()
+        for _ in range(20):
+            builder.acquire("t1", "l").write("t1", "x").release("t1", "l")
+            builder.acquire("t2", "l").write("t2", "x").release("t2", "l")
+        trace = builder.build()
+        detector = WCPDetector(prune_queues=True)
+        detector.run(trace)
+        # Both threads consume each other's sections as they go; the log
+        # must not retain all 40 sections.
+        assert len(detector._cs_log["l"]) < 10
+
     def test_fork_join_edges_respected(self):
         trace = (
             TraceBuilder()
