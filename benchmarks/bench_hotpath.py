@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""Hot-path throughput benchmark and perf-regression gate.
+
+Measures detector throughput (events/sec) on three synthetic workloads
+that bracket the cost spectrum of Algorithm 1:
+
+* ``high_contention`` -- every thread hammers a handful of shared
+  variables inside critical sections of one shared lock: Rule (a) and
+  Rule (b) fire constantly, and clock knowledge flows between all
+  threads.  This is the workload the hot-path overhaul (interned tids,
+  dense clocks, incremental ``C_t``, chain-collapsed Rule (a)/(b) joins)
+  targets.
+* ``racy_mix`` -- protected sections plus unprotected conflicting
+  accesses, so reports are non-empty and the differential check (below)
+  covers the racy attribution path too.
+* ``thread_local`` -- each thread works on private variables under a
+  private lock: the epoch fast path should make race checks O(1) and the
+  queue pruning keeps the logs empty.
+
+Both workloads use small, fixed program-location sets (like real logger
+traces) so the access history stays bounded.
+
+Detectors measured: the optimised WCP on both clock backends
+(``wcp_dense`` / ``wcp_dict``), the frozen pre-overhaul implementation
+(``wcp_legacy``, see :mod:`repro.core.wcp_legacy`), plus ``hb_dense`` and
+``fasttrack_dense`` for context.  Every WCP variant is also differentially
+checked for identical race reports while we're at it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py             # full run, write BENCH_hotpath.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick     # fast run, print only
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --check
+                                                                  # CI gate vs the checked-in baseline
+
+The regression gate compares the *relative* speedup of ``wcp_dense`` over
+``wcp_legacy`` against the checked-in baseline's speedup (absolute
+events/sec are machine-dependent; the in-run ratio is not): the check
+fails when the measured speedup drops below ``1 - TOLERANCE`` (30%) of
+the baseline's on any workload.  The floor is the only criterion -- quick
+runs on noisy CI runners measure smaller traces than the checked-in
+baseline, so absolute thresholds would flake.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+from pathlib import Path
+
+from repro.core.wcp import WCPDetector
+from repro.core.wcp_legacy import LegacyWCPDetector
+from repro.hb import FastTrackDetector, HBDetector
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_hotpath.json"
+
+#: Allowed relative drop of the dense-vs-legacy speedup before CI fails.
+TOLERANCE = 0.30
+
+FULL_EVENTS = 40000
+QUICK_EVENTS = 8000
+FULL_REPEATS = 5
+QUICK_REPEATS = 3
+
+
+# --------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------- #
+
+def high_contention_trace(n_events: int, n_threads: int = 12, n_vars: int = 6) -> Trace:
+    """All threads read+write shared variables under one shared lock.
+
+    The variable per critical section is drawn from a *seeded* RNG so
+    every thread touches every variable (a deterministic cycle would
+    correlate with the thread round-robin and halve the contention).
+    """
+    rng = random.Random(12345)
+    events = []
+    threads = ["t%d" % i for i in range(n_threads)]
+    section = 0
+    while len(events) < n_events:
+        thread = threads[section % n_threads]
+        choice = rng.randrange(n_vars)
+        variable = "x%d" % choice
+        loc = "hc.py:%d" % choice
+        events.append(Event(-1, thread, EventType.ACQUIRE, "l", loc="hc.py:acq"))
+        events.append(Event(-1, thread, EventType.READ, variable, loc=loc + ":r"))
+        events.append(Event(-1, thread, EventType.WRITE, variable, loc=loc + ":w"))
+        events.append(Event(-1, thread, EventType.RELEASE, "l", loc="hc.py:rel"))
+        section += 1
+    return Trace(events, validate=False, name="high_contention")
+
+
+def racy_mix_trace(n_events: int, n_threads: int = 8, n_vars: int = 4) -> Trace:
+    """Protected sections interleaved with unprotected racy accesses.
+
+    Exists mainly so the differential check (dense / dict / legacy must
+    report identical races) exercises non-empty reports and the racy
+    attribution path, not just the no-race fast path.
+    """
+    rng = random.Random(99)
+    events = []
+    threads = ["t%d" % i for i in range(n_threads)]
+    section = 0
+    while len(events) < n_events:
+        thread = threads[section % n_threads]
+        choice = rng.randrange(n_vars)
+        variable = "x%d" % choice
+        loc = "rm.py:%d" % choice
+        events.append(Event(-1, thread, EventType.ACQUIRE, "l", loc="rm.py:acq"))
+        events.append(Event(-1, thread, EventType.WRITE, variable, loc=loc + ":w"))
+        events.append(Event(-1, thread, EventType.RELEASE, "l", loc="rm.py:rel"))
+        # Two racer threads never synchronize at all: their writes to the
+        # shared "u" variables are guaranteed WCP races (the lock-using
+        # threads above are transitively ordered through l, so their
+        # unprotected accesses would not reliably race).
+        if section % 4 == 0:
+            racer = "racer%d" % (section // 4 % 2)
+            slot = section // 4 % 3
+            events.append(Event(-1, racer, EventType.WRITE, "u%d" % slot,
+                                loc="rm.py:%s:%d" % (racer, slot)))
+        section += 1
+    return Trace(events, validate=False, name="racy_mix")
+
+
+def thread_local_trace(n_events: int, n_threads: int = 8) -> Trace:
+    """Each thread works on private variables under a private lock."""
+    events = []
+    section = 0
+    while len(events) < n_events:
+        thread = "t%d" % (section % n_threads)
+        lock = "m_%s" % thread
+        variable = "y_%s" % thread
+        events.append(Event(-1, thread, EventType.ACQUIRE, lock, loc="tl.py:acq"))
+        events.append(Event(-1, thread, EventType.READ, variable, loc="tl.py:r"))
+        events.append(Event(-1, thread, EventType.WRITE, variable, loc="tl.py:w"))
+        events.append(Event(-1, thread, EventType.RELEASE, lock, loc="tl.py:rel"))
+        section += 1
+    return Trace(events, validate=False, name="thread_local")
+
+
+WORKLOADS = {
+    "high_contention": high_contention_trace,
+    "racy_mix": racy_mix_trace,
+    "thread_local": thread_local_trace,
+}
+
+DETECTORS = {
+    "wcp_dense": lambda: WCPDetector(clock_backend="dense"),
+    "wcp_dict": lambda: WCPDetector(clock_backend="dict"),
+    "wcp_legacy": LegacyWCPDetector,
+    "hb_dense": lambda: HBDetector(clock_backend="dense"),
+    "fasttrack_dense": lambda: FastTrackDetector(clock_backend="dense"),
+}
+
+
+# --------------------------------------------------------------------- #
+# Measurement
+# --------------------------------------------------------------------- #
+
+def measure(trace: Trace, repeats: int) -> dict:
+    """Run every detector over ``trace`` and return per-detector stats."""
+    rates = {}
+    races = {}
+    for name, factory in DETECTORS.items():
+        best = 0.0
+        count = None
+        for _ in range(repeats):
+            detector = factory()
+            report = detector.run(trace)
+            best = max(best, report.stats["events_per_s"])
+            count = report.count()
+            pairs = frozenset(report.location_pairs())
+        rates[name] = round(best, 1)
+        races[name] = (count, pairs)
+    # Differential smoke: every WCP variant must agree exactly.
+    reference = races["wcp_legacy"][1]
+    for name in ("wcp_dense", "wcp_dict"):
+        if races[name][1] != reference:
+            raise SystemExit(
+                "DIFFERENTIAL FAILURE: %s reports %r, wcp_legacy reports %r"
+                % (name, sorted(map(sorted, races[name][1])),
+                   sorted(map(sorted, reference)))
+            )
+    return {
+        "events": len(trace),
+        "races": races["wcp_dense"][0],
+        "events_per_s": rates,
+        "speedup_wcp_dense_vs_legacy": round(
+            rates["wcp_dense"] / rates["wcp_legacy"], 3
+        ),
+    }
+
+
+def run_benchmark(quick: bool) -> dict:
+    n_events = QUICK_EVENTS if quick else FULL_EVENTS
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    workloads = {}
+    for name, build in WORKLOADS.items():
+        trace = build(n_events)
+        workloads[name] = measure(trace, repeats)
+        rates = workloads[name]["events_per_s"]
+        print("%-16s %8d events | " % (name, workloads[name]["events"]), end="")
+        print("  ".join("%s=%d" % (d, r) for d, r in rates.items()))
+        print("%16s wcp_dense vs wcp_legacy: x%.2f"
+              % ("", workloads[name]["speedup_wcp_dense_vs_legacy"]))
+    return {
+        "benchmark": "hotpath",
+        "python": platform.python_version(),
+        "quick": quick,
+        "tolerance": TOLERANCE,
+        "workloads": workloads,
+    }
+
+
+def check_regression(result: dict, baseline_path: Path) -> int:
+    """Compare measured speedups against the checked-in baseline."""
+    if not baseline_path.exists():
+        print("no baseline at %s; nothing to check against" % baseline_path)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, measured in result["workloads"].items():
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        measured_speedup = measured["speedup_wcp_dense_vs_legacy"]
+        baseline_speedup = base["speedup_wcp_dense_vs_legacy"]
+        floor = baseline_speedup * (1.0 - TOLERANCE)
+        print(
+            "%-16s speedup %.2f (baseline %.2f, floor %.2f)"
+            % (name, measured_speedup, baseline_speedup, floor)
+        )
+        if measured_speedup < floor:
+            failures.append(
+                "%s: speedup x%.2f regressed >%.0f%% below baseline x%.2f"
+                % (name, measured_speedup, TOLERANCE * 100, baseline_speedup)
+            )
+    if failures:
+        print("\nPERF REGRESSION:")
+        for failure in failures:
+            print("  - %s" % failure)
+        return 1
+    print("\nperf gate OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller traces / fewer repeats (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the checked-in baseline and "
+                             "exit non-zero on >%d%% speedup regression"
+                             % int(TOLERANCE * 100))
+    parser.add_argument("--output", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(quick=args.quick)
+
+    if args.check:
+        return check_regression(result, args.output)
+
+    if not args.quick:
+        args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

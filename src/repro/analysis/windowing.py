@@ -66,11 +66,17 @@ def make_window_trace(
     buffered: List[Event],
     carried_prefix: List[Event],
     name: str,
+    registry=None,
 ) -> Trace:
-    """Build the trace fragment for one window, with its carried lock context."""
+    """Build the trace fragment for one window, with its carried lock context.
+
+    ``registry`` (a :class:`~repro.vectorclock.registry.ThreadRegistry`)
+    may be shared across the windows of one analysis so thread interning
+    is done once per thread instead of once per (thread, window).
+    """
     events = list(carried_prefix)
     events.extend(buffered)
-    return Trace(events, validate=False, name=name)
+    return Trace(events, validate=False, name=name, registry=registry)
 
 
 class WindowedDetector(Detector):
@@ -90,6 +96,8 @@ class WindowedDetector(Detector):
         self._buffer: List[Event] = []
         self._windows = 0
         self._lock_context = HeldLockTracker()
+        # One interning table for every window of this run.
+        self._registry = getattr(trace, "registry", None)
 
     def process(self, event: Event) -> None:
         self._buffer.append(event)
@@ -105,6 +113,7 @@ class WindowedDetector(Detector):
         window = make_window_trace(
             self._buffer, carried,
             "%s#w%d" % (self._trace.name, self._windows),
+            registry=self._registry,
         )
         self._buffer = []
         self._windows += 1

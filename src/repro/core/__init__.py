@@ -6,7 +6,11 @@
   -- race pairs as unordered location pairs plus the witnessing event pairs,
   exactly the granularity used for Table 1.
 * :class:`~repro.core.wcp.WCPDetector` -- Algorithm 1, the streaming
-  linear-time vector-clock detector for WCP.
+  linear-time vector-clock detector for WCP (interned tids, dense clocks,
+  epoch-accelerated race checks).
+* :class:`~repro.core.wcp_legacy.LegacyWCPDetector` -- the pre-optimisation
+  implementation, frozen as a differential-testing oracle and benchmark
+  baseline.
 * :class:`~repro.core.closure.WCPClosure` / ``closure_orders`` -- an
   explicit (non-linear) computation of the WCP partial order used as a
   correctness oracle on small traces.
@@ -15,6 +19,10 @@
 from repro.core.races import RacePair, RaceReport
 from repro.core.detector import Detector
 from repro.core.wcp import WCPDetector
+from repro.core.wcp_legacy import LegacyWCPDetector
 from repro.core.closure import WCPClosure
 
-__all__ = ["RacePair", "RaceReport", "Detector", "WCPDetector", "WCPClosure"]
+__all__ = [
+    "RacePair", "RaceReport", "Detector", "WCPDetector",
+    "LegacyWCPDetector", "WCPClosure",
+]

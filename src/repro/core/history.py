@@ -9,11 +9,53 @@ pairs, the unit counted in Table 1) requires a second pass in the paper.
 
 We avoid the second pass by additionally remembering, per variable, per
 thread and per program location, the latest access clock.  The ``R_x`` /
-``W_x`` joins provide the O(1) fast path ("no race here"); only on a failed
+``W_x`` joins provide the fast path ("no race here"); only on a failed
 check do we scan the per-thread histories to attribute the race to concrete
 earlier events.  The history size is bounded by (#threads x #program
 locations touching the variable), so the overall algorithm stays linear in
 the trace length for a fixed program.
+
+Epoch fast path
+---------------
+The joins alone make the no-race check O(T) per access (a full pointwise
+comparison).  Following FastTrack (and the WCP paper's Section 6 pointer
+to "epoch based optimizations"), each join also carries an *epoch*
+``c@t`` of the most recent access plus a flag recording that the epoch
+characterises the whole join.  The flag is set when the latest access's
+clock dominated the join at record time (so the join collapsed to exactly
+that clock) *and* the producing detector vouched for exactness (below).
+While the flag holds, ``join <= C`` reduces to the O(1) comparison
+``c <= C(t)``, with no clock traversal and no allocation.  The flag drops
+back to the slow path the moment an access fails to dominate (concurrent
+readers, racy writes) and is restored by the next dominating access,
+mirroring FastTrack's adaptive read representation.
+
+Exactness contract
+------------------
+The O(1) reduction is only valid when, for every later access clock ``C``
+produced by the same detector run, ``C_a(t) <= C(t)`` implies
+``C_a <= C`` pointwise (``C_a`` being the recorded access's clock, ``t``
+its thread).  For HB-style timestamping this always holds: a thread's
+component only escapes to other clocks via end-of-interval snapshots
+(release / fork / join all start a fresh local interval).  For WCP's
+``C_e = P_t[t := N_t]`` it holds *unless* a snapshot of the thread's
+current release-free block already escaped mid-block -- which only fork
+(publishing the parent's ``C``/``H``) and join (publishing the child's
+``C``/``H``) can cause, since ``N_t`` bumps only after releases.  The
+detectors therefore pass ``exact=`` per access: HB passes True, WCP passes
+False exactly for accesses in a block that already leaked through a
+fork/join.  With ``exact=False`` the access records normally but never
+arms the epoch, so results are bit-identical to the always-slow check.
+
+Ownership contract
+------------------
+``observe(..., frozen=True)`` hands the history a clock object the caller
+guarantees never to mutate afterwards (WCP's cached ``C_t`` is replaced,
+never mutated; HB passes a fresh snapshot).  The history then stores
+references instead of copies -- in the per-location cells and as the join
+itself when the access dominates -- and copies lazily (copy-on-write) only
+when a join must actually grow past a frozen clock.  On the steady-state
+no-race path this eliminates every per-access clock allocation.
 """
 
 from __future__ import annotations
@@ -22,38 +64,64 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.races import RaceReport
 from repro.trace.event import Event
-from repro.vectorclock.clock import VectorClock
 
 # (event, clock) of the latest access at one (thread, location).
-_Cell = Tuple[Event, VectorClock]
+_Cell = Tuple[Event, object]
 
 
 class VariableHistory:
-    """Access history for a single shared variable."""
+    """Access history for a single shared variable.
 
-    __slots__ = ("read_join", "write_join", "reads", "writes")
+    ``read_join`` / ``write_join`` are ``None`` until the first access of
+    the respective kind (None compares as the bottom clock).  The epoch
+    state (``r_tid``/``r_time``/``r_fast`` and the write-side mirror) is
+    documented in the module docstring.
+    """
+
+    __slots__ = (
+        "read_join", "write_join", "_rj_owned", "_wj_owned",
+        "reads", "writes",
+        "w_tid", "w_time", "w_fast",
+        "r_tid", "r_time", "r_fast",
+    )
 
     def __init__(self) -> None:
-        self.read_join = VectorClock.bottom()
-        self.write_join = VectorClock.bottom()
+        self.read_join = None
+        self.write_join = None
+        # Whether the history may mutate the join in place (False while the
+        # join aliases a frozen caller clock; copy-on-write flips it).
+        self._rj_owned = False
+        self._wj_owned = False
         # thread -> location -> (event, clock)
         self.reads: Dict[str, Dict[str, _Cell]] = {}
         self.writes: Dict[str, Dict[str, _Cell]] = {}
+        self.w_tid = None
+        self.w_time = 0
+        self.w_fast = False
+        self.r_tid = None
+        self.r_time = 0
+        self.r_fast = False
 
-    def record_read(self, event: Event, clock: VectorClock) -> None:
-        """Record a read access and its timestamp."""
-        self.read_join.join(clock)
-        cells = self.reads.setdefault(event.thread, {})
-        cells[event.location()] = (event, clock.copy())
+    # ------------------------------------------------------------------ #
+    # Ordering checks (fast epoch path, falling back to the full join)
+    # ------------------------------------------------------------------ #
 
-    def record_write(self, event: Event, clock: VectorClock) -> None:
-        """Record a write access and its timestamp."""
-        self.write_join.join(clock)
-        cells = self.writes.setdefault(event.thread, {})
-        cells[event.location()] = (event, clock.copy())
+    def _writes_ordered(self, clock) -> bool:
+        """Return True when every earlier write is ordered before ``clock``."""
+        if self.w_fast:
+            return self.w_time <= clock.get(self.w_tid)
+        join = self.write_join
+        return join is None or join <= clock
+
+    def _reads_ordered(self, clock) -> bool:
+        """Return True when every earlier read is ordered before ``clock``."""
+        if self.r_fast:
+            return self.r_time <= clock.get(self.r_tid)
+        join = self.read_join
+        return join is None or join <= clock
 
     def _unordered_cells(
-        self, cells: Dict[str, Dict[str, _Cell]], event: Event, clock: VectorClock
+        self, cells: Dict[str, Dict[str, _Cell]], event: Event, clock
     ) -> List[Event]:
         racy = []
         for thread, by_loc in cells.items():
@@ -64,20 +132,100 @@ class VariableHistory:
                     racy.append(prior_event)
         return racy
 
-    def check_read(self, event: Event, clock: VectorClock) -> List[Event]:
+    # ------------------------------------------------------------------ #
+    # Fused observe paths (check + record without repeating comparisons)
+    # ------------------------------------------------------------------ #
+
+    def observe_read(self, event: Event, clock, key, exact: bool) -> List[Event]:
+        """Check a read against earlier writes, then record it.
+
+        ``clock`` must already follow the ownership contract (frozen or a
+        private copy); ``key`` is the component key of the accessing thread
+        inside ``clock`` (its tid, or its name for name-keyed clocks).
+        """
+        if self._writes_ordered(clock):
+            racy: List[Event] = []
+        else:
+            racy = self._unordered_cells(self.writes, event, clock)
+
+        if self._reads_ordered(clock):
+            # The join collapses to this clock: alias it and (re)arm the epoch.
+            self.read_join = clock
+            self._rj_owned = False
+            time = clock.get(key)
+            self.r_tid = key
+            self.r_time = time
+            self.r_fast = exact and time > 0
+        else:
+            join = self.read_join
+            if not self._rj_owned:
+                join = self.read_join = join.copy()
+                self._rj_owned = True
+            join.join(clock)
+            self.r_fast = False
+
+        cells = self.reads.get(event.thread)
+        if cells is None:
+            cells = self.reads[event.thread] = {}
+        cells[event.location()] = (event, clock)
+        return racy
+
+    def observe_write(self, event: Event, clock, key, exact: bool) -> List[Event]:
+        """Check a write against earlier reads and writes, then record it."""
+        writes_ordered = self._writes_ordered(clock)
+        racy: List[Event] = []
+        if not writes_ordered:
+            racy.extend(self._unordered_cells(self.writes, event, clock))
+        if not self._reads_ordered(clock):
+            racy.extend(self._unordered_cells(self.reads, event, clock))
+
+        if writes_ordered:
+            self.write_join = clock
+            self._wj_owned = False
+            time = clock.get(key)
+            self.w_tid = key
+            self.w_time = time
+            self.w_fast = exact and time > 0
+        else:
+            join = self.write_join
+            if not self._wj_owned:
+                join = self.write_join = join.copy()
+                self._wj_owned = True
+            join.join(clock)
+            self.w_fast = False
+
+        cells = self.writes.get(event.thread)
+        if cells is None:
+            cells = self.writes[event.thread] = {}
+        cells[event.location()] = (event, clock)
+        return racy
+
+    # ------------------------------------------------------------------ #
+    # Compatibility layer (separate check / record, copying semantics)
+    # ------------------------------------------------------------------ #
+
+    def check_read(self, event: Event, clock) -> List[Event]:
         """Return earlier writes racing with the read ``event`` (may be empty)."""
-        if self.write_join <= clock:
+        if self._writes_ordered(clock):
             return []
         return self._unordered_cells(self.writes, event, clock)
 
-    def check_write(self, event: Event, clock: VectorClock) -> List[Event]:
+    def check_write(self, event: Event, clock) -> List[Event]:
         """Return earlier reads/writes racing with the write ``event``."""
         racy: List[Event] = []
-        if not (self.write_join <= clock):
+        if not self._writes_ordered(clock):
             racy.extend(self._unordered_cells(self.writes, event, clock))
-        if not (self.read_join <= clock):
+        if not self._reads_ordered(clock):
             racy.extend(self._unordered_cells(self.reads, event, clock))
         return racy
+
+    def record_read(self, event: Event, clock, exact: bool = False) -> None:
+        """Record a read access and its timestamp (copies ``clock``)."""
+        self.observe_read(event, clock.copy(), event.thread, exact)
+
+    def record_write(self, event: Event, clock, exact: bool = False) -> None:
+        """Record a write access and its timestamp (copies ``clock``)."""
+        self.observe_write(event, clock.copy(), event.thread, exact)
 
 
 class AccessHistory:
@@ -96,27 +244,40 @@ class AccessHistory:
     def observe(
         self,
         event: Event,
-        clock: VectorClock,
+        clock,
         report: RaceReport,
         on_race: Optional[Callable[[Event, Event], None]] = None,
+        exact: bool = False,
+        key=None,
+        frozen: bool = False,
     ) -> int:
         """Check ``event`` against the history, record it, report races.
 
+        ``exact`` arms the O(1) epoch fast path (see the module docstring
+        for the contract the caller must satisfy); ``key`` is the clock
+        component key of the accessing thread (defaults to
+        ``event.thread``, which matches name-keyed clocks); ``frozen``
+        transfers ownership of ``clock`` to the history so no defensive
+        copy is taken.
+
         Returns the number of racy earlier events found for this access.
         """
-        history = self._history(event.variable)
+        history = self._variables.get(event.variable)
+        if history is None:
+            history = self._variables[event.variable] = VariableHistory()
+        if not frozen:
+            clock = clock.copy()
+        if key is None:
+            key = event.thread
         if event.is_read():
-            racy = history.check_read(event, clock)
+            racy = history.observe_read(event, clock, key, exact)
         else:
-            racy = history.check_write(event, clock)
-        for earlier in racy:
-            report.add(earlier, event)
-            if on_race is not None:
-                on_race(earlier, event)
-        if event.is_read():
-            history.record_read(event, clock)
-        else:
-            history.record_write(event, clock)
+            racy = history.observe_write(event, clock, key, exact)
+        if racy:
+            for earlier in racy:
+                report.add(earlier, event)
+                if on_race is not None:
+                    on_race(earlier, event)
         return len(racy)
 
     def clear(self) -> None:

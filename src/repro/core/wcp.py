@@ -57,9 +57,36 @@ detector agree exactly with the closure oracle
 (:class:`repro.core.closure.WCPClosure`); pass ``strict_pseudocode=True``
 to reproduce the literal Algorithm 1 behaviour instead.
 
-Complexity matches Theorem 3: ``O(N * (T^2 + L))`` time; space is linear in
-the worst case due to the FIFO queues, and the detector records the maximum
-total queue length so Table 1's column 11 can be reproduced.
+Hot-path engineering (the constant factor behind Theorem 3's
+``O(N * (T^2 + L))`` bound):
+
+* **Interned thread ids** -- every per-thread structure is a flat list
+  indexed by the dense integer tid of a
+  :class:`~repro.vectorclock.registry.ThreadRegistry` (adopted from the
+  trace / engine source when available, so pre-stamped ``event.tid``
+  values are trusted and no per-event hashing happens at all).
+* **Dense clocks** -- all internal clocks are array-backed
+  :class:`~repro.vectorclock.dense.DenseClock`\\ s by default
+  (``clock_backend="dense"``); pass ``clock_backend="dict"`` for the
+  sparse representation (used by the parity tests).
+* **Incremental ``C_t``** -- instead of materialising
+  ``P_t.copy().assign(t, N_t)`` per event, each thread's ``C_t`` is
+  cached and invalidated only when ``P_t`` actually grows (all ``P_t``
+  mutations go through ``merge``, which reports changes) or ``N_t``
+  bumps.  The cached object is *frozen*: it is replaced on rebuild, never
+  mutated, so the Rule (b) log and the access history can hold references
+  to it without copying.  Inside the Rule (b) cursor walk this turns the
+  per-iteration ``_clock_c`` rebuild into a rebuild-on-actual-change.
+* **Epoch-accelerated race checks** -- accesses flow into the shared
+  :class:`~repro.core.history.AccessHistory` with ``exact=True`` unless a
+  fork/join leaked a mid-block snapshot of the thread's current
+  release-free block (the condition under which the FastTrack-style O(1)
+  epoch comparison is provably equivalent to the full join comparison for
+  WCP timestamps -- see the history module docstring).
+
+Space is linear in the worst case due to the FIFO queues, and the
+detector records the maximum total queue length so Table 1's column 11
+can be reproduced.
 
 One exact (semantics-preserving) optimisation is applied by default: log
 entries are reclaimed once every thread that releases ``l`` somewhere in
@@ -79,14 +106,90 @@ comparable with the paper.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.core.detector import Detector
 from repro.core.history import AccessHistory
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
+from repro.vectorclock import clock_class
 from repro.vectorclock.clock import VectorClock
+from repro.vectorclock.registry import ThreadRegistry
+
+
+class _RuleACell:
+    """One ``L^r_{l,x}`` / ``L^w_{l,x}`` cell: release HB-times per thread.
+
+    ``by_tid`` holds, per releasing thread, the join of the HB times of its
+    releases of the lock whose critical section touched the variable --
+    the exact structure Rule (a) is defined over.
+
+    On traces obeying lock semantics the entries form a *chain*: critical
+    sections of one lock are HB-totally-ordered (each acquire joins the
+    previous release's ``H_l``), so the most recent release's HB time
+    dominates every entry.  ``top`` / ``second`` cache the most recent
+    entry and the most recent entry owned by a different thread, which
+    collapses the per-access "join all entries except the accessing
+    thread's own" to a single merge:
+
+    * accessing thread != ``top_tid``  ->  join is exactly ``top``;
+    * accessing thread == ``top_tid``  ->  join is exactly ``second``.
+
+    The caches alias the ``by_tid`` objects (which only mutate inside
+    :meth:`WCPDetector._join_release_time`, where the caches are
+    re-established), so maintaining them costs no allocation.  Locks whose
+    critical sections are observed to overlap (possible only on
+    unvalidated, e.g. windowed, trace fragments) are marked tainted by the
+    detector, and Rule (a) falls back to the full ``by_tid`` walk there.
+    """
+
+    __slots__ = ("by_tid", "top_tid", "top", "second_tid", "second")
+
+    def __init__(self) -> None:
+        self.by_tid: Dict[int, object] = {}
+        self.top_tid = -1
+        self.top = None
+        self.second_tid = -1
+        self.second = None
+
+
+class _LockState:
+    """All per-lock detector state, consolidated behind one dict lookup.
+
+    A lock event used to pay half a dozen string-keyed lookups (log, base,
+    cursor, ``P_l``, ``H_l``, holder, Rule (a) tables); everything now
+    lives on one object fetched once, with the per-thread cursors and
+    open-entry indices keyed by plain int tids.
+    """
+
+    __slots__ = (
+        "log", "base", "cursor", "open_entry", "pl", "hl",
+        "holder", "tainted", "releasers", "lr", "lw",
+    )
+
+    def __init__(self) -> None:
+        #: Shared critical-section log: [acquire clock, release HB-time or
+        #: None while open, owning tid] per entry.
+        self.log: Deque[list] = deque()
+        #: Absolute index of the log's first retained entry.
+        self.base = 0
+        #: tid -> absolute log index consumed so far (Rule (b) cursor).
+        self.cursor: Dict[int, int] = {}
+        #: tid -> absolute log index of the thread's open section.
+        self.open_entry: Dict[int, int] = {}
+        #: P / H clocks of the last release (None = bottom).
+        self.pl = None
+        self.hl = None
+        #: tid currently holding the lock (chain-taint tracking).
+        self.holder: Optional[int] = None
+        #: True once overlapping critical sections were observed.
+        self.tainted = False
+        #: tids that release this lock somewhere in the trace (pruned mode).
+        self.releasers: Set[int] = set()
+        #: Rule (a) tables: variable -> cell.
+        self.lr: Dict[str, _RuleACell] = {}
+        self.lw: Dict[str, _RuleACell] = {}
 
 
 class WCPDetector(Detector):
@@ -96,8 +199,9 @@ class WCPDetector(Detector):
     ----------
     track_queue_stats:
         When True (default) record the maximum total FIFO-queue length in
-        ``report.stats["max_queue_total"]`` and the fraction of the trace
-        length in ``report.stats["max_queue_fraction"]`` (Table 1, col 11).
+        ``report.stats["max_queue_total"]`` and the fraction of the
+        processed events in ``report.stats["max_queue_fraction"]``
+        (Table 1, col 11).
     strict_pseudocode:
         When True, follow Algorithm 1 literally and let Rule (a) joins
         include releases performed by the accessing thread itself (see the
@@ -107,6 +211,12 @@ class WCPDetector(Detector):
         by every releasing thread (exactly equivalent, far less memory).
         Requires the full trace at :meth:`reset`; automatically disabled
         when reset with a non-prescannable stream context.
+    clock_backend:
+        Internal clock representation: "dense" (default, array-backed
+        :class:`~repro.vectorclock.dense.DenseClock`) or "dict" (sparse
+        :class:`~repro.vectorclock.clock.VectorClock`).  Both are keyed by
+        interned tids and produce identical reports; the parity tests run
+        both.
     """
 
     name = "WCP"
@@ -116,11 +226,14 @@ class WCPDetector(Detector):
         track_queue_stats: bool = True,
         strict_pseudocode: bool = False,
         prune_queues: bool = True,
+        clock_backend: str = "dense",
     ) -> None:
         super().__init__()
         self._track_queue_stats = track_queue_stats
         self._strict_pseudocode = strict_pseudocode
         self._prune_queues = prune_queues
+        self.clock_backend = clock_backend
+        self._clock_cls = clock_class(clock_backend)
         self._trace: Optional[Trace] = None
 
     # ------------------------------------------------------------------ #
@@ -130,86 +243,107 @@ class WCPDetector(Detector):
     def reset(self, trace: Trace) -> None:
         self._trace = trace
         self._new_report(trace)
-        self._threads: List[str] = trace.threads
+        registry = getattr(trace, "registry", None)
+        # Events stamped by the adopted registry carry trustworthy tids;
+        # with a private registry every tid is re-interned per event.
+        self._trust_tids = registry is not None
+        self._registry: ThreadRegistry = (
+            registry if registry is not None else ThreadRegistry()
+        )
 
-        # Local clocks and thread clocks.
-        self._nt: Dict[str, int] = {}
-        self._pt: Dict[str, VectorClock] = {}
-        self._ht: Dict[str, VectorClock] = {}
-        self._prev_was_release: Dict[str, bool] = {}
-
-        # Per-lock clocks.
-        self._pl: Dict[str, VectorClock] = defaultdict(VectorClock.bottom)
-        self._hl: Dict[str, VectorClock] = defaultdict(VectorClock.bottom)
-
-        # Per (lock, variable) release-time joins for Rule (a), keyed by the
-        # releasing thread so that an accessing thread can skip its own
-        # releases (see the module docstring).
-        self._lr: Dict[Tuple[str, str], Dict[str, VectorClock]] = defaultdict(dict)
-        self._lw: Dict[Tuple[str, str], Dict[str, VectorClock]] = defaultdict(dict)
-
-        # Rule (b) state: per-lock shared log of critical sections.  Each
-        # entry is [acquire clock, release HB-time or None while open,
-        # owning thread]; ``_cs_base`` is the absolute index of the log's
-        # first retained entry (entries below it were reclaimed), and
-        # ``_cursor[(lock, thread)]`` is the absolute index up to which
-        # ``thread`` has consumed the log.
-        self._cs_log: Dict[str, Deque[list]] = defaultdict(deque)
-        self._cs_base: Dict[str, int] = defaultdict(int)
-        self._cursor: Dict[Tuple[str, str], int] = {}
-        # Absolute log index of each thread's currently-open section per lock.
-        self._open_entry: Dict[Tuple[str, str], int] = {}
-
+        # Per-thread state, indexed by tid.  ``_nt[tid] == 0`` means the
+        # thread has not been initialised yet (live local clocks are >= 1).
+        self._nt: List[int] = []
+        self._pt: List[object] = []
+        self._ht: List[object] = []
+        # Cached frozen ``C_t`` per thread (None = needs rebuild).
+        self._ct: List[object] = []
+        self._prev_release: List[bool] = []
+        # ``N_t`` value at the last mid-block snapshot leak (fork by the
+        # thread / join consuming it); -1 when the current block is clean.
+        self._leak: List[int] = []
         # Per-thread stack of open critical sections:
         # (lock, variables read, variables written).
-        self._open_sections: Dict[str, List[Tuple[str, Set[str], Set[str]]]] = (
-            defaultdict(list)
-        )
+        self._open_sections: List[Optional[list]] = []
+        #: Thread names in initialisation order (audience statistics).
+        self._thread_names: List[str] = []
+
+        # All per-lock state (Rule (a) tables, Rule (b) log + cursors,
+        # P_l / H_l, chain-taint tracking) lives in one object per lock.
+        self._locks: Dict[str, _LockState] = {}
 
         self._history = AccessHistory()
         self._queue_total = 0
         self._max_queue_total = 0
+        self._processed_events = 0
 
         # Threads that release each lock somewhere in the trace: queues for
         # other threads are never read, so they need not be kept.  The
         # prescan needs the whole trace up front; when fed from a stream
         # (``is_complete`` False) fall back to keeping every queue.
-        self._releasers: Dict[str, Set[str]] = defaultdict(set)
         self._effective_prune = (
             self._prune_queues and getattr(trace, "is_complete", True)
         )
         if self._effective_prune:
+            intern = self._registry.intern
             for event in trace:
                 if event.is_release():
-                    self._releasers[event.lock].add(event.thread)
+                    self._lock_state(event.lock).releasers.add(
+                        intern(event.thread)
+                    )
 
-        for thread in self._threads:
-            self._init_thread(thread)
+        intern = self._registry.intern
+        for thread in trace.threads:
+            self._ensure_thread(intern(thread), thread)
 
-    def _init_thread(self, thread: str) -> None:
-        if thread in self._nt:
-            return
-        self._nt[thread] = 1
-        self._pt[thread] = VectorClock.bottom()
-        self._ht[thread] = VectorClock.single(thread, 1)
-        self._prev_was_release[thread] = False
-        if thread not in self._threads:
-            self._threads.append(thread)
+    def _ensure_thread(self, tid: int, name: str) -> None:
+        nt = self._nt
+        if tid >= len(nt):
+            grow = tid + 1 - len(nt)
+            nt.extend([0] * grow)
+            self._pt.extend([None] * grow)
+            self._ht.extend([None] * grow)
+            self._ct.extend([None] * grow)
+            self._prev_release.extend([False] * grow)
+            self._leak.extend([-1] * grow)
+            self._open_sections.extend([None] * grow)
+        if nt[tid] == 0:
+            nt[tid] = 1
+            self._pt[tid] = self._clock_cls.bottom()
+            self._ht[tid] = self._clock_cls.single(tid, 1)
+            self._ct[tid] = None
+            self._prev_release[tid] = False
+            self._leak[tid] = -1
+            self._open_sections[tid] = []
+            self._thread_names.append(name)
+
+    def _lock_state(self, lock: str) -> _LockState:
+        state = self._locks.get(lock)
+        if state is None:
+            state = self._locks[lock] = _LockState()
+        return state
+
+    @property
+    def _cs_log(self) -> Dict[str, Deque[list]]:
+        """Per-lock critical-section logs (compatibility view)."""
+        return {lock: state.log for lock, state in self._locks.items()}
 
     # ------------------------------------------------------------------ #
     # Clock helpers
     # ------------------------------------------------------------------ #
 
-    def _clock_c(self, thread: str) -> VectorClock:
-        """Return ``C_t = P_t[t := N_t]`` as a fresh clock."""
-        return self._pt[thread].copy().assign(thread, self._nt[thread])
+    def _clock_c(self, tid: int) -> object:
+        """Return the cached frozen ``C_t = P_t[t := N_t]``.
 
-    def _maybe_increment(self, thread: str) -> None:
-        """Increment ``N_t`` iff the previous event of ``t`` was a release."""
-        if self._prev_was_release.get(thread):
-            self._nt[thread] += 1
-            self._ht[thread].assign(thread, self._nt[thread])
-            self._prev_was_release[thread] = False
+        The returned object must never be mutated: invalidation replaces
+        it with a fresh build, so the Rule (b) log and the access history
+        can safely alias it.
+        """
+        ct = self._ct[tid]
+        if ct is None:
+            ct = self._pt[tid].copy().assign(tid, self._nt[tid])
+            self._ct[tid] = ct
+        return ct
 
     def _bump_queue_total(self, delta: int) -> None:
         if not self._track_queue_stats:
@@ -223,107 +357,186 @@ class WCPDetector(Detector):
     # ------------------------------------------------------------------ #
 
     def process(self, event: Event) -> None:
-        thread = event.thread
-        self._init_thread(thread)
-        self._maybe_increment(thread)
+        self._processed_events += 1
+        tid = event.tid
+        if tid is None or not self._trust_tids:
+            tid = self._registry.intern(event.thread)
+        if tid >= len(self._nt) or self._nt[tid] == 0:
+            self._ensure_thread(tid, event.thread)
+        if self._prev_release[tid]:
+            # The previous event of this thread was a release: bump N_t.
+            nt = self._nt[tid] + 1
+            self._nt[tid] = nt
+            self._ht[tid].assign(tid, nt)
+            self._ct[tid] = None
+            self._prev_release[tid] = False
 
         etype = event.etype
-        if etype is EventType.ACQUIRE:
-            self._acquire(event)
-        elif etype is EventType.RELEASE:
-            self._release(event)
-        elif etype is EventType.READ:
-            self._read(event)
+        if etype is EventType.READ:
+            self._read(event, tid)
         elif etype is EventType.WRITE:
-            self._write(event)
+            self._write(event, tid)
+        elif etype is EventType.ACQUIRE:
+            self._acquire(event, tid)
+        elif etype is EventType.RELEASE:
+            self._release(event, tid)
+            self._prev_release[tid] = True
         elif etype is EventType.FORK:
-            self._fork(event)
+            self._fork(event, tid)
         elif etype is EventType.JOIN:
-            self._join(event)
+            self._join(event, tid)
         # BEGIN / END need no clock work.
-
-        self._prev_was_release[thread] = etype is EventType.RELEASE
 
     # ------------------------------------------------------------------ #
     # Algorithm 1 procedures
     # ------------------------------------------------------------------ #
 
-    def _acquire(self, event: Event) -> None:
-        thread, lock = event.thread, event.lock
+    def _acquire(self, event: Event, tid: int) -> None:
+        lock = event.target
+        state = self._lock_state(lock)
+        # Overlapping critical sections break the release chain the
+        # Rule (a) fast path relies on; fall back to the full walk then.
+        if state.holder is not None:
+            state.tainted = True
+        state.holder = tid
         # Lines 1-2: receive the HB / WCP knowledge of the last release of l.
-        self._ht[thread].join(self._hl[lock])
-        self._pt[thread].join(self._pl[lock])
+        hl = state.hl
+        if hl is not None:
+            self._ht[tid].merge(hl)
+        pl = state.pl
+        if pl is not None and self._pt[tid].merge(pl):
+            self._ct[tid] = None
         # Line 3: advertise this acquire's timestamp by opening a log entry
         # (the pseudocode appends to every other thread's Acq queue; the
         # shared log defers that fan-out to the consumers' cursors).
-        log = self._cs_log[lock]
-        self._open_entry[(lock, thread)] = self._cs_base[lock] + len(log)
-        log.append([self._clock_c(thread), None, thread])
-        self._bump_queue_total(self._audience_size(lock, thread))
+        log = state.log
+        state.open_entry[tid] = state.base + len(log)
+        log.append([self._clock_c(tid), None, tid])
+        if self._track_queue_stats:
+            self._bump_queue_total(self._audience_size(state, tid))
         # Track the opening of the critical section for R/W collection.
-        self._open_sections[thread].append((lock, set(), set()))
+        self._open_sections[tid].append((lock, set(), set(), state))
 
-    def _release(self, event: Event) -> None:
-        thread, lock = event.thread, event.lock
-        pt = self._pt[thread]
+    def _release(self, event: Event, tid: int) -> None:
+        lock = event.target
+        state = self._lock_state(lock)
+        if state.holder == tid:
+            state.holder = None
+        else:
+            state.tainted = True
+        pt = self._pt[tid]
 
         # Lines 4-6: apply Rule (b) for every earlier critical section of
         # this lock (by another thread) whose acquire is WCP-ordered before
         # this release.  The cursor is this thread's FIFO position in the
-        # shared log; own sections are invisible to it.
-        log = self._cs_log[lock]
-        base = self._cs_base[lock]
-        cursor = max(self._cursor.get((lock, thread), 0), base)
-        while cursor - base < len(log):
-            acq_clock, release_time, owner = log[cursor - base]
-            if owner == thread:
-                cursor += 1
-                continue
-            if not (acq_clock <= self._clock_c(thread)):
-                break
-            if release_time is None:
-                # The earlier critical section is still open (only possible
-                # on malformed, e.g. windowed, traces).
-                break
-            pt.join(release_time)
-            self._bump_queue_total(-2)
-            cursor += 1
-        self._cursor[(lock, thread)] = cursor
+        # shared log; own sections are invisible to it.  ``ct`` is hoisted
+        # out of the walk and rebuilt only when a join actually grew P_t.
+        #
+        # On chain-clean locks the consumed release times are HB-ordered
+        # (see :class:`_RuleACell`), so instead of merging each one we keep
+        # only the latest (``pending``, which dominates the rest) and merge
+        # it when the walk ends -- or mid-walk when an acquire comparison
+        # fails, since the deferred knowledge may be exactly what makes the
+        # next entry consumable (the retry keeps the walk equivalent to the
+        # eager pseudocode).  Tainted locks take the eager path.
+        log = state.log
+        base = state.base
+        cursor = state.cursor.get(tid, 0)
+        if cursor < base:
+            cursor = base
+        if cursor - base < len(log):
+            ct = self._clock_c(tid)
+            consumed = 0
+            if not state.tainted:
+                pending = None
+                while cursor - base < len(log):
+                    acq_clock, release_time, owner = log[cursor - base]
+                    if owner == tid:
+                        cursor += 1
+                        continue
+                    if not (acq_clock <= ct):
+                        if pending is None:
+                            break
+                        if pt.merge(pending):
+                            self._ct[tid] = None
+                            ct = self._clock_c(tid)
+                        pending = None
+                        if not (acq_clock <= ct):
+                            break
+                    if release_time is None:
+                        # The earlier critical section is still open (only
+                        # possible on malformed, e.g. windowed, traces).
+                        break
+                    pending = release_time
+                    consumed += 1
+                    cursor += 1
+                if pending is not None and pt.merge(pending):
+                    self._ct[tid] = None
+            else:
+                while cursor - base < len(log):
+                    acq_clock, release_time, owner = log[cursor - base]
+                    if owner == tid:
+                        cursor += 1
+                        continue
+                    if not (acq_clock <= ct):
+                        break
+                    if release_time is None:
+                        break
+                    if pt.merge(release_time):
+                        self._ct[tid] = None
+                        ct = self._clock_c(tid)
+                    consumed += 1
+                    cursor += 1
+            if consumed and self._track_queue_stats:
+                self._bump_queue_total(-2 * consumed)
+        state.cursor[tid] = cursor
 
         # Close the critical section and fetch its accessed variables.
-        reads: Set[str] = set()
-        writes: Set[str] = set()
-        stack = self._open_sections[thread]
-        if stack and stack[-1][0] == lock:
-            _, reads, writes = stack.pop()
-        elif stack:
-            # Non-nested release (only on unvalidated traces): best effort.
-            for position in range(len(stack) - 1, -1, -1):
-                if stack[position][0] == lock:
-                    _, reads, writes = stack.pop(position)
-                    break
+        reads: Optional[Set[str]] = None
+        writes: Optional[Set[str]] = None
+        stack = self._open_sections[tid]
+        if stack:
+            if stack[-1][0] == lock:
+                _, reads, writes, _ = stack.pop()
+            else:
+                # Non-nested release (only on unvalidated traces): best effort.
+                for position in range(len(stack) - 1, -1, -1):
+                    if stack[position][0] == lock:
+                        _, reads, writes, _ = stack.pop(position)
+                        break
 
-        ht_full = self._ht[thread]
+        ht_full = self._ht[tid]
         # Lines 7-8: remember this release's HB time for Rule (a).
-        for variable in reads:
-            self._join_release_time(self._lr[(lock, variable)], thread, ht_full)
-        for variable in writes:
-            self._join_release_time(self._lw[(lock, variable)], thread, ht_full)
+        if reads:
+            per_lock = state.lr
+            for variable in reads:
+                cell = per_lock.get(variable)
+                if cell is None:
+                    cell = per_lock[variable] = _RuleACell()
+                self._join_release_time(cell, tid, ht_full)
+        if writes:
+            per_lock = state.lw
+            for variable in writes:
+                cell = per_lock.get(variable)
+                if cell is None:
+                    cell = per_lock[variable] = _RuleACell()
+                self._join_release_time(cell, tid, ht_full)
 
         # Line 9: per-lock clocks now describe this (latest) release.
-        self._hl[lock] = ht_full.copy()
-        self._pl[lock] = pt.copy()
+        state.hl = ht_full.copy()
+        state.pl = pt.copy()
 
         # Line 10: advertise this release's HB time (close the log entry).
-        open_index = self._open_entry.pop((lock, thread), None)
-        if open_index is not None and open_index >= self._cs_base[lock]:
-            log[open_index - self._cs_base[lock]][1] = ht_full.copy()
-        self._bump_queue_total(self._audience_size(lock, thread))
+        open_index = state.open_entry.pop(tid, None)
+        if open_index is not None and open_index >= state.base:
+            log[open_index - state.base][1] = ht_full.copy()
+        if self._track_queue_stats:
+            self._bump_queue_total(self._audience_size(state, tid))
 
         if self._effective_prune:
-            self._reclaim(lock)
+            self._reclaim(state)
 
-    def _audience_size(self, lock: str, thread: str) -> int:
+    def _audience_size(self, state: _LockState, tid: int) -> int:
         """Number of pseudocode queues this entry would be appended to.
 
         Only used for the Table-1 queue statistics: with pruning, queues
@@ -331,111 +544,169 @@ class WCPDetector(Detector):
         known thread (minus the owner in both cases).
         """
         if self._effective_prune:
-            audience = self._releasers.get(lock, ())
-        else:
-            audience = self._threads
-        size = len(audience)
-        return size - 1 if thread in audience else size
+            audience = state.releasers
+            size = len(audience)
+            return size - 1 if tid in audience else size
+        # The owner is always initialised, hence always counted.
+        return len(self._thread_names) - 1
 
-    def _reclaim(self, lock: str) -> None:
+    def _reclaim(self, state: _LockState) -> None:
         """Drop closed log entries that every possible consumer has passed.
 
-        Consumers of an entry are the threads that release ``lock`` other
+        Consumers of an entry are the threads that release the lock other
         than the entry's owner; with the releaser census available (pruned
         mode) an entry whose consumers' cursors have all moved past it can
         never be read again.
         """
-        log = self._cs_log[lock]
-        base = self._cs_base[lock]
-        releasers = self._releasers.get(lock, ())
+        log = state.log
+        base = state.base
+        releasers = state.releasers
+        cursor = state.cursor
         while log:
-            _, release_time, owner = log[0]
-            if release_time is None:
+            entry = log[0]
+            if entry[1] is None:
                 break
-            if any(
-                consumer != owner
-                and self._cursor.get((lock, consumer), 0) <= base
-                for consumer in releasers
-            ):
+            owner = entry[2]
+            blocked = False
+            for consumer in releasers:
+                if consumer != owner and cursor.get(consumer, 0) <= base:
+                    blocked = True
+                    break
+            if blocked:
                 break
             log.popleft()
             base += 1
-        self._cs_base[lock] = base
+        state.base = base
 
     @staticmethod
-    def _join_release_time(
-        cell: Dict[str, VectorClock], thread: str, time: VectorClock
-    ) -> None:
-        existing = cell.get(thread)
+    def _join_release_time(cell: _RuleACell, tid: int, time) -> None:
+        by_tid = cell.by_tid
+        existing = by_tid.get(tid)
         if existing is None:
-            cell[thread] = time.copy()
+            existing = by_tid[tid] = time.copy()
         else:
-            existing.join(time)
+            existing.merge(time)
+        # This release is the lock's most recent, so (on chain-clean locks)
+        # its entry now dominates the whole cell.
+        top_tid = cell.top_tid
+        if top_tid != tid:
+            cell.second_tid = top_tid
+            cell.second = cell.top
+            cell.top_tid = tid
+        cell.top = existing
 
-    def _join_rule_a(
-        self, target: VectorClock, cell: Dict[str, VectorClock], thread: str
-    ) -> None:
-        """Join into ``target`` the Rule (a) release times relevant to ``thread``."""
-        for releasing_thread, clock in cell.items():
-            if releasing_thread == thread and not self._strict_pseudocode:
-                continue
-            target.join(clock)
+    def _join_rule_a(self, target, cell: _RuleACell, tid: int, clean: bool) -> bool:
+        """Join into ``target`` the Rule (a) release times relevant to ``tid``.
 
-    def _held_locks(self, thread: str) -> List[str]:
-        return [section[0] for section in self._open_sections[thread]]
+        ``clean`` selects the O(1) chain fast path (see :class:`_RuleACell`);
+        returns True when ``target`` actually grew (so the caller can
+        invalidate its cached ``C_t``).
+        """
+        if self._strict_pseudocode:
+            if clean:
+                top = cell.top
+                return top is not None and target.merge(top)
+        elif clean:
+            if cell.top_tid != tid:
+                top = cell.top
+                return top is not None and target.merge(top)
+            second = cell.second
+            return second is not None and target.merge(second)
+        changed = False
+        if self._strict_pseudocode:
+            for clock in cell.by_tid.values():
+                if target.merge(clock):
+                    changed = True
+        else:
+            for releasing_tid, clock in cell.by_tid.items():
+                if releasing_tid != tid and target.merge(clock):
+                    changed = True
+        return changed
 
-    def _note_access(self, thread: str, variable: str, is_write: bool) -> None:
-        for _, reads, writes in self._open_sections[thread]:
-            (writes if is_write else reads).add(variable)
+    def _read(self, event: Event, tid: int) -> None:
+        variable = event.target
+        sections = self._open_sections[tid]
+        if sections:
+            # Line 11: Rule (a) -- order this read after every release of an
+            # enclosing lock whose critical section wrote the same variable.
+            # The access is also noted in each open section in the same walk
+            # (no per-access held-locks list is materialised).
+            pt = self._pt[tid]
+            changed = False
+            for _lock, section_reads, _section_writes, state in sections:
+                cell = state.lw.get(variable)
+                if cell is not None and self._join_rule_a(
+                    pt, cell, tid, not state.tainted
+                ):
+                    changed = True
+                section_reads.add(variable)
+            if changed:
+                self._ct[tid] = None
+        self._check_access(event, tid)
 
-    def _read(self, event: Event) -> None:
-        thread, variable = event.thread, event.variable
-        pt = self._pt[thread]
-        # Line 11: Rule (a) -- order this read after every release of an
-        # enclosing lock whose critical section wrote the same variable.
-        for lock in self._held_locks(thread):
-            self._join_rule_a(pt, self._lw[(lock, variable)], thread)
-        self._note_access(thread, variable, is_write=False)
-        self._check_access(event)
+    def _write(self, event: Event, tid: int) -> None:
+        variable = event.target
+        sections = self._open_sections[tid]
+        if sections:
+            # Line 12: Rule (a) for writes -- conflicting accesses are both
+            # the reads and the writes of the enclosing critical sections.
+            pt = self._pt[tid]
+            changed = False
+            for _lock, _section_reads, section_writes, state in sections:
+                clean = not state.tainted
+                cell = state.lr.get(variable)
+                if cell is not None and self._join_rule_a(pt, cell, tid, clean):
+                    changed = True
+                cell = state.lw.get(variable)
+                if cell is not None and self._join_rule_a(pt, cell, tid, clean):
+                    changed = True
+                section_writes.add(variable)
+            if changed:
+                self._ct[tid] = None
+        self._check_access(event, tid)
 
-    def _write(self, event: Event) -> None:
-        thread, variable = event.thread, event.variable
-        pt = self._pt[thread]
-        # Line 12: Rule (a) for writes -- conflicting accesses are both the
-        # reads and the writes of the enclosing critical sections.
-        for lock in self._held_locks(thread):
-            self._join_rule_a(pt, self._lr[(lock, variable)], thread)
-            self._join_rule_a(pt, self._lw[(lock, variable)], thread)
-        self._note_access(thread, variable, is_write=True)
-        self._check_access(event)
-
-    def _fork(self, event: Event) -> None:
-        parent, child = event.thread, event.other_thread
-        self._init_thread(child)
-        parent_clock = self._clock_c(parent)
-        self._pt[child].join(parent_clock)
-        self._ht[child].join(self._ht[parent])
+    def _fork(self, event: Event, tid: int) -> None:
+        child_name = event.target
+        child = self._registry.intern(child_name)
+        self._ensure_thread(child, child_name)
+        parent_clock = self._clock_c(tid)
+        if self._pt[child].merge(parent_clock):
+            self._ct[child] = None
+        self._ht[child].merge(self._ht[tid])
         # Keep the child's own component pinned to its local clock.
         self._ht[child].assign(child, self._nt[child])
+        # The parent's mid-block C/H escaped: epoch checks for accesses in
+        # the remainder of this block must take the full-join path.
+        self._leak[tid] = self._nt[tid]
 
-    def _join(self, event: Event) -> None:
-        parent, child = event.thread, event.other_thread
-        self._init_thread(child)
-        self._pt[parent].join(self._clock_c(child))
-        self._ht[parent].join(self._ht[child])
-        self._ht[parent].assign(parent, self._nt[parent])
+    def _join(self, event: Event, tid: int) -> None:
+        child_name = event.target
+        child = self._registry.intern(child_name)
+        self._ensure_thread(child, child_name)
+        if self._pt[tid].merge(self._clock_c(child)):
+            self._ct[tid] = None
+        self._ht[tid].merge(self._ht[child])
+        self._ht[tid].assign(tid, self._nt[tid])
+        # The child's mid-block C/H escaped into the parent.
+        self._leak[child] = self._nt[child]
 
     # ------------------------------------------------------------------ #
     # Race checking
     # ------------------------------------------------------------------ #
 
-    def _check_access(self, event: Event) -> None:
-        clock = self._clock_c(event.thread)
-        self._history.observe(event, clock, self.report)
+    def _check_access(self, event: Event, tid: int) -> None:
+        self._history.observe(
+            event,
+            self._clock_c(tid),
+            self.report,
+            exact=self._leak[tid] != self._nt[tid],
+            key=tid,
+            frozen=True,
+        )
 
     def finish(self) -> None:
         if self._track_queue_stats:
-            events = max(1, len(self._trace) if self._trace is not None else 1)
+            events = max(1, self._processed_events)
             self.report.stats["max_queue_total"] = float(self._max_queue_total)
             self.report.stats["max_queue_fraction"] = (
                 self._max_queue_total / float(events)
@@ -448,14 +719,21 @@ class WCPDetector(Detector):
     def timestamps(self, trace: Trace) -> List[VectorClock]:
         """Run over ``trace`` and return the WCP timestamp ``C_e`` per event.
 
-        Used by tests to cross-validate against the explicit closure
-        (Theorem 2: ``a <=_WCP b  iff  C_a <= C_b`` for ``a`` earlier than
-        ``b``).
+        Timestamps are converted to the public name-keyed
+        :class:`VectorClock` representation regardless of the internal
+        clock backend.  Used by tests to cross-validate against the
+        explicit closure (Theorem 2: ``a <=_WCP b  iff  C_a <= C_b`` for
+        ``a`` earlier than ``b``).
         """
         self.reset(trace)
         clocks: List[VectorClock] = []
+        to_public = self._registry.to_public
+        intern = self._registry.intern
         for event in trace:
             self.process(event)
-            clocks.append(self._clock_c(event.thread))
+            tid = event.tid
+            if tid is None or not self._trust_tids:
+                tid = intern(event.thread)
+            clocks.append(to_public(self._clock_c(tid)))
         self.finish()
         return clocks

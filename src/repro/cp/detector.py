@@ -47,6 +47,10 @@ class CPDetector(Detector):
         self._buffer: List[Event] = []
         self._windows_analyzed = 0
         self._lock_context = HeldLockTracker()
+        # Share one thread-interning table across every window of this run
+        # (adopting the source trace's when available) so window traces do
+        # not re-intern per window.
+        self._registry = getattr(trace, "registry", None)
 
     def process(self, event: Event) -> None:
         self._buffer.append(event)
@@ -62,6 +66,7 @@ class CPDetector(Detector):
         window_trace = make_window_trace(
             self._buffer, carried,
             "%s#w%d" % (self._trace.name, self._windows_analyzed),
+            registry=self._registry,
         )
         closure = CPClosure(window_trace)
         for first, second in closure.races():

@@ -34,14 +34,18 @@ class StreamContext:
 
     Exposes the small protocol detectors consult at reset time -- ``name``,
     ``threads`` (empty; detectors discover threads lazily), ``__len__``
-    (events seen so far, updated by the engine) and ``is_complete = False``
-    so detectors skip whole-trace prescans.
+    (events seen so far, updated by the engine), ``is_complete = False``
+    so detectors skip whole-trace prescans, and ``registry`` (the source's
+    thread-interning table, shared by every detector of the pass so the
+    events' pre-stamped tids can be trusted; None when the source does not
+    stamp).
     """
 
     is_complete = False
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, registry=None) -> None:
         self.name = name
+        self.registry = registry
         self.events_seen = 0
 
     @property
@@ -200,7 +204,14 @@ class RaceEngine:
         # Complete sources hand detectors the real trace so reset-time
         # prescans keep working; streams get a non-prescannable context.
         trace = event_source.trace
-        context = trace if trace is not None else StreamContext(event_source.name)
+        context = (
+            trace
+            if trace is not None
+            else StreamContext(
+                event_source.name,
+                registry=getattr(event_source, "registry", None),
+            )
+        )
 
         # Per-event attribution only pays off with several detectors; for a
         # single one it necessarily equals the pass total, so skip the two
@@ -227,9 +238,13 @@ class RaceEngine:
 
         for event in event_source:
             # Streams may carry unnumbered events (builder convention -1);
-            # renumber so race distances stay well-defined.
+            # renumber so race distances stay well-defined (preserving the
+            # source's interned-tid stamp).
             if event.index != events:
-                event = Event(events, event.thread, event.etype, event.target, event.loc)
+                event = Event(
+                    events, event.thread, event.etype, event.target,
+                    event.loc, tid=event.tid,
+                )
 
             if accounting:
                 for detector in resolved:

@@ -20,6 +20,13 @@ An :class:`EventSource` is anything that can hand the
 
 :func:`as_source` coerces plain traces, paths and iterables, so the
 public API accepts all of them interchangeably.
+
+Every source exposes a ``registry``
+(:class:`~repro.vectorclock.registry.ThreadRegistry`): the interning
+table used to stamp the ``tid`` of every yielded event.  The engine hands
+the same registry to every detector of a pass (via the backing trace or
+the stream context), so thread identifiers are hashed exactly once -- at
+the source boundary -- no matter how many detectors run.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from typing import Iterable, Iterator, Optional, Union
 from repro.trace.event import Event
 from repro.trace.parsers import iter_trace_file
 from repro.trace.trace import Trace
+from repro.vectorclock.registry import ThreadRegistry
 
 
 class EventSource:
@@ -47,6 +55,9 @@ class EventSource:
 
     name = "stream"
     is_complete = False
+    #: Interning table whose tids stamp the yielded events (None when the
+    #: source does not stamp; detectors then intern per event themselves).
+    registry: Optional[ThreadRegistry] = None
 
     def __iter__(self) -> Iterator[Event]:
         raise NotImplementedError
@@ -76,6 +87,7 @@ class TraceSource(EventSource):
     def __init__(self, trace: Trace) -> None:
         self._trace = trace
         self.name = trace.name
+        self.registry = getattr(trace, "registry", None)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self._trace)
@@ -100,23 +112,30 @@ class FileSource(EventSource):
     def __init__(self, path: Union[str, Path], name: Optional[str] = None) -> None:
         self.path = Path(path)
         self.name = name or self.path.stem
+        self.registry = ThreadRegistry()
 
     def __iter__(self) -> Iterator[Event]:
-        return iter_trace_file(self.path)
+        return iter_trace_file(self.path, registry=self.registry)
 
     def __repr__(self) -> str:
         return "FileSource(%r)" % (str(self.path),)
 
 
 class IterableSource(EventSource):
-    """Wrap an arbitrary iterable (or one-shot generator) of events."""
+    """Wrap an arbitrary iterable (or one-shot generator) of events.
+
+    Events are stamped with tids from the source's own registry as they
+    pass through; an event already stamped by a *different* registry is
+    replaced with a fresh copy so the original stamps stay intact.
+    """
 
     def __init__(self, events: Iterable[Event], name: str = "stream") -> None:
         self._events = events
         self.name = name
+        self.registry = ThreadRegistry()
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        return _stamped(self._events, self.registry)
 
 
 class SimulatorSource(EventSource):
@@ -135,6 +154,9 @@ class SimulatorSource(EventSource):
         self.scheduler = scheduler
         self.allow_deadlock = allow_deadlock
         self.name = name or getattr(program, "name", "simulation")
+        # Persists across runs so tids stay stable even when the scheduler
+        # makes threads appear in a different order on a re-run.
+        self.registry = ThreadRegistry()
 
     def __iter__(self) -> Iterator[Event]:
         from repro.simulator.interpreter import run_program
@@ -142,7 +164,7 @@ class SimulatorSource(EventSource):
         trace = run_program(
             self.program, self.scheduler, allow_deadlock=self.allow_deadlock
         )
-        return iter(trace)
+        return _stamped(trace, self.registry)
 
 
 class CountingSource(EventSource):
@@ -157,6 +179,7 @@ class CountingSource(EventSource):
                  name: Optional[str] = None) -> None:
         self._inner = as_source(inner)
         self.name = name or self._inner.name
+        self.registry = self._inner.registry
         #: Number of times iteration was started.
         self.passes = 0
         #: Number of events handed out across all passes.
@@ -170,6 +193,25 @@ class CountingSource(EventSource):
 
     def length_hint(self) -> Optional[int]:
         return self._inner.length_hint()
+
+
+def _stamped(events: Iterable[Event], registry: ThreadRegistry) -> Iterator[Event]:
+    """Yield ``events`` with their ``tid`` stamped from ``registry``.
+
+    Events stamped by a different registry (conflicting tid) are yielded
+    as fresh copies instead of being restamped in place.
+    """
+    intern = registry.intern
+    for event in events:
+        tid = intern(event.thread)
+        if event.tid is None:
+            event.tid = tid
+        elif event.tid != tid:
+            event = Event(
+                event.index, event.thread, event.etype, event.target,
+                event.loc, tid=tid,
+            )
+        yield event
 
 
 def as_source(obj: Union[EventSource, Trace, str, Path, Iterable[Event]],

@@ -8,7 +8,9 @@ of O(T).
 
 The WCP paper cites epoch optimisations as future work for its own
 algorithm (Section 6); we provide the HB variant so the repository can
-quantify the time/memory trade-off (see ``benchmarks/bench_ablation_epochs``).
+quantify the time/memory trade-off (see ``benchmarks/bench_ablation_epochs``),
+and the shared access history (:mod:`repro.core.history`) now applies the
+same idea to the WCP detector's race checks.
 
 The detector reports the same HB races as :class:`repro.hb.hb.HBDetector`;
 the per-variable state is:
@@ -18,18 +20,23 @@ the per-variable state is:
 * ``reads``: either a single read epoch (shared-exclusive mode) or a map
   from thread to its last read (read-shared mode), mirroring FastTrack's
   adaptive representation.
+
+Epochs, clock components and the read map are keyed by interned integer
+tids (:class:`~repro.vectorclock.registry.ThreadRegistry`); clocks are
+array-backed :class:`~repro.vectorclock.dense.DenseClock`\\ s by default
+(``clock_backend="dict"`` selects the sparse representation).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.detector import Detector
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
-from repro.vectorclock.clock import VectorClock
+from repro.vectorclock import clock_class
 from repro.vectorclock.epoch import Epoch
+from repro.vectorclock.registry import ThreadRegistry
 
 
 class _VariableState:
@@ -42,36 +49,55 @@ class _VariableState:
         self.write_event: Optional[Event] = None
         self.read_epoch = Epoch.bottom()
         self.read_event: Optional[Event] = None
-        # thread -> (time, event); non-empty only in read-shared mode.
-        self.read_map: Optional[Dict[str, Tuple[int, Event]]] = None
+        # tid -> (time, event); non-empty only in read-shared mode.
+        self.read_map: Optional[Dict[int, Tuple[int, Event]]] = None
 
     def in_shared_mode(self) -> bool:
         return self.read_map is not None
 
 
 class FastTrackDetector(Detector):
-    """Epoch-optimised HB detector (FastTrack)."""
+    """Epoch-optimised HB detector (FastTrack).
+
+    Parameters
+    ----------
+    clock_backend:
+        Internal clock representation: "dense" (default) or "dict".
+    """
 
     name = "FastTrack"
+
+    def __init__(self, clock_backend: str = "dense") -> None:
+        super().__init__()
+        self.clock_backend = clock_backend
+        self._clock_cls = clock_class(clock_backend)
 
     def reset(self, trace: Trace) -> None:
         self._trace = trace
         self._new_report(trace)
-        self._clocks: Dict[str, VectorClock] = {}
-        self._lock_clocks: Dict[str, VectorClock] = defaultdict(VectorClock.bottom)
+        registry = getattr(trace, "registry", None)
+        self._trust_tids = registry is not None
+        self._registry: ThreadRegistry = (
+            registry if registry is not None else ThreadRegistry()
+        )
+        self._clocks: List[object] = []
+        self._lock_clocks: Dict[str, object] = {}
         self._variables: Dict[str, _VariableState] = {}
         #: Number of accesses handled entirely with O(1) epoch comparisons.
         self.fast_path_hits = 0
         #: Number of accesses that needed a vector-clock comparison.
         self.slow_path_hits = 0
+        intern = self._registry.intern
         for thread in trace.threads:
-            self._thread_clock(thread)
+            self._ensure_thread(intern(thread))
 
-    def _thread_clock(self, thread: str) -> VectorClock:
-        clock = self._clocks.get(thread)
+    def _ensure_thread(self, tid: int):
+        clocks = self._clocks
+        if tid >= len(clocks):
+            clocks.extend([None] * (tid + 1 - len(clocks)))
+        clock = clocks[tid]
         if clock is None:
-            clock = VectorClock.single(thread, 1)
-            self._clocks[thread] = clock
+            clock = clocks[tid] = self._clock_cls.single(tid, 1)
         return clock
 
     def _state(self, variable: str) -> _VariableState:
@@ -86,37 +112,46 @@ class FastTrackDetector(Detector):
     # ------------------------------------------------------------------ #
 
     def process(self, event: Event) -> None:
-        thread = event.thread
-        clock = self._thread_clock(thread)
+        tid = event.tid
+        if tid is None or not self._trust_tids:
+            tid = self._registry.intern(event.thread)
+        clock = (
+            self._clocks[tid]
+            if tid < len(self._clocks) and self._clocks[tid] is not None
+            else self._ensure_thread(tid)
+        )
         etype = event.etype
 
-        if etype is EventType.ACQUIRE:
-            clock.join(self._lock_clocks[event.lock])
+        if etype is EventType.READ:
+            self._read(event, tid, clock)
+        elif etype is EventType.WRITE:
+            self._write(event, tid, clock)
+        elif etype is EventType.ACQUIRE:
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None:
+                clock.merge(lock_clock)
         elif etype is EventType.RELEASE:
             self._lock_clocks[event.lock] = clock.copy()
-            clock.increment(thread)
-        elif etype is EventType.READ:
-            self._read(event, clock)
-        elif etype is EventType.WRITE:
-            self._write(event, clock)
+            clock.increment(tid)
         elif etype is EventType.FORK:
-            child = self._thread_clock(event.other_thread)
-            child.join(clock)
-            clock.increment(thread)
+            child = self._ensure_thread(self._registry.intern(event.other_thread))
+            child.merge(clock)
+            clock.increment(tid)
         elif etype is EventType.JOIN:
-            clock.join(self._thread_clock(event.other_thread))
+            clock.merge(
+                self._ensure_thread(self._registry.intern(event.other_thread))
+            )
 
     # ------------------------------------------------------------------ #
     # FastTrack access rules
     # ------------------------------------------------------------------ #
 
-    def _read(self, event: Event, clock: VectorClock) -> None:
-        thread = event.thread
+    def _read(self, event: Event, tid: int, clock) -> None:
         state = self._state(event.variable)
 
         # Same-epoch fast path: repeated read by the same thread interval.
-        if state.read_epoch.same_thread(thread) and (
-            state.read_epoch.time == clock.get(thread)
+        if state.read_epoch.same_thread(tid) and (
+            state.read_epoch.time == clock.get(tid)
         ):
             self.fast_path_hits += 1
             return
@@ -128,12 +163,12 @@ class FastTrackDetector(Detector):
         self.fast_path_hits += 1
 
         if state.in_shared_mode():
-            state.read_map[thread] = (clock.get(thread), event)  # type: ignore[index]
+            state.read_map[tid] = (clock.get(tid), event)  # type: ignore[index]
             return
 
         if state.read_epoch.happens_before(clock):
             # Exclusive mode: the previous read is ordered before this one.
-            state.read_epoch = Epoch(thread, clock.get(thread))
+            state.read_epoch = Epoch(tid, clock.get(tid))
             state.read_event = event
         else:
             # Switch to read-shared mode.
@@ -143,15 +178,14 @@ class FastTrackDetector(Detector):
                 state.read_map[state.read_epoch.thread] = (
                     state.read_epoch.time, state.read_event
                 )
-            state.read_map[thread] = (clock.get(thread), event)
+            state.read_map[tid] = (clock.get(tid), event)
 
-    def _write(self, event: Event, clock: VectorClock) -> None:
-        thread = event.thread
+    def _write(self, event: Event, tid: int, clock) -> None:
         state = self._state(event.variable)
 
         # Same-epoch fast path.
-        if state.write_epoch.same_thread(thread) and (
-            state.write_epoch.time == clock.get(thread)
+        if state.write_epoch.same_thread(tid) and (
+            state.write_epoch.time == clock.get(tid)
         ):
             self.fast_path_hits += 1
             return
@@ -165,7 +199,7 @@ class FastTrackDetector(Detector):
         if state.in_shared_mode():
             self.slow_path_hits += 1
             for reader, (time, read_event) in state.read_map.items():  # type: ignore[union-attr]
-                if reader != thread and time > clock.get(reader):
+                if reader != tid and time > clock.get(reader):
                     self.report.add(read_event, event)
             state.read_map = None
             state.read_epoch = Epoch.bottom()
@@ -176,7 +210,7 @@ class FastTrackDetector(Detector):
                 if state.read_event is not None:
                     self.report.add(state.read_event, event)
 
-        state.write_epoch = Epoch(thread, clock.get(thread))
+        state.write_epoch = Epoch(tid, clock.get(tid))
         state.write_event = event
 
     def finish(self) -> None:

@@ -16,42 +16,80 @@ The local component ``C_t(t)`` is incremented after every release and fork
 synchronization intervals get distinct local times; this matches the
 standard Djit+ formulation and keeps the clock comparison exact -- the
 timestamp observed right after processing an event is that event's HB time.
+
+Hot-path engineering: per-thread state is a flat list indexed by interned
+tids (see :class:`~repro.vectorclock.registry.ThreadRegistry`), clocks are
+array-backed :class:`~repro.vectorclock.dense.DenseClock`\\ s by default
+(``clock_backend="dict"`` selects the sparse representation), and each
+thread keeps a *frozen snapshot* of its clock that is shared with the
+access history across consecutive accesses and invalidated only by
+synchronization events -- so a run of accesses between two sync operations
+costs one clock copy in total, and (because HB timestamps satisfy the
+history's exactness contract unconditionally) the per-access race check is
+an O(1) epoch comparison in the common case.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.detector import Detector
 from repro.core.history import AccessHistory
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
+from repro.vectorclock import clock_class
 from repro.vectorclock.clock import VectorClock
+from repro.vectorclock.registry import ThreadRegistry
 
 
 class HBDetector(Detector):
-    """Linear-time, un-windowed happens-before race detector."""
+    """Linear-time, un-windowed happens-before race detector.
+
+    Parameters
+    ----------
+    clock_backend:
+        Internal clock representation: "dense" (default) or "dict".
+    """
 
     name = "HB"
+
+    def __init__(self, clock_backend: str = "dense") -> None:
+        super().__init__()
+        self.clock_backend = clock_backend
+        self._clock_cls = clock_class(clock_backend)
 
     def reset(self, trace: Trace) -> None:
         self._trace = trace
         self._new_report(trace)
-        self._clocks: Dict[str, VectorClock] = {}
-        self._lock_clocks: Dict[str, VectorClock] = defaultdict(VectorClock.bottom)
-        self._history = AccessHistory()
+        registry = getattr(trace, "registry", None)
+        self._trust_tids = registry is not None
+        self._registry: ThreadRegistry = (
+            registry if registry is not None else ThreadRegistry()
+        )
+        # Per-thread state indexed by tid (None = not initialised).
+        self._clocks: List[object] = []
         # Local-clock increments are deferred to the thread's next event so
         # that the clock observed right after an event is its timestamp.
-        self._pending_increment: Dict[str, bool] = {}
+        self._pending: List[bool] = []
+        # Frozen per-thread snapshot shared with the access history; None
+        # after any mutation of the live clock.
+        self._snap: List[object] = []
+        self._lock_clocks: Dict[str, object] = {}
+        self._history = AccessHistory()
+        intern = self._registry.intern
         for thread in trace.threads:
-            self._thread_clock(thread)
+            self._ensure_thread(intern(thread))
 
-    def _thread_clock(self, thread: str) -> VectorClock:
-        clock = self._clocks.get(thread)
+    def _ensure_thread(self, tid: int):
+        clocks = self._clocks
+        if tid >= len(clocks):
+            grow = tid + 1 - len(clocks)
+            clocks.extend([None] * grow)
+            self._pending.extend([False] * grow)
+            self._snap.extend([None] * grow)
+        clock = clocks[tid]
         if clock is None:
-            clock = VectorClock.single(thread, 1)
-            self._clocks[thread] = clock
+            clock = clocks[tid] = self._clock_cls.single(tid, 1)
         return clock
 
     # ------------------------------------------------------------------ #
@@ -59,42 +97,70 @@ class HBDetector(Detector):
     # ------------------------------------------------------------------ #
 
     def process(self, event: Event) -> None:
-        thread = event.thread
-        clock = self._thread_clock(thread)
-        if self._pending_increment.pop(thread, False):
-            clock.increment(thread)
+        tid = event.tid
+        if tid is None or not self._trust_tids:
+            tid = self._registry.intern(event.thread)
+        if tid >= len(self._clocks) or self._clocks[tid] is None:
+            clock = self._ensure_thread(tid)
+        else:
+            clock = self._clocks[tid]
+        if self._pending[tid]:
+            clock.increment(tid)
+            self._pending[tid] = False
+            self._snap[tid] = None
         etype = event.etype
 
-        if etype is EventType.ACQUIRE:
-            clock.join(self._lock_clocks[event.lock])
+        if etype is EventType.READ or etype is EventType.WRITE:
+            snap = self._snap[tid]
+            if snap is None:
+                snap = self._snap[tid] = clock.copy()
+            # HB timestamps satisfy the exactness contract unconditionally:
+            # a thread's component only escapes via end-of-interval
+            # snapshots (release / fork / join all defer an increment).
+            self._history.observe(
+                event, snap, self.report, exact=True, key=tid, frozen=True
+            )
+        elif etype is EventType.ACQUIRE:
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None and clock.merge(lock_clock):
+                self._snap[tid] = None
         elif etype is EventType.RELEASE:
             self._lock_clocks[event.lock] = clock.copy()
-            self._pending_increment[thread] = True
-        elif etype is EventType.READ or etype is EventType.WRITE:
-            self._history.observe(event, clock.copy(), self.report)
+            self._pending[tid] = True
         elif etype is EventType.FORK:
-            child = self._thread_clock(event.other_thread)
-            child.join(clock)
-            child.assign(event.other_thread, max(child.get(event.other_thread), 1))
-            self._pending_increment[thread] = True
+            child_tid = self._registry.intern(event.other_thread)
+            child = self._ensure_thread(child_tid)
+            child.merge(clock)
+            child.assign(child_tid, max(child.get(child_tid), 1))
+            self._snap[child_tid] = None
+            self._pending[tid] = True
         elif etype is EventType.JOIN:
-            child = self._thread_clock(event.other_thread)
-            clock.join(child)
-            clock.assign(thread, max(clock.get(thread), 1))
+            child_tid = self._registry.intern(event.other_thread)
+            child = self._ensure_thread(child_tid)
+            clock.merge(child)
+            clock.assign(tid, max(clock.get(tid), 1))
+            self._snap[tid] = None
             # Any (unusual) child events after the join start a new interval.
-            self._pending_increment[event.other_thread] = True
+            self._pending[child_tid] = True
         # BEGIN / END: no clock effect.
 
     def timestamps(self, trace: Trace) -> list:
         """Run over ``trace`` and return the HB timestamp of every event.
 
-        Used by tests to cross-validate against
+        Timestamps are converted to the public name-keyed
+        :class:`VectorClock` regardless of the internal backend.  Used by
+        tests to cross-validate against
         :class:`repro.core.closure.HBClosure`.
         """
         self.reset(trace)
         clocks = []
+        to_public = self._registry.to_public
+        intern = self._registry.intern
         for event in trace:
             self.process(event)
-            clocks.append(self._thread_clock(event.thread).copy())
+            tid = event.tid
+            if tid is None or not self._trust_tids:
+                tid = intern(event.thread)
+            clocks.append(to_public(self._clocks[tid]))
         self.finish()
         return clocks

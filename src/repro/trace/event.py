@@ -64,9 +64,15 @@ class Event:
         for begin/end.
     loc:
         Optional program location (source line) used for race de-duplication.
+    tid:
+        Optional interned integer id of ``thread``, stamped at the
+        trace/parser/source boundary by a
+        :class:`~repro.vectorclock.registry.ThreadRegistry` so detectors
+        can skip per-event string hashing.  ``None`` means "not interned";
+        the field is a cache and takes no part in equality or hashing.
     """
 
-    __slots__ = ("index", "thread", "etype", "target", "loc")
+    __slots__ = ("index", "thread", "etype", "target", "loc", "tid")
 
     def __init__(
         self,
@@ -75,6 +81,7 @@ class Event:
         etype: EventType,
         target: Optional[str] = None,
         loc: Optional[str] = None,
+        tid: Optional[int] = None,
     ) -> None:
         if etype in LOCK_EVENTS and target is None:
             raise ValueError("lock events require a lock target")
@@ -87,6 +94,7 @@ class Event:
         self.etype = etype
         self.target = target
         self.loc = loc
+        self.tid = tid
 
     # ------------------------------------------------------------------ #
     # Classification helpers

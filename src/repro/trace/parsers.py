@@ -38,6 +38,7 @@ from typing import Iterable, Iterator, Optional, Union
 
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
+from repro.vectorclock.registry import ThreadRegistry
 
 _OP_PATTERN = re.compile(r"^\s*(\w+)\s*\(\s*([^)]*?)\s*\)\s*$")
 
@@ -81,12 +82,18 @@ def _parse_operation(text: str, line_number: int) -> "tuple[EventType, Optional[
 # Streaming layer
 # --------------------------------------------------------------------- #
 
-def iter_std_events(lines: Iterable[str]) -> Iterator[Event]:
+def iter_std_events(
+    lines: Iterable[str], registry: Optional[ThreadRegistry] = None
+) -> Iterator[Event]:
     """Lazily parse STD-format lines into a stream of events.
 
     Events are numbered in order of appearance.  Nothing is buffered, so
     this can feed the streaming engine from arbitrarily large log files.
+    When a ``registry`` is given, every event is stamped with its interned
+    thread ``tid`` at parse time so downstream detectors sharing the
+    registry never hash a thread identifier again.
     """
+    intern = registry.intern if registry is not None else None
     index = 0
     for line_number, raw in enumerate(lines, start=1):
         line = raw.strip()
@@ -100,12 +107,22 @@ def iter_std_events(lines: Iterable[str]) -> Iterator[Event]:
         thread = parts[0]
         etype, target = _parse_operation(parts[1], line_number)
         loc = parts[2] if len(parts) > 2 and parts[2] else None
-        yield Event(index, thread, etype, target, loc)
+        yield Event(
+            index, thread, etype, target, loc,
+            tid=intern(thread) if intern is not None else None,
+        )
         index += 1
 
 
-def iter_csv_events(lines: Iterable[str]) -> Iterator[Event]:
-    """Lazily parse CSV-format lines (header row required) into events."""
+def iter_csv_events(
+    lines: Iterable[str], registry: Optional[ThreadRegistry] = None
+) -> Iterator[Event]:
+    """Lazily parse CSV-format lines (header row required) into events.
+
+    ``registry`` stamps interned thread tids exactly like
+    :func:`iter_std_events`.
+    """
+    intern = registry.intern if registry is not None else None
     reader = csv.DictReader(lines)
     index = 0
     for row_number, row in enumerate(reader, start=2):
@@ -118,23 +135,30 @@ def iter_csv_events(lines: Iterable[str]) -> Iterator[Event]:
             )
         target = (row.get("target") or "").strip() or None
         loc = (row.get("loc") or "").strip() or None
-        yield Event(index, row["thread"].strip(), _OP_NAMES[etype_name], target, loc)
+        thread = row["thread"].strip()
+        yield Event(
+            index, thread, _OP_NAMES[etype_name], target, loc,
+            tid=intern(thread) if intern is not None else None,
+        )
         index += 1
 
 
-def iter_trace_file(path: Union[str, Path]) -> Iterator[Event]:
+def iter_trace_file(
+    path: Union[str, Path], registry: Optional[ThreadRegistry] = None
+) -> Iterator[Event]:
     """Lazily stream the events of a trace file, one line at a time.
 
     The file is opened when iteration starts and closed when the iterator
     is exhausted; at no point is the whole file (or a ``Trace``) held in
-    memory.  Dispatches on the file extension like :func:`load_trace`.
+    memory.  Dispatches on the file extension like :func:`load_trace`;
+    ``registry`` stamps interned thread tids at parse time.
     """
     path = Path(path)
     with path.open("r", newline="") as handle:
         if path.suffix.lower() == ".csv":
-            parse = iter_csv_events(handle)
+            parse = iter_csv_events(handle, registry=registry)
         else:
-            parse = iter_std_events(handle)
+            parse = iter_std_events(handle, registry=registry)
         for event in parse:
             yield event
 
@@ -150,15 +174,21 @@ def _as_lines(source: Union[str, Iterable[str]]) -> Iterable[str]:
 
 
 def parse_std(source: Union[str, Iterable[str]], name: Optional[str] = None,
-              validate: bool = True) -> Trace:
+              validate: bool = True,
+              registry: Optional[ThreadRegistry] = None) -> Trace:
     """Parse the STD text format from a string or an iterable of lines."""
-    return Trace(iter_std_events(_as_lines(source)), validate=validate, name=name)
+    registry = registry if registry is not None else ThreadRegistry()
+    return Trace(iter_std_events(_as_lines(source), registry=registry),
+                 validate=validate, name=name, registry=registry)
 
 
 def parse_csv(source: Union[str, Iterable[str]], name: Optional[str] = None,
-              validate: bool = True) -> Trace:
+              validate: bool = True,
+              registry: Optional[ThreadRegistry] = None) -> Trace:
     """Parse the CSV format (``thread,etype,target,loc`` with header)."""
-    return Trace(iter_csv_events(_as_lines(source)), validate=validate, name=name)
+    registry = registry if registry is not None else ThreadRegistry()
+    return Trace(iter_csv_events(_as_lines(source), registry=registry),
+                 validate=validate, name=name, registry=registry)
 
 
 def load_trace(path: Union[str, Path], validate: bool = True) -> Trace:

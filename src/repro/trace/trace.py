@@ -24,6 +24,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.trace.event import Event, EventType
+from repro.vectorclock.registry import ThreadRegistry
 
 
 class TraceError(ValueError):
@@ -57,6 +58,13 @@ class Trace:
         violation.
     name:
         Optional human-readable name used in reports.
+    registry:
+        Optional :class:`~repro.vectorclock.registry.ThreadRegistry` to
+        intern thread identifiers into (a fresh one is created otherwise).
+        Every event is stamped with its interned ``tid`` during indexing;
+        events that already carry a *conflicting* tid (stamped by a
+        different registry) are replaced by fresh copies so the original
+        producer's stamps stay intact.
     """
 
     #: A materialised trace can always be re-iterated / pre-scanned.
@@ -67,12 +75,23 @@ class Trace:
         events: Iterable[Event],
         validate: bool = True,
         name: Optional[str] = None,
+        registry: Optional[ThreadRegistry] = None,
     ) -> None:
         self.name = name or "trace"
+        self.registry = registry if registry is not None else ThreadRegistry()
+        intern = self.registry.intern
         self._events: List[Event] = []
         for position, event in enumerate(events):
-            if event.index != position:
-                event = Event(position, event.thread, event.etype, event.target, event.loc)
+            tid = intern(event.thread)
+            if event.index != position or (
+                event.tid is not None and event.tid != tid
+            ):
+                event = Event(
+                    position, event.thread, event.etype, event.target,
+                    event.loc, tid=tid,
+                )
+            else:
+                event.tid = tid
             self._events.append(event)
 
         self._threads: List[str] = []

@@ -1,18 +1,51 @@
-"""Vector clocks and epochs.
+"""Vector clocks, epochs and thread-id interning.
 
 This subpackage provides the logical-time machinery used by every partial
 order based detector in the library:
 
-* :class:`~repro.vectorclock.clock.VectorClock` -- a mutable mapping from
-  thread identifiers to integer local times, supporting the join
-  (pointwise maximum), pointwise comparison and component assignment
-  operations required by the paper's Algorithm 1.
+* :class:`~repro.vectorclock.clock.VectorClock` -- a mutable sparse
+  mapping from thread identifiers to integer local times, supporting the
+  join (pointwise maximum), pointwise comparison and component assignment
+  operations required by the paper's Algorithm 1.  This is the public,
+  reporting-facing representation (keyed by the original thread names).
+* :class:`~repro.vectorclock.dense.DenseClock` -- the array-backed hot-path
+  representation keyed by interned integer tids; same operation set,
+  strictly cheaper constants.  Detectors use it internally by default
+  (``clock_backend="dense"``).
+* :class:`~repro.vectorclock.registry.ThreadRegistry` -- the interning
+  table that maps thread names to dense tids at the trace/engine boundary
+  and converts clocks losslessly between both representations.
 * :class:`~repro.vectorclock.epoch.Epoch` -- the FastTrack-style compressed
-  representation ``t@c`` of a vector clock that is known to have a single
-  relevant component.  Used by the epoch-optimised HB detector.
+  representation ``c@t`` of a vector clock that is known to have a single
+  relevant component.  Used by the epoch-optimised HB detector and (via
+  the access history's epoch fast path) by WCP.
 """
 
 from repro.vectorclock.clock import VectorClock
+from repro.vectorclock.dense import DenseClock
 from repro.vectorclock.epoch import Epoch
+from repro.vectorclock.registry import ThreadRegistry
 
-__all__ = ["VectorClock", "Epoch"]
+#: The classes usable as detector-internal clocks, by backend name.
+CLOCK_BACKENDS = {"dense": DenseClock, "dict": VectorClock}
+
+
+def clock_class(backend: str):
+    """Return the clock class for ``backend`` ("dense" or "dict")."""
+    try:
+        return CLOCK_BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            "unknown clock backend %r; available: %s"
+            % (backend, ", ".join(sorted(CLOCK_BACKENDS)))
+        ) from None
+
+
+__all__ = [
+    "VectorClock",
+    "DenseClock",
+    "Epoch",
+    "ThreadRegistry",
+    "CLOCK_BACKENDS",
+    "clock_class",
+]

@@ -115,11 +115,23 @@ class VectorClock:
 
     def join(self, other: "VectorClock") -> "VectorClock":
         """In-place pointwise maximum with ``other``; returns ``self``."""
+        self.merge(other)
+        return self
+
+    def merge(self, other: "VectorClock") -> bool:
+        """In-place pointwise maximum; returns True when a component grew.
+
+        Same operation as :meth:`join` with a change report, which lets
+        callers (e.g. the WCP detector's cached ``C_t``) invalidate derived
+        state only when the clock actually moved.
+        """
         mine = self._times
+        changed = False
         for thread, value in other._times.items():
             if value > mine.get(thread, 0):
                 mine[thread] = value
-        return self
+                changed = True
+        return changed
 
     def assign(self, thread: ThreadId, value: int) -> "VectorClock":
         """In-place component assignment ``self[thread := value]``; returns ``self``."""

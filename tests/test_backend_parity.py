@@ -1,0 +1,222 @@
+"""Clock-backend parity and legacy differential tests.
+
+The hot-path overhaul (interned tids, dense clocks, cached ``C_t``,
+epoch-accelerated history, chain-collapsed Rule (a)/(b) joins) must be
+*observably invisible*: random traces run through WCP / HB / FastTrack
+with the dense and dict clock backends -- and through the frozen
+pre-overhaul :class:`~repro.core.wcp_legacy.LegacyWCPDetector` -- must
+produce identical race pairs, timestamps and statistics.
+
+Two generators are used: the hypothesis strategy from
+``tests/test_properties.py`` (locks + accesses) and a seeded fork/join
+generator, because fork/join are exactly the events that can invalidate
+the history's epoch fast path for WCP (mid-block snapshot leaks).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from test_properties import traces
+
+from repro.core.wcp import WCPDetector
+from repro.core.wcp_legacy import LegacyWCPDetector
+from repro.engine import IterableSource, RaceEngine
+from repro.hb import FastTrackDetector, HBDetector
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+from repro.vectorclock.registry import ThreadRegistry
+
+PARITY_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+def random_trace_with_forks(
+    seed, n_events=50, n_threads=4, n_locks=2, n_vars=3, fork_join_bias=0.15
+):
+    """A random well-formed trace that also exercises fork/join edges."""
+    rng = random.Random(seed)
+    threads = ["t%d" % i for i in range(n_threads)]
+    locks = ["l%d" % i for i in range(n_locks)]
+    variables = ["x%d" % i for i in range(n_vars)]
+
+    held = {thread: [] for thread in threads}
+    holder = {}
+    events = []
+    while len(events) < n_events:
+        thread = rng.choice(threads)
+        choices = ["read", "write", "read", "write"]
+        free_locks = [
+            lock for lock in locks
+            if lock not in holder and lock not in held[thread]
+        ]
+        if free_locks:
+            choices.append("acquire")
+        if held[thread]:
+            choices.append("release")
+        if rng.random() < fork_join_bias:
+            choices.extend(["fork", "join"])
+        action = rng.choice(choices)
+        index = len(events)
+        if action == "acquire":
+            lock = rng.choice(free_locks)
+            held[thread].append(lock)
+            holder[lock] = thread
+            events.append(Event(index, thread, EventType.ACQUIRE, lock))
+        elif action == "release":
+            lock = held[thread].pop()
+            del holder[lock]
+            events.append(Event(index, thread, EventType.RELEASE, lock))
+        elif action in ("fork", "join"):
+            other = rng.choice([t for t in threads if t != thread])
+            etype = EventType.FORK if action == "fork" else EventType.JOIN
+            events.append(Event(index, thread, etype, other))
+        else:
+            variable = rng.choice(variables)
+            etype = EventType.READ if action == "read" else EventType.WRITE
+            events.append(Event(index, thread, etype, variable))
+    for thread in threads:
+        while held[thread]:
+            events.append(
+                Event(len(events), thread, EventType.RELEASE, held[thread].pop())
+            )
+    return Trace(events, name="forked-%d" % seed)
+
+
+def _race_key(report):
+    return sorted(sorted(pair) for pair in report.location_pairs())
+
+
+def _assert_wcp_equivalent(trace):
+    detectors = {
+        "dense": WCPDetector(clock_backend="dense"),
+        "dict": WCPDetector(clock_backend="dict"),
+        "legacy": LegacyWCPDetector(),
+    }
+    reports = {name: det.run(trace) for name, det in detectors.items()}
+    reference = reports["legacy"]
+    for name in ("dense", "dict"):
+        report = reports[name]
+        assert _race_key(report) == _race_key(reference), name
+        assert report.raw_race_count == reference.raw_race_count, name
+        assert report.stats["max_queue_total"] == (
+            reference.stats["max_queue_total"]
+        ), name
+        assert report.stats["max_queue_fraction"] == (
+            reference.stats["max_queue_fraction"]
+        ), name
+    # Timestamps characterise the partial order (Theorem 2); they must be
+    # bit-identical across backends and against the legacy detector.
+    legacy_clocks = LegacyWCPDetector().timestamps(trace)
+    for name in ("dense", "dict"):
+        clocks = WCPDetector(clock_backend=name).timestamps(trace)
+        assert clocks == legacy_clocks, name
+
+
+class TestWCPBackendParity:
+    @given(traces())
+    @settings(**PARITY_SETTINGS)
+    def test_random_traces(self, trace):
+        _assert_wcp_equivalent(trace)
+
+    def test_fork_join_traces(self):
+        # Fork/join is where the epoch fast path must demote itself to the
+        # full join comparison (mid-block snapshot leaks); sweep seeds
+        # deterministically so failures are reproducible.
+        for seed in range(60):
+            _assert_wcp_equivalent(random_trace_with_forks(seed))
+
+    def test_fork_join_traces_strict_pseudocode(self):
+        for seed in range(20):
+            trace = random_trace_with_forks(seed + 500)
+            dense = WCPDetector(strict_pseudocode=True).run(trace)
+            legacy = LegacyWCPDetector(strict_pseudocode=True).run(trace)
+            assert _race_key(dense) == _race_key(legacy)
+
+    def test_malformed_window_fragments_agree(self):
+        # Raw trace windows can slice critical sections in half (releases
+        # without acquires, overlapping sections): exactly the traces the
+        # chain fast path must detect (taint) and handle via the full
+        # walk.  Every fragment must still match the legacy detector.
+        for seed in range(8):
+            trace = random_trace_with_forks(seed + 300, n_events=70)
+            for size in (9, 16):
+                for window in trace.windows(size):
+                    dense = WCPDetector().run(window)
+                    legacy = LegacyWCPDetector().run(window)
+                    assert _race_key(dense) == _race_key(legacy), (seed, size)
+
+    def test_unpruned_queues_agree(self):
+        for seed in range(15):
+            trace = random_trace_with_forks(seed + 900)
+            dense = WCPDetector(prune_queues=False).run(trace)
+            legacy = LegacyWCPDetector(prune_queues=False).run(trace)
+            assert _race_key(dense) == _race_key(legacy)
+            assert dense.stats["max_queue_total"] == (
+                legacy.stats["max_queue_total"]
+            )
+
+
+class TestHBAndFastTrackBackendParity:
+    @given(traces())
+    @settings(**PARITY_SETTINGS)
+    def test_hb_backends_agree(self, trace):
+        dense = HBDetector(clock_backend="dense")
+        sparse = HBDetector(clock_backend="dict")
+        assert _race_key(dense.run(trace)) == _race_key(sparse.run(trace))
+        assert dense.timestamps(trace) == sparse.timestamps(trace)
+
+    @given(traces())
+    @settings(**PARITY_SETTINGS)
+    def test_fasttrack_backends_agree(self, trace):
+        dense = FastTrackDetector(clock_backend="dense").run(trace)
+        sparse = FastTrackDetector(clock_backend="dict").run(trace)
+        assert _race_key(dense) == _race_key(sparse)
+        assert dense.stats["fast_path_hits"] == sparse.stats["fast_path_hits"]
+        assert dense.stats["slow_path_hits"] == sparse.stats["slow_path_hits"]
+
+    def test_hb_fork_join_traces(self):
+        for seed in range(40):
+            trace = random_trace_with_forks(seed + 200)
+            dense = HBDetector(clock_backend="dense")
+            sparse = HBDetector(clock_backend="dict")
+            assert _race_key(dense.run(trace)) == _race_key(sparse.run(trace))
+            assert dense.timestamps(trace) == sparse.timestamps(trace)
+
+
+class TestTidStampTrust:
+    def test_foreign_tid_stamps_cannot_corrupt_results(self):
+        # Stamp events with a deliberately shuffled registry, then feed
+        # them through an IterableSource (whose own registry disagrees):
+        # the source must re-stamp copies, keeping reports identical to a
+        # plain run.
+        trace = random_trace_with_forks(7, n_events=60)
+        expected = _race_key(WCPDetector().run(trace))
+
+        foreign = ThreadRegistry(["zz", "yy", "xx", "ww", "vv"])
+        stamped = [
+            Event(e.index, e.thread, e.etype, e.target, e.loc,
+                  tid=foreign.intern(e.thread))
+            for e in trace
+        ]
+        original_tids = [e.tid for e in stamped]
+        result = RaceEngine().run(
+            IterableSource(stamped, name="foreign"), detectors=[WCPDetector()]
+        )
+        assert _race_key(result["WCP"]) == expected
+        # The foreign producer's stamps were not overwritten in place.
+        assert [e.tid for e in stamped] == original_tids
+
+    def test_trace_restamps_conflicting_events_with_copies(self):
+        registry_a = ThreadRegistry(["t1", "t0"])
+        events = [
+            Event(0, "t0", EventType.WRITE, "x", tid=registry_a.intern("t0")),
+            Event(1, "t1", EventType.WRITE, "x", tid=registry_a.intern("t1")),
+        ]
+        trace = Trace(events, name="conflict")
+        # The new trace's registry interns in first-appearance order, which
+        # conflicts with registry_a's numbering: the trace must use copies.
+        assert trace[0].tid == trace.registry.lookup("t0")
+        assert trace[1].tid == trace.registry.lookup("t1")
+        assert events[0].tid == 1 and events[1].tid == 0
+        assert WCPDetector().run(trace).count() == 1
