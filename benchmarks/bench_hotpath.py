@@ -40,12 +40,31 @@ fails when the measured speedup drops below ``1 - TOLERANCE`` (30%) of
 the baseline's on any workload.  The floor is the only criterion -- quick
 runs on noisy CI runners measure smaller traces than the checked-in
 baseline, so absolute thresholds would flake.
+
+Sharded mode
+------------
+``--sharded`` switches to the multi-core benchmark: WCP throughput on the
+*partitionable* workload (threads working mostly on disjoint variables
+outside critical sections, with occasional shared critical sections) at
+1, 2 and 4 shards via the :class:`~repro.engine.ShardedEngine` process
+transport, written to ``BENCH_shard.json``.  ``--sharded --check`` gates
+on two criteria:
+
+* **work-bound** (deterministic, machine-independent): the partition
+  quality ``events / max(shard_events)`` at 4 shards must be >= 1.5x --
+  this bounds the achievable parallel speedup and fails if the
+  replication taxonomy regresses (e.g. events needlessly replicated);
+* **wall-clock**: 4-shard events/sec must be >= 1.5x single-shard,
+  enforced only when the machine exposes >= 4 usable cores (on smaller
+  runners real parallel speedup is physically impossible and the check
+  is skipped with a notice).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import random
 import sys
@@ -53,12 +72,18 @@ from pathlib import Path
 
 from repro.core.wcp import WCPDetector
 from repro.core.wcp_legacy import LegacyWCPDetector
+from repro.engine import RaceEngine, ShardedEngine
 from repro.hb import FastTrackDetector, HBDetector
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_hotpath.json"
+DEFAULT_SHARD_BASELINE = REPO_ROOT / "BENCH_shard.json"
+
+#: Required 4-shard speedup (work-bound always; wall-clock with >=4 cores).
+SHARD_SPEEDUP_FLOOR = 1.5
+SHARD_COUNTS = (1, 2, 4)
 
 #: Allowed relative drop of the dense-vs-legacy speedup before CI fails.
 TOLERANCE = 0.30
@@ -143,6 +168,52 @@ def thread_local_trace(n_events: int, n_threads: int = 8) -> Trace:
         events.append(Event(-1, thread, EventType.RELEASE, lock, loc="tl.py:rel"))
         section += 1
     return Trace(events, validate=False, name="thread_local")
+
+
+def partitionable_trace(n_events: int, n_threads: int = 8,
+                        vars_per_thread: int = 8, run_length: int = 64) -> Trace:
+    """The sharded benchmark workload: mostly-disjoint unprotected work.
+
+    Each thread runs bursts of ``run_length`` unprotected accesses over
+    its private variable set, punctuated by a short critical section on a
+    shared lock updating a shared counter.  The access bursts route to
+    their owner shards; only the (rare) synchronization skeleton and
+    in-section accesses replicate -- the shape sharding is built for
+    (embarrassingly parallel workers with occasional shared state).
+
+    Two racer threads that never synchronize write shared ``u*``
+    variables every 16 bursts: guaranteed WCP races, so the differential
+    check between shard counts compares *non-empty* reports (a routing
+    bug that splits a variable's history across shards would drop them).
+    """
+    rng = random.Random(4242)
+    events = []
+    threads = ["t%d" % i for i in range(n_threads)]
+    burst = 0
+    while len(events) < n_events:
+        thread = threads[burst % n_threads]
+        for _ in range(run_length):
+            variable = "%s_v%d" % (thread, rng.randrange(vars_per_thread))
+            loc = "sh.py:%s" % variable
+            if rng.random() < 0.5:
+                events.append(Event(-1, thread, EventType.READ, variable,
+                                    loc=loc + ":r"))
+            else:
+                events.append(Event(-1, thread, EventType.WRITE, variable,
+                                    loc=loc + ":w"))
+        events.append(Event(-1, thread, EventType.ACQUIRE, "shared",
+                            loc="sh.py:acq"))
+        events.append(Event(-1, thread, EventType.WRITE, "counter",
+                            loc="sh.py:counter"))
+        events.append(Event(-1, thread, EventType.RELEASE, "shared",
+                            loc="sh.py:rel"))
+        if burst % 16 == 0:
+            racer = "racer%d" % (burst // 16 % 2)
+            slot = burst // 16 % 3
+            events.append(Event(-1, racer, EventType.WRITE, "u%d" % slot,
+                                loc="sh.py:%s:%d" % (racer, slot)))
+        burst += 1
+    return Trace(events, validate=False, name="partitionable")
 
 
 WORKLOADS = {
@@ -251,6 +322,113 @@ def check_regression(result: dict, baseline_path: Path) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Sharded benchmark (multi-core gate)
+# --------------------------------------------------------------------- #
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_shard_benchmark(quick: bool) -> dict:
+    """Measure WCP events/sec at 1/2/4 shards on the partitionable workload.
+
+    Quick mode keeps the full trace size (process spawn is a fixed
+    ~100ms-per-worker cost; measuring a small trace would benchmark the
+    spawn, not the pipeline) and only reduces the repeat count.
+    """
+    n_events = FULL_EVENTS
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    trace = partitionable_trace(n_events)
+    rates = {}
+    work_bounds = {}
+    reference_races = None
+    for shards in SHARD_COUNTS:
+        best = 0.0
+        for _ in range(repeats):
+            if shards == 1:
+                result = RaceEngine().run(trace, detectors=[WCPDetector()])
+            else:
+                result = ShardedEngine(
+                    shards=shards, mode="process", batch_size=2048
+                ).run(trace, detectors=[WCPDetector()])
+                work_bounds[shards] = round(result.work_speedup_bound(), 3)
+            best = max(best, result.events / result.elapsed_s)
+            races = frozenset(result["WCP"].location_pairs())
+            if reference_races is None:
+                reference_races = races
+            elif races != reference_races:
+                raise SystemExit(
+                    "DIFFERENTIAL FAILURE: %d-shard run reports %r, "
+                    "single-shard reports %r"
+                    % (shards, sorted(map(sorted, races)),
+                       sorted(map(sorted, reference_races)))
+                )
+        rates[str(shards)] = round(best, 1)
+        print("partitionable    %8d events | shards=%d  %.0f events/s"
+              % (len(trace), shards, best))
+    if not reference_races:
+        raise SystemExit(
+            "sharded differential is vacuous: the partitionable workload "
+            "produced no races (it must keep its racer threads)"
+        )
+    wall_speedup = round(rates["4"] / rates["1"], 3) if rates["1"] else 0.0
+    print("%16s 4-shard vs 1-shard: x%.2f wall, x%.2f work-bound"
+          % ("", wall_speedup, work_bounds.get(4, 0.0)))
+    return {
+        "benchmark": "sharded",
+        "python": platform.python_version(),
+        "cores": usable_cores(),
+        "quick": quick,
+        "workload": "partitionable",
+        "events": len(trace),
+        "races": len(reference_races),
+        "events_per_s": rates,
+        "wall_speedup_4x": wall_speedup,
+        "work_speedup_bound": work_bounds,
+        "floor": SHARD_SPEEDUP_FLOOR,
+    }
+
+
+def check_shard_gate(result: dict) -> int:
+    """Gate the sharded run: work-bound always, wall-clock with >=4 cores."""
+    failures = []
+    bound = result["work_speedup_bound"].get(4, 0.0)
+    print("work-bound speedup at 4 shards: x%.2f (floor x%.2f)"
+          % (bound, SHARD_SPEEDUP_FLOOR))
+    if bound < SHARD_SPEEDUP_FLOOR:
+        failures.append(
+            "partition quality regressed: work-bound speedup x%.2f < x%.2f "
+            "(too many events replicated across shards)"
+            % (bound, SHARD_SPEEDUP_FLOOR)
+        )
+    cores = result["cores"]
+    wall = result["wall_speedup_4x"]
+    if cores >= 4:
+        print("wall-clock speedup at 4 shards: x%.2f (floor x%.2f, %d cores)"
+              % (wall, SHARD_SPEEDUP_FLOOR, cores))
+        if wall < SHARD_SPEEDUP_FLOOR:
+            failures.append(
+                "4-shard throughput x%.2f below x%.2f of single-shard"
+                % (wall, SHARD_SPEEDUP_FLOOR)
+            )
+    else:
+        print("wall-clock gate skipped: only %d usable core(s), parallel "
+              "speedup is physically impossible here (measured x%.2f)"
+              % (cores, wall))
+    if failures:
+        print("\nSHARD PERF REGRESSION:")
+        for failure in failures:
+            print("  - %s" % failure)
+        return 1
+    print("\nshard gate OK")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -259,18 +437,37 @@ def main(argv=None) -> int:
                         help="compare against the checked-in baseline and "
                              "exit non-zero on >%d%% speedup regression"
                              % int(TOLERANCE * 100))
-    parser.add_argument("--output", type=Path, default=DEFAULT_BASELINE,
-                        help="baseline path (default: %(default)s)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="run the multi-core sharded benchmark instead "
+                             "(writes %s; with --check, gates on the x%.1f "
+                             "4-shard speedup floor)"
+                             % (DEFAULT_SHARD_BASELINE.name, SHARD_SPEEDUP_FLOOR))
+    parser.add_argument("--output", type=Path, default=None,
+                        help="baseline path (default: %s, or %s with "
+                             "--sharded)" % (DEFAULT_BASELINE.name,
+                                             DEFAULT_SHARD_BASELINE.name))
     args = parser.parse_args(argv)
+    output = args.output or (
+        DEFAULT_SHARD_BASELINE if args.sharded else DEFAULT_BASELINE
+    )
+
+    if args.sharded:
+        result = run_shard_benchmark(quick=args.quick)
+        if args.check:
+            return check_shard_gate(result)
+        if not args.quick:
+            output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+            print("wrote %s" % output)
+        return 0
 
     result = run_benchmark(quick=args.quick)
 
     if args.check:
-        return check_regression(result, args.output)
+        return check_regression(result, output)
 
     if not args.quick:
-        args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-        print("wrote %s" % args.output)
+        output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print("wrote %s" % output)
     return 0
 
 

@@ -48,6 +48,8 @@ from repro.engine import (
     FileSource,
     IterableSource,
     RaceEngine,
+    ShardedEngine,
+    ShardedResult,
     SimulatorSource,
     TraceSource,
     as_source,
@@ -86,6 +88,8 @@ __all__ = [
     "MCMPredictor",
     "ReportSnapshot",
     "RaceEngine",
+    "ShardedEngine",
+    "ShardedResult",
     "EngineConfig",
     "EngineResult",
     "EventSource",

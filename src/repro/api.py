@@ -36,7 +36,7 @@ from repro.core.detector import Detector
 from repro.core.races import RaceReport
 from repro.core.wcp import WCPDetector
 from repro.cp.detector import CPDetector
-from repro.engine import EngineConfig, EngineResult, RaceEngine
+from repro.engine import EngineConfig, EngineResult, RaceEngine, ShardedEngine
 from repro.hb.fasttrack import FastTrackDetector
 from repro.hb.hb import HBDetector
 from repro.lockset.eraser import EraserDetector
@@ -71,34 +71,54 @@ def make_detector(name: str, **kwargs) -> Detector:
     return factory(**kwargs)
 
 
+def _make_engine(config: Optional[EngineConfig], shards: Optional[int]):
+    """Build the engine for a pass: sharded when more than one shard."""
+    effective = shards if shards is not None else (
+        config.shards if config is not None else 1
+    )
+    if effective > 1:
+        return ShardedEngine(config, shards=effective)
+    return RaceEngine(config)
+
+
 def run_engine(
     source,
     detectors: Optional[Sequence[Union[str, Detector]]] = None,
     config: Optional[EngineConfig] = None,
+    shards: Optional[int] = None,
 ) -> EngineResult:
     """Run a single engine pass over ``source`` and return the full result.
 
     ``source`` is anything :func:`repro.engine.as_source` accepts (trace,
     path, event source, iterable of events).  ``detectors`` overrides the
-    configuration's selection; the default is WCP + HB.
+    configuration's selection; the default is WCP + HB.  ``shards``
+    (default: the configuration's ``shards``, normally 1) splits the pass
+    across that many worker engines
+    (:class:`~repro.engine.sharding.ShardedEngine`); transport mode and
+    partition policy come from the configuration
+    (:meth:`~repro.engine.EngineConfig.with_shards`).
     """
-    return RaceEngine(config).run(source, detectors=detectors)
+    return _make_engine(config, shards).run(source, detectors=detectors)
 
 
 def detect_races(
-    source, detector: Union[str, Detector, None] = None, **kwargs
+    source,
+    detector: Union[str, Detector, None] = None,
+    shards: Optional[int] = None,
+    **kwargs,
 ) -> RaceReport:
     """Run ``detector`` (name, instance or None for WCP) on ``source``.
 
     ``kwargs`` are forwarded to the detector constructor when ``detector``
     is a name or None.  ``source`` may be a trace, a log-file path, or any
-    event source/iterable.
+    event source/iterable.  ``shards`` > 1 runs the pass sharded across
+    that many worker engines.
     """
     if detector is None:
         detector = WCPDetector(**kwargs)
     elif isinstance(detector, str):
         detector = make_detector(detector, **kwargs)
-    result = RaceEngine().run(source, detectors=[detector])
+    result = _make_engine(None, shards).run(source, detectors=[detector])
     return next(iter(result.values()))
 
 
@@ -106,14 +126,16 @@ def compare_detectors(
     source,
     detectors: Optional[Iterable[Union[str, Detector]]] = None,
     config: Optional[EngineConfig] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, RaceReport]:
     """Run several detectors over ``source`` in one pass.
 
     Returns a mapping from detector name to its report.  The default
     selection (WCP and HB) matches the paper's primary comparison.  The
-    source is iterated exactly **once** no matter how many detectors run.
+    source is iterated exactly **once** no matter how many detectors (or
+    shards -- see ``shards``) run.
     """
-    result = RaceEngine(config).run(
+    result = _make_engine(config, shards).run(
         source, detectors=list(detectors) if detectors is not None else None
     )
     return dict(result.items())

@@ -59,12 +59,23 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--stream", action="store_true",
         help="parse the file lazily and analyse it without materialising "
-             "a full in-memory trace (constant memory, no validation)",
+             "a full in-memory trace (constant memory, no validation; "
+             "WCP additionally prunes its Rule (b) logs with the "
+             "thread-quiescence heuristic -- see --no-stream-reclaim)",
+    )
+    analyze.add_argument(
+        "--no-stream-reclaim", action="store_true",
+        help="under --stream, keep WCP's Rule (b) logs in full instead of "
+             "pruning them heuristically (the heuristic recovers evicted "
+             "entries through summaries, but on adversarial streams a "
+             "late lock adopter may still see extra races; this flag "
+             "restores exact verdicts at worst-case linear memory)",
     )
     analyze.add_argument(
         "--window", type=int, default=None,
         help="optionally window the detector(s) to this many events",
     )
+    _add_shard_arguments(analyze)
     analyze.add_argument(
         "--first-race", action="store_true",
         help="stop the pass as soon as any detector reports a race",
@@ -96,9 +107,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parse the file lazily (constant memory, no validation)",
     )
     compare.add_argument(
+        "--no-stream-reclaim", action="store_true",
+        help="under --stream, keep WCP's Rule (b) logs in full instead of "
+             "pruning them heuristically",
+    )
+    compare.add_argument(
         "--no-validate", action="store_true",
         help="skip trace well-formedness validation",
     )
+    _add_shard_arguments(compare)
 
     bench = subparsers.add_parser("bench", help="run the Table 1 benchmark suite")
     bench.add_argument(
@@ -138,11 +155,64 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            "must be a positive integer, got %s" % value
+        )
+    return parsed
+
+
+def _add_shard_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="split the pass across N worker engines (variables are "
+             "partitioned, the synchronization skeleton is replicated); "
+             "1 keeps the unsharded engine with byte-identical output",
+    )
+    subparser.add_argument(
+        "--shard-mode", default="process",
+        choices=("process", "thread", "serial"),
+        help="shard transport: separate processes (multi-core, default), "
+             "threads, or inline serial workers (deterministic debugging)",
+    )
+    subparser.add_argument(
+        "--shard-policy", default="hash", choices=("hash", "rr"),
+        help="variable partition policy: stable hashing (default) or "
+             "round-robin by first appearance",
+    )
+
+
 def _split_detector_names(spec: str) -> List[str]:
     names = [name.strip() for name in spec.split(",") if name.strip()]
     if not names:
         raise ValueError("no detector names given")
     return names
+
+
+def _make_detectors(names: List[str], args: argparse.Namespace) -> List:
+    """Instantiate detectors; under --stream WCP gets log reclamation
+    (unless --no-stream-reclaim restores exact worst-case-memory mode)."""
+    reclaim = args.stream and not getattr(args, "no_stream_reclaim", False)
+    detectors = []
+    for name in names:
+        if reclaim and name.lower() == "wcp":
+            detectors.append(make_detector(name, stream_reclaim=True))
+        else:
+            detectors.append(make_detector(name))
+    return detectors
+
+
+def _make_engine_config(args: argparse.Namespace) -> EngineConfig:
+    """Build an engine configuration carrying the shard selection."""
+    config = EngineConfig()
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        config.with_shards(
+            shards, mode=args.shard_mode, policy=args.shard_policy
+        )
+    return config
 
 
 def _make_source(args: argparse.Namespace):
@@ -155,20 +225,28 @@ def _make_source(args: argparse.Namespace):
 def _cmd_analyze(args: argparse.Namespace) -> int:
     try:
         names = _split_detector_names(args.detector)
-        detectors = [make_detector(name) for name in names]
+        detectors = _make_detectors(names, args)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
     if args.window:
+        if args.shards > 1:
+            print("--window cannot be combined with --shards (windowed "
+                  "detectors are not shardable)", file=sys.stderr)
+            return 2
         detectors = [WindowedDetector(inner, args.window) for inner in detectors]
 
-    config = EngineConfig().with_detectors(*detectors)
+    config = _make_engine_config(args).with_detectors(*detectors)
     if args.first_race:
         config.stop_on_first_race()
     if args.max_events:
         config.stop_after_events(args.max_events)
 
-    result = run_engine(_make_source(args), config=config)
+    try:
+        result = run_engine(_make_source(args), config=config)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     for position, report in enumerate(result.values()):
         if position:
             print()
@@ -196,11 +274,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     try:
         names = _split_detector_names(args.detectors)
-        detectors = [make_detector(name) for name in names]
+        detectors = _make_detectors(names, args)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
-    result = run_engine(_make_source(args), detectors=detectors)
+    try:
+        result = run_engine(
+            _make_source(args),
+            detectors=detectors,
+            config=_make_engine_config(args),
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     headers = ["detector", "races", "raw races", "time(s)", "events/s"]
     rows = []
     for name, report in result.items():
@@ -213,6 +299,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ])
     print("%s: %d event(s) in one pass" % (result.source_name, result.events))
     print(format_table(headers, rows))
+    if getattr(result, "shards", 1) > 1:
+        print("%d shard(s) [%s]: events per shard %s, replication x%.2f"
+              % (result.shards, result.mode, result.shard_events,
+                 result.replication_factor()))
     return 1 if result.has_race() else 0
 
 

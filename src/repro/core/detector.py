@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.races import RaceReport, ReportSnapshot
 from repro.trace.event import Event
@@ -45,6 +45,21 @@ class Detector(abc.ABC):
 
     #: Human-readable detector name, overridden by subclasses.
     name = "detector"
+
+    #: True when the detector participates in the sharded engine's
+    #: replicate-synchronization / route-accesses protocol (see
+    #: :mod:`repro.engine.partition`): its clock state must depend only on
+    #: the synchronization skeleton plus whatever :meth:`process_foreign`
+    #: consumes, so that a shard seeing every sync event but only a subset
+    #: of the accesses reaches race verdicts identical to the full run.
+    shardable = False
+
+    #: True when accesses performed *inside critical sections* mutate the
+    #: detector's clock state (WCP's Rule (a)), so the sharded engine must
+    #: replicate them to non-owner shards as "foreign" events.  Detectors
+    #: whose clocks only move on sync events (HB, FastTrack) leave this
+    #: False and foreign accesses are never transported.
+    needs_foreign_accesses = False
 
     def __init__(self) -> None:
         self._report: Optional[RaceReport] = None
@@ -70,6 +85,34 @@ class Detector(abc.ABC):
 
     def finish(self) -> None:
         """Hook called after the last event; default is a no-op."""
+
+    def process_foreign(self, event: Event) -> None:
+        """Process an access event owned by another shard, clocks only.
+
+        The sharded engine replicates in-critical-section accesses to
+        non-owner shards when any detector has ``needs_foreign_accesses``;
+        those shards must apply the access's *clock* effects (so WCP's
+        Rule (a) keeps every shard's ``P_t`` identical to the full run)
+        without race-checking or recording it (the owner shard does that
+        exactly once).  The default is a no-op, which is correct for every
+        detector whose clocks ignore accesses.
+        """
+
+    def sync_clock_state(self) -> Optional[Dict[object, bytes]]:
+        """Return the per-thread synchronization clocks, serialized.
+
+        Part of the shard-boundary protocol: shardable detectors return a
+        mapping from *thread name* to the serialized
+        (:func:`repro.vectorclock.dense.serialize_clock`) clock describing
+        that thread's position in the synchronization order, normalized so
+        that deferred local-clock bumps do not leak scheduling noise.
+        Because the sharded engine replicates the synchronization skeleton
+        (and WCP's clock-relevant accesses) to every shard, all shards must
+        agree on this state at every batch boundary -- the engine merges the
+        states (registry remap + pointwise join) and tests assert the
+        agreement.  Detectors without meaningful clock state return None.
+        """
+        return None
 
     @property
     def report(self) -> RaceReport:

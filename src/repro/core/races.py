@@ -150,13 +150,29 @@ class RaceReport:
         return existing
 
     def merge(self, other: "RaceReport") -> "RaceReport":
-        """Merge another report (e.g. from a different window) into this one."""
+        """Merge another report (a different window or shard) into this one.
+
+        De-duplication matches a single sequential run: per location pair
+        the earliest-*detected* witness survives -- races are detected at
+        their second (later) event, so detection order is the
+        lexicographic order of ``(second.index, first.index)`` -- and the
+        maximum distance is kept.  This makes the merge independent of
+        the order reports are merged in, so a sharded run reproduces the
+        single engine's witnesses exactly.
+        """
         for pair in other.pairs():
             key = pair.key()
-            if key not in self._pairs:
+            existing = self._pairs.get(key)
+            if existing is None:
                 self._pairs[key] = pair
                 self._max_distance[key] = pair.distance
-            elif pair.distance > self._max_distance[key]:
+                continue
+            if (
+                (pair.second_event.index, pair.first_event.index)
+                < (existing.second_event.index, existing.first_event.index)
+            ):
+                self._pairs[key] = pair
+            if pair.distance > self._max_distance[key]:
                 self._max_distance[key] = pair.distance
         self.raw_race_count += other.raw_race_count
         return self

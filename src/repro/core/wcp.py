@@ -142,9 +142,19 @@ class _RuleACell:
     critical sections are observed to overlap (possible only on
     unvalidated, e.g. windowed, trace fragments) are marked tainted by the
     detector, and Rule (a) falls back to the full ``by_tid`` walk there.
+
+    ``version`` / ``seen`` implement the per-cell *visit memo*: ``version``
+    is bumped on every release that touches the cell, and ``seen`` records,
+    per accessing thread, the version whose content that thread last joined
+    into its ``P_t``.  Since ``P_t`` only grows and the cell only changes
+    when ``version`` bumps, a repeat visit at an unchanged version is a
+    guaranteed no-op and the merge (even the tainted full walk) is skipped
+    entirely -- the Rule (a) lookup degenerates to one dict probe.
     """
 
-    __slots__ = ("by_tid", "top_tid", "top", "second_tid", "second")
+    __slots__ = (
+        "by_tid", "top_tid", "top", "second_tid", "second", "version", "seen",
+    )
 
     def __init__(self) -> None:
         self.by_tid: Dict[int, object] = {}
@@ -152,6 +162,8 @@ class _RuleACell:
         self.top = None
         self.second_tid = -1
         self.second = None
+        self.version = 0
+        self.seen: Dict[int, int] = {}
 
 
 class _LockState:
@@ -166,6 +178,7 @@ class _LockState:
     __slots__ = (
         "log", "base", "cursor", "open_entry", "pl", "hl",
         "holder", "tainted", "releasers", "lr", "lw",
+        "evicted_acq", "evicted_rel",
     )
 
     def __init__(self) -> None:
@@ -178,6 +191,12 @@ class _LockState:
         self.cursor: Dict[int, int] = {}
         #: tid -> absolute log index of the thread's open section.
         self.open_entry: Dict[int, int] = {}
+        #: Per-owner joins over entries dropped by the stream-mode
+        #: quiescence heuristic (acquire clocks / release HB-times), the
+        #: recovery summary for threads whose cursor lags the eviction
+        #: horizon.  None until the first eviction.
+        self.evicted_acq: Optional[Dict[int, object]] = None
+        self.evicted_rel: Optional[Dict[int, object]] = None
         #: P / H clocks of the last release (None = bottom).
         self.pl = None
         self.hl = None
@@ -211,6 +230,23 @@ class WCPDetector(Detector):
         by every releasing thread (exactly equivalent, far less memory).
         Requires the full trace at :meth:`reset`; automatically disabled
         when reset with a non-prescannable stream context.
+    stream_reclaim:
+        When True, reclaim Rule (b) log entries *in stream mode* (where the
+        releaser census is unavailable) with the epoch-accelerated
+        thread-quiescence heuristic: a closed front entry is dropped once
+        every other known thread has either walked past it, never entered a
+        critical section of the lock (locality assumption), or provably
+        gains nothing from consuming it (the acquire is already below the
+        thread's WCP time -- checked via an O(1) owner-epoch pre-filter
+        before the full comparison -- and the release time is already in
+        its ``P_t``).  Dropped entries leave behind per-owner acquire /
+        release joins through which a thread whose assumed quiescence was
+        wrong still consumes the whole evicted region exactly (see
+        :meth:`_reclaim_quiescent` / :meth:`_consume_evicted`); the only
+        loss is a late consumer entitled to a strict *prefix* of the
+        evicted region, whose missing merges can surface extra (never
+        fewer) race reports on adversarial streams -- why the heuristic
+        is opt-in (the CLI enables it under ``--stream``).  Default False.
     clock_backend:
         Internal clock representation: "dense" (default, array-backed
         :class:`~repro.vectorclock.dense.DenseClock`) or "dict" (sparse
@@ -221,17 +257,28 @@ class WCPDetector(Detector):
 
     name = "WCP"
 
+    #: Sharded-engine contract: clock state depends on the sync skeleton
+    #: plus in-critical-section accesses, which Rule (a) feeds into P_t --
+    #: so those must be replicated to non-owner shards (process_foreign).
+    shardable = True
+    needs_foreign_accesses = True
+
+    #: Stream-reclaim only bothers scanning once a lock's log is this long.
+    _QUIESCE_LOG_THRESHOLD = 64
+
     def __init__(
         self,
         track_queue_stats: bool = True,
         strict_pseudocode: bool = False,
         prune_queues: bool = True,
+        stream_reclaim: bool = False,
         clock_backend: str = "dense",
     ) -> None:
         super().__init__()
         self._track_queue_stats = track_queue_stats
         self._strict_pseudocode = strict_pseudocode
         self._prune_queues = prune_queues
+        self._stream_reclaim = stream_reclaim
         self.clock_backend = clock_backend
         self._clock_cls = clock_class(clock_backend)
         self._trace: Optional[Trace] = None
@@ -284,6 +331,14 @@ class WCPDetector(Detector):
         self._effective_prune = (
             self._prune_queues and getattr(trace, "is_complete", True)
         )
+        # Quiescence reclamation replaces the census exactly when the
+        # census is unavailable (stream) but pruning is wanted.
+        self._quiesce_reclaim = (
+            self._stream_reclaim
+            and self._prune_queues
+            and not self._effective_prune
+        )
+        self._stream_reclaimed = 0
         if self._effective_prune:
             intern = self._registry.intern
             for event in trace:
@@ -356,7 +411,14 @@ class WCPDetector(Detector):
     # Event dispatch
     # ------------------------------------------------------------------ #
 
-    def process(self, event: Event) -> None:
+    def _thread_prologue(self, event: Event) -> int:
+        """Shared per-event prologue: intern, initialise, apply the bump.
+
+        Returns the event's tid.  Used identically by :meth:`process` and
+        :meth:`process_foreign` -- the deferred ``N_t`` bump must advance
+        at the same event on every shard, so the two paths share one
+        implementation by construction.
+        """
         self._processed_events += 1
         tid = event.tid
         if tid is None or not self._trust_tids:
@@ -370,7 +432,10 @@ class WCPDetector(Detector):
             self._ht[tid].assign(tid, nt)
             self._ct[tid] = None
             self._prev_release[tid] = False
+        return tid
 
+    def process(self, event: Event) -> None:
+        tid = self._thread_prologue(event)
         etype = event.etype
         if etype is EventType.READ:
             self._read(event, tid)
@@ -442,9 +507,20 @@ class WCPDetector(Detector):
         log = state.log
         base = state.base
         cursor = state.cursor.get(tid, 0)
+        walk_allowed = True
         if cursor < base:
-            cursor = base
-        if cursor - base < len(log):
+            # The thread's cursor lags the log's first retained entry:
+            # either pruning established it can never read the gap (batch
+            # census; advance freely), or the stream-mode heuristic
+            # evicted entries it might still need, in which case it must
+            # first consume the whole evicted region via the recovery
+            # summary -- or not walk at all (FIFO order), retrying at its
+            # next release once its clocks have grown.
+            if self._consume_evicted(state, tid, pt):
+                cursor = base
+            else:
+                walk_allowed = False
+        if walk_allowed and cursor - base < len(log):
             ct = self._clock_c(tid)
             consumed = 0
             if not state.tainted:
@@ -535,6 +611,10 @@ class WCPDetector(Detector):
 
         if self._effective_prune:
             self._reclaim(state)
+        elif self._quiesce_reclaim:
+            state.releasers.add(tid)
+            if len(state.log) >= self._QUIESCE_LOG_THRESHOLD:
+                self._reclaim_quiescent(state)
 
     def _audience_size(self, state: _LockState, tid: int) -> int:
         """Number of pseudocode queues this entry would be appended to.
@@ -578,6 +658,114 @@ class WCPDetector(Detector):
             base += 1
         state.base = base
 
+    def _reclaim_quiescent(self, state: _LockState) -> None:
+        """Stream-mode log reclamation by epoch-based thread quiescence.
+
+        Without the whole-trace releaser census, an entry's future
+        consumers are unknowable; the heuristic drops a closed front entry
+        (owner ``o``, acquire clock ``A``, release HB-time ``R``) once
+        every other currently-known thread ``t`` satisfies one of:
+
+        * ``t`` has already walked past the entry (its cursor is beyond);
+        * ``t`` has never released (nor currently holds) this lock --
+          thread-locality: it is assumed to keep away from it;
+        * consuming the entry would provably be a no-op forever:
+          ``A <= C_t`` already holds (the Rule (b) gate only opens wider as
+          ``C_t`` grows) and ``R <= P_t`` (the merge adds nothing, and
+          ``R`` is fixed while ``P_t`` only grows).  The O(T) comparisons
+          are pre-filtered by the O(1) owner-epoch check
+          ``A(o) <= P_t(o)``, which dismisses most blocked entries without
+          touching a full clock.
+
+        Evicted entries are not forgotten: their acquire clocks and
+        release times are folded into per-owner joins (the *recovery
+        summary*, ``evicted_acq`` / ``evicted_rel``), through which a
+        thread whose assumed quiescence turns out wrong -- it enters the
+        lock's critical sections after evictions -- still consumes the
+        evicted region (see :meth:`_consume_evicted`).  The remaining
+        inexactness is strictly narrower: a late consumer that could only
+        ever consume a *strict prefix* of the evicted region loses those
+        merges (clocks can only get smaller, so in adversarial traces
+        this may surface extra race reports, never hide any ordering that
+        batch mode would miss).
+        """
+        log = state.log
+        base = state.base
+        cursor = state.cursor
+        releasers = state.releasers
+        open_entry = state.open_entry
+        reclaimed = 0
+        while log:
+            entry = log[0]
+            release_time = entry[1]
+            if release_time is None:
+                break
+            acq_clock = entry[0]
+            owner = entry[2]
+            acq_owner_time = acq_clock.get(owner)
+            blocked = False
+            for tid, nt in enumerate(self._nt):
+                if nt == 0 or tid == owner:
+                    continue
+                if cursor.get(tid, 0) > base:
+                    continue
+                if tid not in releasers and tid not in open_entry:
+                    continue
+                pt = self._pt[tid]
+                if acq_owner_time > pt.get(owner):
+                    blocked = True
+                    break
+                if not (acq_clock <= self._clock_c(tid) and release_time <= pt):
+                    blocked = True
+                    break
+            if blocked:
+                break
+            # Fold the entry into the recovery summary before dropping it.
+            acq_joins = state.evicted_acq
+            if acq_joins is None:
+                acq_joins = state.evicted_acq = {}
+                state.evicted_rel = {}
+            existing = acq_joins.get(owner)
+            if existing is None:
+                acq_joins[owner] = acq_clock.copy()
+                state.evicted_rel[owner] = release_time.copy()
+            else:
+                existing.merge(acq_clock)
+                state.evicted_rel[owner].merge(release_time)
+            log.popleft()
+            base += 1
+            reclaimed += 1
+        if reclaimed:
+            state.base = base
+            self._stream_reclaimed += reclaimed
+
+    def _consume_evicted(self, state: _LockState, tid: int, pt) -> bool:
+        """Consume the evicted log region through the recovery summary.
+
+        Returns True when the thread may advance its cursor to the log
+        base: either nothing heuristic was evicted (batch pruning already
+        proved the gap unreadable), or every foreign evicted acquire is
+        below the thread's current WCP time -- in which case the original
+        walk would have consumed every evicted entry (gates only open
+        wider as ``C_t`` grows), so merging the per-owner release joins is
+        *exactly* the original effect.  Otherwise the caller must skip the
+        live-log walk (FIFO) and retry at the thread's next release.
+        """
+        acq_joins = state.evicted_acq
+        if acq_joins is None:
+            return True
+        ct = self._clock_c(tid)
+        for owner, acq_join in acq_joins.items():
+            if owner != tid and not acq_join <= ct:
+                return False
+        changed = False
+        for owner, rel_join in state.evicted_rel.items():
+            if owner != tid and pt.merge(rel_join):
+                changed = True
+        if changed:
+            self._ct[tid] = None
+        return True
+
     @staticmethod
     def _join_release_time(cell: _RuleACell, tid: int, time) -> None:
         by_tid = cell.by_tid
@@ -594,6 +782,8 @@ class WCPDetector(Detector):
             cell.second = cell.top
             cell.top_tid = tid
         cell.top = existing
+        # Invalidate every thread's visit memo (see _join_rule_a).
+        cell.version += 1
 
     def _join_rule_a(self, target, cell: _RuleACell, tid: int, clean: bool) -> bool:
         """Join into ``target`` the Rule (a) release times relevant to ``tid``.
@@ -601,69 +791,103 @@ class WCPDetector(Detector):
         ``clean`` selects the O(1) chain fast path (see :class:`_RuleACell`);
         returns True when ``target`` actually grew (so the caller can
         invalidate its cached ``C_t``).
+
+        The version memo short-circuits repeat visits: ``target`` is always
+        the accessing thread's ``P_t`` (which only grows in place), so once
+        this thread has joined the cell at some version, revisiting the
+        unchanged cell is a guaranteed no-op -- for the chain fast path
+        *and* for the tainted full walk, since an unchanged version means
+        no entry was added or grown.
         """
-        if self._strict_pseudocode:
-            if clean:
-                top = cell.top
-                return top is not None and target.merge(top)
-        elif clean:
-            if cell.top_tid != tid:
-                top = cell.top
-                return top is not None and target.merge(top)
-            second = cell.second
-            return second is not None and target.merge(second)
-        changed = False
-        if self._strict_pseudocode:
-            for clock in cell.by_tid.values():
-                if target.merge(clock):
-                    changed = True
+        seen = cell.seen
+        version = cell.version
+        if seen.get(tid) == version:
+            return False
+        if clean:
+            if self._strict_pseudocode or cell.top_tid != tid:
+                relevant = cell.top
+            else:
+                relevant = cell.second
+            changed = relevant is not None and target.merge(relevant)
         else:
-            for releasing_tid, clock in cell.by_tid.items():
-                if releasing_tid != tid and target.merge(clock):
-                    changed = True
+            changed = False
+            if self._strict_pseudocode:
+                for clock in cell.by_tid.values():
+                    if target.merge(clock):
+                        changed = True
+            else:
+                for releasing_tid, clock in cell.by_tid.items():
+                    if releasing_tid != tid and target.merge(clock):
+                        changed = True
+        seen[tid] = version
         return changed
 
     def _read(self, event: Event, tid: int) -> None:
-        variable = event.target
         sections = self._open_sections[tid]
         if sections:
-            # Line 11: Rule (a) -- order this read after every release of an
-            # enclosing lock whose critical section wrote the same variable.
-            # The access is also noted in each open section in the same walk
-            # (no per-access held-locks list is materialised).
-            pt = self._pt[tid]
-            changed = False
-            for _lock, section_reads, _section_writes, state in sections:
-                cell = state.lw.get(variable)
-                if cell is not None and self._join_rule_a(
-                    pt, cell, tid, not state.tainted
-                ):
-                    changed = True
-                section_reads.add(variable)
-            if changed:
-                self._ct[tid] = None
+            self._read_rule_a(event.target, tid, sections)
         self._check_access(event, tid)
 
+    def _read_rule_a(self, variable: str, tid: int, sections: list) -> None:
+        # Line 11: Rule (a) -- order this read after every release of an
+        # enclosing lock whose critical section wrote the same variable.
+        # The access is also noted in each open section in the same walk
+        # (no per-access held-locks list is materialised).
+        pt = self._pt[tid]
+        changed = False
+        for _lock, section_reads, _section_writes, state in sections:
+            cell = state.lw.get(variable)
+            if cell is not None and self._join_rule_a(
+                pt, cell, tid, not state.tainted
+            ):
+                changed = True
+            section_reads.add(variable)
+        if changed:
+            self._ct[tid] = None
+
     def _write(self, event: Event, tid: int) -> None:
-        variable = event.target
         sections = self._open_sections[tid]
         if sections:
-            # Line 12: Rule (a) for writes -- conflicting accesses are both
-            # the reads and the writes of the enclosing critical sections.
-            pt = self._pt[tid]
-            changed = False
-            for _lock, _section_reads, section_writes, state in sections:
-                clean = not state.tainted
-                cell = state.lr.get(variable)
-                if cell is not None and self._join_rule_a(pt, cell, tid, clean):
-                    changed = True
-                cell = state.lw.get(variable)
-                if cell is not None and self._join_rule_a(pt, cell, tid, clean):
-                    changed = True
-                section_writes.add(variable)
-            if changed:
-                self._ct[tid] = None
+            self._write_rule_a(event.target, tid, sections)
         self._check_access(event, tid)
+
+    def _write_rule_a(self, variable: str, tid: int, sections: list) -> None:
+        # Line 12: Rule (a) for writes -- conflicting accesses are both
+        # the reads and the writes of the enclosing critical sections.
+        pt = self._pt[tid]
+        changed = False
+        for _lock, _section_reads, section_writes, state in sections:
+            clean = not state.tainted
+            cell = state.lr.get(variable)
+            if cell is not None and self._join_rule_a(pt, cell, tid, clean):
+                changed = True
+            cell = state.lw.get(variable)
+            if cell is not None and self._join_rule_a(pt, cell, tid, clean):
+                changed = True
+            section_writes.add(variable)
+        if changed:
+            self._ct[tid] = None
+
+    def process_foreign(self, event: Event) -> None:
+        """Apply an access's clock effects without race-checking it.
+
+        The sharded engine calls this for in-critical-section accesses
+        whose variable belongs to another shard: the Rule (a) joins and the
+        section read/write sets must be applied on *every* shard (they feed
+        the releasing thread's ``P_t`` and the per-lock Rule (a) cells, so
+        skipping them would leave this shard's clocks behind the full
+        run's), while the access history and race check stay exclusively
+        with the owner shard.  The thread-order prologue (the deferred
+        ``N_t`` bump) is the same code :meth:`process` runs.
+        """
+        tid = self._thread_prologue(event)
+        sections = self._open_sections[tid]
+        if sections:
+            etype = event.etype
+            if etype is EventType.READ:
+                self._read_rule_a(event.target, tid, sections)
+            elif etype is EventType.WRITE:
+                self._write_rule_a(event.target, tid, sections)
 
     def _fork(self, event: Event, tid: int) -> None:
         child_name = event.target
@@ -711,6 +935,31 @@ class WCPDetector(Detector):
             self.report.stats["max_queue_fraction"] = (
                 self._max_queue_total / float(events)
             )
+        if self._quiesce_reclaim:
+            self.report.stats["stream_log_reclaimed"] = float(
+                self._stream_reclaimed
+            )
+
+    def sync_clock_state(self) -> Dict[object, bytes]:
+        """Serialized per-thread WCP times ``C_t`` (shard-boundary protocol).
+
+        Deferred ``N_t`` bumps are applied to the exported copies so that
+        shards which saw a thread's release but not (yet) its next routed
+        access still report the same state.
+        """
+        from repro.vectorclock.dense import serialize_clock
+
+        state: Dict[object, bytes] = {}
+        name_of = self._registry.name_of
+        for tid, nt in enumerate(self._nt):
+            if nt == 0:
+                continue
+            if self._prev_release[tid]:
+                nt += 1
+            state[name_of(tid)] = serialize_clock(
+                self._pt[tid].copy().assign(tid, nt)
+            )
+        return state
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by tests and the closure cross-check

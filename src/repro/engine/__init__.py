@@ -25,6 +25,15 @@ from repro.engine.engine import (
     STOP_EXHAUSTED,
     STOP_RACE_BUDGET,
 )
+from repro.engine.partition import (
+    ExplicitPartition,
+    HashPartition,
+    PartitionPolicy,
+    RoundRobinPartition,
+    StreamPartitioner,
+    make_policy,
+)
+from repro.engine.sharding import ShardedEngine, ShardedResult
 from repro.engine.sources import (
     CountingSource,
     EventSource,
@@ -37,6 +46,8 @@ from repro.engine.sources import (
 
 __all__ = [
     "RaceEngine",
+    "ShardedEngine",
+    "ShardedResult",
     "EngineConfig",
     "EngineResult",
     "ReportSnapshot",
@@ -48,6 +59,12 @@ __all__ = [
     "SimulatorSource",
     "CountingSource",
     "as_source",
+    "PartitionPolicy",
+    "HashPartition",
+    "RoundRobinPartition",
+    "ExplicitPartition",
+    "StreamPartitioner",
+    "make_policy",
     "STOP_EXHAUSTED",
     "STOP_RACE_BUDGET",
     "STOP_EVENT_BUDGET",

@@ -44,6 +44,22 @@ class EngineConfig:
         #: Time every process() call per detector (2 clock reads per event
         #: per detector); disable for maximum single-detector throughput.
         self.cost_accounting: bool = True
+        #: Shard the pass across this many worker engines (1 = unsharded;
+        #: see :class:`~repro.engine.sharding.ShardedEngine`).
+        self.shards: int = 1
+        #: Shard transport: "process" (multi-core), "thread" or "serial".
+        self.shard_mode: str = "process"
+        #: Variable partition policy name/instance
+        #: (:mod:`repro.engine.partition`).
+        self.shard_policy = "hash"
+        #: Events per transport batch.
+        self.shard_batch_size: int = 1024
+        #: Exchange mid-run clock/registry deltas every N batches.  0
+        #: (default) disables the exchange -- final-state merging uses the
+        #: finish payload, so mid-run deltas are monitoring/diagnostic
+        #: surface (collected on ``ShardedResult.clock_deltas``) and not
+        #: worth their serialization cost unless asked for.
+        self.shard_clock_sync_every: int = 0
 
     # ------------------------------------------------------------------ #
     # Fluent setters
@@ -98,6 +114,39 @@ class EngineConfig:
         self.cost_accounting = enabled
         return self
 
+    def with_shards(
+        self,
+        shards: int,
+        mode: Optional[str] = None,
+        policy=None,
+        batch_size: Optional[int] = None,
+        clock_sync_every: Optional[int] = None,
+    ) -> "EngineConfig":
+        """Shard the pass across ``shards`` worker engines.
+
+        ``mode`` selects the transport ("process", "thread", "serial"),
+        ``policy`` the variable partition policy, ``batch_size`` the
+        events per transport batch and ``clock_sync_every`` the cadence
+        (in batches) of the shard-boundary clock/registry delta exchange.
+        ``shards=1`` keeps the unsharded engine (byte-identical output).
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        if mode is not None:
+            self.shard_mode = mode
+        if policy is not None:
+            self.shard_policy = policy
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError("shard batch size must be positive")
+            self.shard_batch_size = batch_size
+        if clock_sync_every is not None:
+            if clock_sync_every < 0:
+                raise ValueError("clock sync cadence must be >= 0")
+            self.shard_clock_sync_every = clock_sync_every
+        return self
+
     # ------------------------------------------------------------------ #
     # Resolution helpers (used by the engine)
     # ------------------------------------------------------------------ #
@@ -139,4 +188,6 @@ class EngineConfig:
             parts.append("snapshot_every=%d" % self.snapshot_interval)
         if not self.cost_accounting:
             parts.append("cost_accounting=False")
+        if self.shards != 1:
+            parts.append("shards=%d[%s]" % (self.shards, self.shard_mode))
         return "EngineConfig(%s)" % ", ".join(parts)

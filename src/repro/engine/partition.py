@@ -1,0 +1,247 @@
+"""Event partitioning for the sharded engine.
+
+The WCP analysis is linear-time and its per-variable race checks are
+largely independent (Kini et al. PLDI 2017; Mathur & Pavlogiannis make the
+per-variable decomposition explicit), which is what lets one event stream
+be split across N worker engines.  The split follows a three-way **event
+taxonomy** -- the replication-vs-routing contract every shardable detector
+relies on:
+
+``REPLICATE`` -- the synchronization skeleton
+    Acquire, release, fork, join, begin and end events are delivered to
+    *every* shard and processed fully.  All detector clock state (HB
+    clocks, WCP's ``P_t`` / ``H_t`` / per-lock state, FastTrack epochs)
+    flows through these events, so replicating them keeps each worker's
+    ordering knowledge identical to the single-engine run.
+
+``ROUTE`` -- plain accesses
+    A read/write performed while its thread holds no lock affects only the
+    per-variable access history, never the clocks.  It is delivered solely
+    to the shard that owns the variable (the partition policy's
+    ``owner_of``), which race-checks and records it exactly once.
+
+``ROUTE_CLOCK`` -- clock-relevant accesses
+    Two kinds of read/write events move detector clocks even though they
+    are plain accesses: an access performed under at least one held lock
+    (WCP's Rule (a): the access joins the enclosing locks'
+    ``L^r``/``L^w`` cells into ``P_t`` and feeds the section read/write
+    sets), and a thread's *first* event after a release/fork/join when
+    that event is an access (it carries the deferred local-interval bump
+    of ``N_t`` / the HB clock, whose visibility must advance identically
+    on every shard before the next replicated fork/join snapshots the
+    thread's clock).  Such accesses are still race-checked only by the
+    owner shard, but are additionally replicated to the other shards as
+    *foreign* events -- processed via
+    :meth:`~repro.core.detector.Detector.process_foreign` for their clock
+    effects only.  When no selected detector has
+    ``needs_foreign_accesses``, foreign copies are not transported at all
+    (HB and FastTrack verdicts never need them; the clock lag is then
+    confined to components other shards cannot observe).
+
+Because all accesses of one variable land on one shard, that shard's
+history for the variable is complete and its race verdicts coincide with
+the single engine's; because the clock-relevant event stream is replicated
+in full order, every shard's clocks agree (the shard-boundary protocol's
+cross-shard agreement check makes this observable).
+
+Partition *policies* decide variable ownership; they are deliberately
+stateless or append-only so the same policy instance can classify an
+unbounded stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Tuple, Union
+
+from repro.trace.event import ACCESS_EVENTS, Event, EventType
+
+#: Taxonomy tags returned by :meth:`StreamPartitioner.classify`.
+REPLICATE = "replicate"
+ROUTE = "route"
+ROUTE_CLOCK = "route-clock"
+
+
+class PartitionPolicy:
+    """Maps variable names to owning shard ids (``0 .. shards-1``)."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("a partition needs at least one shard")
+        self.shards = shards
+
+    def owner_of(self, variable: str) -> int:
+        """Return the shard that owns ``variable``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "%s(shards=%d)" % (type(self).__name__, self.shards)
+
+
+class HashPartition(PartitionPolicy):
+    """Stable hashing of the variable name (crc32, not PYTHONHASHSEED).
+
+    Any process computes the same owner for the same name, which keeps
+    routing reproducible across runs and machines.  Owners are memoized
+    per variable -- the coordinator consults the policy once per *access*
+    on the hot dispatch loop, so a dict hit must be the common case.
+    """
+
+    def __init__(self, shards: int) -> None:
+        super().__init__(shards)
+        self._owners: Dict[str, int] = {}
+
+    def owner_of(self, variable: str) -> int:
+        owner = self._owners.get(variable)
+        if owner is None:
+            owner = zlib.crc32(variable.encode("utf-8")) % self.shards
+            self._owners[variable] = owner
+        return owner
+
+
+class RoundRobinPartition(PartitionPolicy):
+    """Assign variables to shards cyclically in order of first appearance.
+
+    Perfectly balanced in *variable count* (not necessarily in access
+    count); stateful, so the instance that classified the stream must be
+    the one asked about ownership.
+    """
+
+    def __init__(self, shards: int) -> None:
+        super().__init__(shards)
+        self._owners: Dict[str, int] = {}
+
+    def owner_of(self, variable: str) -> int:
+        owner = self._owners.get(variable)
+        if owner is None:
+            owner = len(self._owners) % self.shards
+            self._owners[variable] = owner
+        return owner
+
+
+class ExplicitPartition(PartitionPolicy):
+    """A fixed ``variable -> shard`` mapping with a fallback policy.
+
+    Lets callers pin hot variables (or co-locate variables they know are
+    accessed together) while everything else falls back to hashing.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        mapping: Dict[str, int],
+        fallback: Optional[PartitionPolicy] = None,
+    ) -> None:
+        super().__init__(shards)
+        for variable, owner in mapping.items():
+            if not 0 <= owner < shards:
+                raise ValueError(
+                    "variable %r pinned to shard %d, but only %d shard(s) "
+                    "exist" % (variable, owner, shards)
+                )
+        self._mapping = dict(mapping)
+        self._fallback = fallback or HashPartition(shards)
+
+    def owner_of(self, variable: str) -> int:
+        owner = self._mapping.get(variable)
+        if owner is None:
+            owner = self._fallback.owner_of(variable)
+        return owner
+
+
+#: Policy names accepted by :func:`make_policy` (and the CLI's
+#: ``--shard-policy``).
+POLICIES = {
+    "hash": HashPartition,
+    "rr": RoundRobinPartition,
+    "round-robin": RoundRobinPartition,
+}
+
+
+def make_policy(
+    policy: Union[str, PartitionPolicy, None], shards: int
+) -> PartitionPolicy:
+    """Coerce a policy name/instance into a policy for ``shards`` shards."""
+    if policy is None:
+        return HashPartition(shards)
+    if isinstance(policy, PartitionPolicy):
+        if policy.shards != shards:
+            raise ValueError(
+                "partition policy is sized for %d shard(s), engine has %d"
+                % (policy.shards, shards)
+            )
+        return policy
+    try:
+        factory = POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            "unknown partition policy %r; available: %s"
+            % (policy, ", ".join(sorted(POLICIES)))
+        ) from None
+    return factory(shards)
+
+
+class StreamPartitioner:
+    """Stateful per-stream classifier applying the event taxonomy.
+
+    Tracks each thread's held-lock depth (the only state the taxonomy
+    needs) and counts how many events fell into each class, which the
+    benchmarks use to report the replication overhead -- the quantity that
+    bounds the achievable multi-core speedup.
+    """
+
+    def __init__(self, policy: PartitionPolicy) -> None:
+        self.policy = policy
+        self._depth: Dict[str, int] = {}
+        #: Threads whose next event carries a deferred local-clock bump
+        #: (the event right after a release/fork, or the first post-join
+        #: event of the joined thread).
+        self._pending_bump: set = set()
+        #: Taxonomy census: events per class.
+        self.replicated = 0
+        self.routed = 0
+        self.routed_clock = 0
+
+    def classify(self, event: Event) -> Tuple[str, int]:
+        """Return ``(kind, owner)``; ``owner`` is -1 for replicated events."""
+        etype = event.etype
+        thread = event.thread
+        pending = self._pending_bump
+        if etype in ACCESS_EVENTS:
+            owner = self.policy.owner_of(event.target)
+            if self._depth.get(thread, 0) > 0:
+                pending.discard(thread)
+                self.routed_clock += 1
+                return ROUTE_CLOCK, owner
+            if thread in pending:
+                pending.discard(thread)
+                self.routed_clock += 1
+                return ROUTE_CLOCK, owner
+            self.routed += 1
+            return ROUTE, owner
+        # Sync events are replicated, so every shard applies a pending
+        # bump at the same point when one is outstanding.
+        pending.discard(thread)
+        if etype is EventType.ACQUIRE:
+            depth = self._depth
+            depth[thread] = depth.get(thread, 0) + 1
+        elif etype is EventType.RELEASE:
+            depth = self._depth
+            current = depth.get(thread, 0)
+            if current > 0:
+                depth[thread] = current - 1
+            pending.add(thread)
+        elif etype is EventType.FORK:
+            pending.add(thread)
+        elif etype is EventType.JOIN:
+            pending.add(event.target)
+        self.replicated += 1
+        return REPLICATE, -1
+
+    def stats(self) -> Dict[str, int]:
+        """Return the taxonomy census."""
+        return {
+            "replicated": self.replicated,
+            "routed": self.routed,
+            "routed_clock": self.routed_clock,
+        }

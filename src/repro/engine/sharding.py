@@ -1,0 +1,880 @@
+"""Sharded multi-core race prediction: N worker engines over one stream.
+
+:class:`ShardedEngine` splits a single event source across N shard
+workers following the replication-vs-routing taxonomy of
+:mod:`repro.engine.partition`: the synchronization skeleton is replicated
+to every shard, memory accesses are routed to the shard that owns the
+variable (plus clock-only *foreign* copies of in-critical-section accesses
+when a detector needs them, i.e. WCP).  Each worker drives its own
+detector instances over its substream in original trace order, so its
+clock state matches the single engine's and its race verdicts for owned
+variables are exactly the single engine's verdicts for those variables.
+
+Transport modes
+---------------
+``process`` (default)
+    One persistent ``multiprocessing`` worker process per shard, fed
+    batches of compactly encoded events over a pipe.  This is the
+    multi-core mode: Python's GIL never serializes the detectors.
+``thread``
+    One worker thread per shard (shared-nothing workers, so results are
+    deterministic); useful where processes are unavailable.  Throughput
+    is GIL-bound.
+``serial``
+    Workers run inline in the calling thread, one batch at a time --
+    deterministic and debuggable; the reference mode for the parity suite.
+
+Shard-boundary protocol
+-----------------------
+Workers and the coordinator exchange three kinds of messages at batch
+boundaries:
+
+* **progress** -- events processed and per-detector ``(distinct, raw)``
+  race counts, used for merged incremental snapshots and batch-granular
+  early stop;
+* **clock/registry deltas** -- each worker's interning table
+  (:meth:`~repro.vectorclock.registry.ThreadRegistry.names`) plus its
+  detectors' serialized per-thread clocks
+  (:meth:`~repro.core.detector.Detector.sync_clock_state`), shipped at
+  the end of the run and, when ``shard_clock_sync_every`` opts in,
+  periodically mid-run (monitoring surface, collected on
+  ``ShardedResult.clock_deltas``).  The
+  coordinator folds them into one view by interning the worker's names
+  into the merged registry
+  (:meth:`~repro.vectorclock.registry.ThreadRegistry.merge_names`),
+  remapping each clock's tids
+  (:meth:`~repro.vectorclock.dense.DenseClock.remapped`) and joining.
+  Because the clock-relevant stream is replicated, all workers must agree
+  on this state -- the parity tests assert it, making taxonomy bugs
+  observable instead of silent;
+* **results** -- the worker's final :class:`~repro.core.races.RaceReport`
+  per detector, merged into one report per detector (dedup by location
+  pair, earliest-shard witness, maximum distance -- identical to the
+  single engine because every raw racy pair is found exactly once, on the
+  variable's owner shard).
+
+``shards=1`` bypasses all of this and delegates to
+:class:`~repro.engine.engine.RaceEngine`, so single-shard output is
+byte-identical to the unsharded engine by construction.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_module
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.detector import Detector
+from repro.core.races import RaceReport, ReportSnapshot
+from repro.engine.config import DetectorSpec, EngineConfig
+from repro.engine.engine import (
+    STOP_EVENT_BUDGET,
+    STOP_EXHAUSTED,
+    STOP_RACE_BUDGET,
+    EngineResult,
+    RaceEngine,
+    StreamContext,
+)
+from repro.engine.partition import (
+    REPLICATE,
+    ROUTE,
+    StreamPartitioner,
+    make_policy,
+)
+from repro.engine.sources import as_source
+from repro.trace.event import Event, EventType
+from repro.vectorclock.clock import VectorClock
+from repro.vectorclock.dense import DenseClock, deserialize_clock
+from repro.vectorclock.registry import ThreadRegistry
+
+#: Wire value -> EventType (EventType(...) does a linear scan; this is a dict).
+_ETYPE_OF_VALUE = {etype.value: etype for etype in EventType}
+#: EventType -> wire value (``.value`` is a DynamicClassAttribute descriptor
+#: call; the coordinator reads it once per event, so use a dict instead).
+_VALUE_OF_ETYPE = {etype: etype.value for etype in EventType}
+
+
+class ShardedResult(EngineResult):
+    """An :class:`EngineResult` plus shard-level metadata.
+
+    Additional attributes:
+
+    ``shards`` / ``mode``
+        Worker count and transport mode of the run.
+    ``shard_events`` / ``shard_busy_s``
+        Per-shard processed-event counts and busy time (the per-shard
+        event count exceeds ``events / shards`` by the replication
+        overhead; ``max(shard_events) / events`` bounds the achievable
+        speedup).
+    ``partition_stats``
+        The taxonomy census from :class:`StreamPartitioner.stats`.
+    ``registry``
+        The merged :class:`ThreadRegistry` over all workers.
+    ``clock_state``
+        Per detector key, the merged (joined) per-thread clocks as public
+        name-keyed :class:`VectorClock`\\ s -- the coordinator's view of
+        the global synchronization frontier.
+    ``shard_clock_states`` / ``shard_names``
+        The raw per-shard protocol payloads (``[shard][detector]`` ->
+        ``{thread_name: serialized clock}``) and each worker's tid-ordered
+        name table, kept so the parity suite can assert cross-shard clock
+        agreement (worker clocks are keyed by *private* tids and only
+        comparable after remapping through the name tables).
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int,
+        mode: str,
+        shard_events: List[int],
+        shard_busy_s: List[float],
+        partition_stats: Dict[str, int],
+        registry: ThreadRegistry,
+        clock_state: Dict[str, Dict[object, VectorClock]],
+        shard_clock_states: List[List[Optional[Dict[object, bytes]]]],
+        shard_names: List[List[object]],
+        clock_deltas: Optional[List[Optional[dict]]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        #: Last mid-run clock/registry delta seen per shard (None entries
+        #: when the exchange is disabled -- `shard_clock_sync_every` 0 --
+        #: or a shard never reached the cadence).
+        self.clock_deltas = clock_deltas or []
+        self.shards = shards
+        self.mode = mode
+        self.shard_events = shard_events
+        self.shard_busy_s = shard_busy_s
+        self.partition_stats = partition_stats
+        self.registry = registry
+        self.clock_state = clock_state
+        self.shard_clock_states = shard_clock_states
+        self.shard_names = shard_names
+
+    def shard_clock_views(self, position: int) -> List[Dict[object, VectorClock]]:
+        """Per-shard name-keyed clock views for detector ``position``.
+
+        Deserializes each worker's boundary-protocol clocks and re-keys
+        their components by thread *name* (worker tids are private), which
+        makes the views directly comparable: on threads present in several
+        views they must agree -- the observable form of the taxonomy's
+        guarantee that every shard's clock state matches the full run.
+        """
+        views: List[Dict[object, VectorClock]] = []
+        for names, clocks in zip(self.shard_names, self.shard_clock_states):
+            worker_clocks = clocks[position]
+            if not worker_clocks:
+                continue
+            view = {}
+            for thread, blob in worker_clocks.items():
+                clock = deserialize_clock(blob)
+                view[thread] = VectorClock(
+                    {names[tid]: value for tid, value in clock.items()}
+                )
+            views.append(view)
+        return views
+
+    def replication_factor(self) -> float:
+        """Total shard-side events divided by source events (>= 1.0)."""
+        if not self.events:
+            return 1.0
+        return sum(self.shard_events) / float(self.events)
+
+    def work_speedup_bound(self) -> float:
+        """Source events over the largest single-shard load.
+
+        The partition-quality bound on parallel speedup: wall-clock gain
+        can never exceed it, and approaches it as transport overhead
+        vanishes.
+        """
+        busiest = max(self.shard_events) if self.shard_events else 0
+        if not busiest:
+            return 1.0
+        return self.events / float(busiest)
+
+    def summary(self) -> str:
+        lines = [super().summary()]
+        lines.append(
+            "  %d shard(s) [%s]: events per shard %s, replication x%.2f, "
+            "work-bound speedup x%.2f" % (
+                self.shards, self.mode, self.shard_events,
+                self.replication_factor(), self.work_speedup_bound(),
+            )
+        )
+        return "\n".join(lines)
+
+
+class _ShardWorker:
+    """The in-process worker core shared by every transport mode.
+
+    Owns the shard's detector instances, a private
+    :class:`ThreadRegistry`, and a :class:`StreamContext` (shard
+    substreams are genuine streams: no pre-scan, threads discovered
+    lazily).
+    """
+
+    def __init__(
+        self, shard_id: int, detectors: List[Detector], source_name: str
+    ) -> None:
+        self.shard_id = shard_id
+        self.detectors = detectors
+        self.source_name = source_name
+        self.registry = ThreadRegistry()
+        self.context = StreamContext(source_name, registry=self.registry)
+        self.events = 0
+        self.busy_s = 0.0
+
+    def start(self) -> None:
+        for detector in self.detectors:
+            detector.reset(self.context)
+
+    def process_batch(self, batch: List[tuple]) -> None:
+        started = time.perf_counter()
+        detectors = self.detectors
+        etype_of = _ETYPE_OF_VALUE
+        intern = self.registry.intern
+        new_event = Event.__new__
+        for index, thread, etype_value, target, loc, owned in batch:
+            # Assemble the event directly: the wire tuples come from real
+            # events, so Event.__init__'s target validation is redundant
+            # on this (very hot) path.
+            event = new_event(Event)
+            event.index = index
+            event.thread = thread
+            event.etype = etype_of[etype_value]
+            event.target = target
+            event.loc = loc
+            event.tid = intern(thread)
+            if owned:
+                for detector in detectors:
+                    detector.process(event)
+            else:
+                for detector in detectors:
+                    detector.process_foreign(event)
+        self.events += len(batch)
+        self.context.events_seen = self.events
+        self.busy_s += time.perf_counter() - started
+
+    def progress(self) -> List[tuple]:
+        """Per-detector ``(distinct, raw)`` race counts so far."""
+        return [
+            (detector.report.count(), detector.report.raw_race_count)
+            for detector in self.detectors
+        ]
+
+    def clock_delta(self) -> dict:
+        """The boundary-protocol clock/registry delta."""
+        return {
+            "shard": self.shard_id,
+            "events": self.events,
+            "names": self.registry.names(),
+            "clocks": [
+                detector.sync_clock_state() for detector in self.detectors
+            ],
+        }
+
+    def finish(self) -> dict:
+        started = time.perf_counter()
+        for detector in self.detectors:
+            detector.finish()
+        self.busy_s += time.perf_counter() - started
+        return {
+            "shard": self.shard_id,
+            "events": self.events,
+            "busy_s": self.busy_s,
+            "reports": [detector.report for detector in self.detectors],
+            "names": self.registry.names(),
+            "clocks": [
+                detector.sync_clock_state() for detector in self.detectors
+            ],
+        }
+
+
+# --------------------------------------------------------------------- #
+# Transports
+# --------------------------------------------------------------------- #
+
+class _SerialTransport:
+    """Run the worker inline; the deterministic reference transport."""
+
+    def __init__(self, worker: _ShardWorker) -> None:
+        self.worker = worker
+        worker.start()
+
+    def send(self, batch: List[tuple]) -> None:
+        self.worker.process_batch(batch)
+
+    def poll_progress(self):
+        return self.worker.progress()
+
+    def poll_delta(self):
+        return self.worker.clock_delta()
+
+    def finish(self) -> dict:
+        return self.worker.finish()
+
+
+class _ThreadTransport:
+    """One daemon thread per shard, fed through a bounded queue.
+
+    Workers share nothing, so results are deterministic regardless of
+    scheduling; progress is read at batch granularity (coarse counts, safe
+    under the GIL), mid-run clock deltas are skipped (the worker may be
+    mid-batch), and the final payload is produced by the worker thread
+    before joining.
+    """
+
+    def __init__(self, worker: _ShardWorker) -> None:
+        self.worker = worker
+        self.queue: "queue_module.Queue" = queue_module.Queue(maxsize=8)
+        self.error: Optional[str] = None
+        self.result: Optional[dict] = None
+        self.thread = threading.Thread(
+            target=self._loop, name="shard-%d" % worker.shard_id, daemon=True
+        )
+        self.thread.start()
+
+    def _loop(self) -> None:
+        try:
+            self.worker.start()
+            while True:
+                batch = self.queue.get()
+                if batch is None:
+                    self.result = self.worker.finish()
+                    return
+                self.worker.process_batch(batch)
+        except Exception:
+            self.error = traceback.format_exc()
+            # Keep draining so the coordinator's put() never deadlocks.
+            while True:
+                if self.queue.get() is None:
+                    return
+
+    def send(self, batch: List[tuple]) -> None:
+        self.queue.put(batch)
+
+    def poll_progress(self):
+        return self.worker.progress()
+
+    def poll_delta(self):
+        return None
+
+    def finish(self) -> dict:
+        self.queue.put(None)
+        self.thread.join()
+        if self.error is not None:
+            raise RuntimeError(
+                "shard %d worker failed:\n%s" % (self.worker.shard_id, self.error)
+            )
+        assert self.result is not None
+        return self.result
+
+
+def _process_worker_main(
+    conn, shard_id: int, detector_blob: bytes, source_name: str,
+    clock_sync_every: int,
+) -> None:
+    """Entry point of a shard worker process (pipe protocol).
+
+    Messages from the coordinator: ``("batch", [encoded events])`` and
+    ``("finish",)``.  The worker acknowledges every batch with a progress
+    message, sends a clock/registry delta every ``clock_sync_every``
+    batches, and answers ``finish`` with its result payload.
+    """
+    try:
+        detectors: List[Detector] = pickle.loads(detector_blob)
+        worker = _ShardWorker(shard_id, detectors, source_name)
+        worker.start()
+        batches = 0
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "batch":
+                worker.process_batch(message[1])
+                batches += 1
+                conn.send(("progress", shard_id, worker.events, worker.progress()))
+                if clock_sync_every and batches % clock_sync_every == 0:
+                    conn.send(("delta", shard_id, worker.clock_delta()))
+            elif kind == "finish":
+                conn.send(("result", shard_id, worker.finish()))
+                return
+            else:
+                raise ValueError("unknown coordinator message %r" % (kind,))
+    except EOFError:
+        pass
+    except Exception:
+        try:
+            conn.send(("error", shard_id, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessTransport:
+    """One persistent worker process per shard over a duplex pipe."""
+
+    def __init__(
+        self, worker_args: tuple, shard_id: int, mp_context
+    ) -> None:
+        self.shard_id = shard_id
+        self.conn, child_conn = mp_context.Pipe(duplex=True)
+        self.process = mp_context.Process(
+            target=_process_worker_main,
+            args=(child_conn,) + worker_args,
+            name="shard-%d" % shard_id,
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._progress = None
+        self._delta = None
+        self._result = None
+
+    def _drain(self, block: bool = False) -> None:
+        """Absorb pending worker messages (progress / deltas / errors)."""
+        while self._result is None and (block or self.conn.poll()):
+            message = self.conn.recv()
+            kind = message[0]
+            if kind == "progress":
+                self._progress = message[3]
+            elif kind == "delta":
+                self._delta = message[2]
+            elif kind == "result":
+                self._result = message[2]
+                return
+            elif kind == "error":
+                raise RuntimeError(
+                    "shard %d worker failed:\n%s" % (self.shard_id, message[2])
+                )
+            block = False
+
+    def send(self, batch: List[tuple]) -> None:
+        self.conn.send(("batch", batch))
+        self._drain()
+
+    def poll_progress(self):
+        self._drain()
+        return self._progress
+
+    def poll_delta(self):
+        self._drain()
+        delta, self._delta = self._delta, None
+        return delta
+
+    def finish(self) -> dict:
+        try:
+            self.conn.send(("finish",))
+            while self._result is None:
+                self._drain(block=True)
+            return self._result
+        finally:
+            self.conn.close()
+            self.process.join(timeout=30)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.terminate()
+
+
+_TRANSPORT_MODES = ("process", "thread", "serial")
+
+
+class ShardedEngine:
+    """Drive N shard workers over one event source (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        An :class:`EngineConfig`; its ``shards`` / ``shard_mode`` /
+        ``shard_policy`` / ``shard_batch_size`` / ``shard_clock_sync_every``
+        fields provide the defaults for the keyword arguments below.
+    shards:
+        Worker count.  ``1`` delegates to :class:`RaceEngine` -- output is
+        byte-identical to the unsharded engine.
+    mode:
+        ``"process"`` (multi-core), ``"thread"`` or ``"serial"``.
+    policy:
+        Partition policy name or instance (:mod:`repro.engine.partition`).
+    batch_size:
+        Events per transport batch.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        shards: Optional[int] = None,
+        mode: Optional[str] = None,
+        policy=None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.shards = shards if shards is not None else self.config.shards
+        self.mode = mode if mode is not None else self.config.shard_mode
+        self.policy = policy if policy is not None else self.config.shard_policy
+        self.batch_size = (
+            batch_size if batch_size is not None else self.config.shard_batch_size
+        )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.mode not in _TRANSPORT_MODES:
+            raise ValueError(
+                "unknown shard mode %r; available: %s"
+                % (self.mode, ", ".join(_TRANSPORT_MODES))
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch size must be positive")
+
+    # ------------------------------------------------------------------ #
+    # The sharded pass
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        source,
+        detectors: Optional[Sequence[DetectorSpec]] = None,
+    ) -> EngineResult:
+        """Run the configured detectors over ``source`` across the shards."""
+        if self.shards == 1:
+            # Byte-identical single-shard guarantee: the unsharded engine.
+            return RaceEngine(self.config).run(source, detectors=detectors)
+
+        config = self.config
+        resolved = config.resolve_detectors(detectors)
+        if len({id(detector) for detector in resolved}) != len(resolved):
+            raise ValueError(
+                "the same Detector instance appears more than once in the "
+                "selection; pass distinct instances (or names) instead"
+            )
+        unshardable = [d.name for d in resolved if not d.shardable]
+        if unshardable:
+            raise ValueError(
+                "detector(s) %s cannot run sharded: their verdicts depend on "
+                "accesses outside the replicated synchronization skeleton; "
+                "run them with shards=1" % ", ".join(sorted(set(unshardable)))
+            )
+        send_foreign = any(d.needs_foreign_accesses for d in resolved)
+
+        event_source = as_source(source)
+        source_name = event_source.name
+        shards = self.shards
+        partitioner = StreamPartitioner(make_policy(self.policy, shards))
+
+        # Workers get pickled copies of the resolved detectors -- one
+        # private instance set per shard in every mode (this is also what
+        # keeps detector state pickle-safe by contract).
+        detector_blob = pickle.dumps(resolved)
+        transports = self._start_transports(detector_blob, source_name)
+
+        batch_size = self.batch_size
+        clock_sync_every = config.shard_clock_sync_every
+        race_budget = config.race_budget
+        event_budget = config.event_budget
+        interval = config.snapshot_interval
+
+        batches: List[List[tuple]] = [[] for _ in range(shards)]
+        latest_counts: List[Optional[List[tuple]]] = [None] * shards
+        latest_deltas: List[Optional[dict]] = [None] * shards
+        snapshots: List[ReportSnapshot] = []
+        detector_names = [detector.name for detector in resolved]
+
+        stop_reason = STOP_EXHAUSTED
+        events = 0
+        flushes = 0
+        last_delta_sync = 0
+        started = time.perf_counter()
+
+        def flush(shard: int) -> None:
+            transports[shard].send(batches[shard])
+            batches[shard] = []
+
+        def take_snapshot() -> None:
+            for shard, transport in enumerate(transports):
+                counts = transport.poll_progress()
+                if counts is not None:
+                    latest_counts[shard] = counts
+            for position, name in enumerate(detector_names):
+                races = raw = 0
+                for counts in latest_counts:
+                    if counts is not None:
+                        races += counts[position][0]
+                        raw += counts[position][1]
+                snap = ReportSnapshot(
+                    detector_name=name,
+                    trace_name=source_name,
+                    events=events,
+                    races=races,
+                    raw_races=raw,
+                )
+                snapshots.append(snap)
+                if config.snapshot_callback is not None:
+                    config.snapshot_callback(snap)
+
+        classify = partitioner.classify
+        value_of = _VALUE_OF_ETYPE
+        try:
+            for event in event_source:
+                kind, owner = classify(event)
+                # The wire index is the stream position -- the same
+                # renumbering the unsharded engine applies, so distances
+                # and witness indices come out identical.
+                encoded = (
+                    events, event.thread, value_of[event.etype], event.target,
+                    event.loc, True,
+                )
+                if kind is REPLICATE:
+                    for shard in range(shards):
+                        batch = batches[shard]
+                        batch.append(encoded)
+                        if len(batch) >= batch_size:
+                            flush(shard)
+                            flushes += 1
+                elif kind is ROUTE or not send_foreign:
+                    batch = batches[owner]
+                    batch.append(encoded)
+                    if len(batch) >= batch_size:
+                        flush(owner)
+                        flushes += 1
+                else:  # ROUTE_CLOCK with a foreign-hungry detector (WCP)
+                    foreign = encoded[:5] + (False,)
+                    for shard in range(shards):
+                        batch = batches[shard]
+                        batch.append(encoded if shard == owner else foreign)
+                        if len(batch) >= batch_size:
+                            flush(shard)
+                            flushes += 1
+                events += 1
+
+                if interval is not None and events % interval == 0:
+                    take_snapshot()
+                if event_budget is not None and events >= event_budget:
+                    stop_reason = STOP_EVENT_BUDGET
+                    break
+                if race_budget is not None and events % batch_size == 0:
+                    # Batch-granular early stop on per-shard counts (an
+                    # upper bound of the merged distinct count; the merged
+                    # reports are still exact for everything processed).
+                    for shard, transport in enumerate(transports):
+                        counts = transport.poll_progress()
+                        if counts is not None:
+                            latest_counts[shard] = counts
+                    for position in range(len(resolved)):
+                        total = sum(
+                            counts[position][0]
+                            for counts in latest_counts
+                            if counts is not None
+                        )
+                        if total >= race_budget:
+                            stop_reason = STOP_RACE_BUDGET
+                            break
+                    if stop_reason == STOP_RACE_BUDGET:
+                        break
+                if clock_sync_every and (
+                    flushes - last_delta_sync >= clock_sync_every
+                ):
+                    last_delta_sync = flushes
+                    for shard, transport in enumerate(transports):
+                        delta = transport.poll_delta()
+                        if delta is not None:
+                            latest_deltas[shard] = delta
+
+            for shard in range(shards):
+                if batches[shard]:
+                    flush(shard)
+            payloads = [transport.finish() for transport in transports]
+            if clock_sync_every:
+                # Deltas in flight during the final batches were absorbed
+                # by the finish drain; harvest the last one per shard.
+                for shard, transport in enumerate(transports):
+                    delta = transport.poll_delta()
+                    if delta is not None:
+                        latest_deltas[shard] = delta
+        except Exception:
+            self._abort_transports(transports)
+            raise
+
+        elapsed = time.perf_counter() - started
+        result = self._merge(
+            resolved, payloads, source_name, events, elapsed, stop_reason,
+            snapshots, partitioner, latest_deltas,
+        )
+        if interval is not None and (events == 0 or events % interval != 0):
+            # Final snapshot from the exact merged reports.
+            for key, report in result.reports.items():
+                snap = ReportSnapshot(
+                    detector_name=key,
+                    trace_name=source_name,
+                    events=events,
+                    races=report.count(),
+                    raw_races=report.raw_race_count,
+                )
+                snapshots.append(snap)
+                if config.snapshot_callback is not None:
+                    config.snapshot_callback(snap)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Worker management
+    # ------------------------------------------------------------------ #
+
+    def _start_transports(self, detector_blob: bytes, source_name: str):
+        mode = self.mode
+        transports = []
+        if mode == "process":
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context()
+            for shard in range(self.shards):
+                transports.append(_ProcessTransport(
+                    (
+                        shard, detector_blob, source_name,
+                        self.config.shard_clock_sync_every,
+                    ),
+                    shard, mp_context,
+                ))
+            return transports
+        for shard in range(self.shards):
+            worker = _ShardWorker(
+                shard, pickle.loads(detector_blob), source_name
+            )
+            if mode == "thread":
+                transports.append(_ThreadTransport(worker))
+            else:
+                transports.append(_SerialTransport(worker))
+        return transports
+
+    @staticmethod
+    def _abort_transports(transports) -> None:
+        for transport in transports:
+            process = getattr(transport, "process", None)
+            if process is not None:
+                try:
+                    transport.conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                process.terminate()
+                process.join(timeout=5)
+
+    # ------------------------------------------------------------------ #
+    # Shard-boundary merging
+    # ------------------------------------------------------------------ #
+
+    def _merge(
+        self,
+        resolved: List[Detector],
+        payloads: List[dict],
+        source_name: str,
+        events: int,
+        elapsed: float,
+        stop_reason: str,
+        snapshots: List[ReportSnapshot],
+        partitioner: StreamPartitioner,
+        clock_deltas: Optional[List[Optional[dict]]] = None,
+    ) -> ShardedResult:
+        payloads = sorted(payloads, key=lambda payload: payload["shard"])
+        registry = ThreadRegistry()
+        remaps = [
+            registry.merge_names(payload["names"]) for payload in payloads
+        ]
+
+        reports: Dict[str, RaceReport] = {}
+        clock_state: Dict[str, Dict[object, VectorClock]] = {}
+        for position, detector in enumerate(resolved):
+            key = RaceEngine._unique_name(reports, detector.name)
+            merged = RaceReport(detector.name, source_name)
+            for payload in payloads:
+                merged.merge(payload["reports"][position])
+            busiest = max(payload["busy_s"] for payload in payloads)
+            merged.stats["time_s"] = busiest
+            merged.stats["events"] = events
+            merged.stats["events_per_s"] = (
+                events / busiest if busiest > 0.0 else 0.0
+            )
+            self._merge_stats(
+                merged, [payload["reports"][position] for payload in payloads]
+            )
+            reports[key] = merged
+
+            # Merged clock view: remap every worker's tids into the merged
+            # registry and join.  All workers agree on common threads (the
+            # replicated skeleton guarantees it), so the join is the state
+            # any one worker would report, completed with threads it never
+            # saw an owned event for.
+            joined: Dict[object, DenseClock] = {}
+            for payload, remap in zip(payloads, remaps):
+                worker_clocks = payload["clocks"][position]
+                if not worker_clocks:
+                    continue
+                for name, blob in worker_clocks.items():
+                    clock = deserialize_clock(blob).remapped(remap)
+                    existing = joined.get(name)
+                    if existing is None:
+                        joined[name] = clock
+                    else:
+                        existing.merge(clock)
+            clock_state[key] = {
+                name: registry.to_public(clock)
+                for name, clock in joined.items()
+            }
+
+        return ShardedResult(
+            source_name=source_name,
+            reports=reports,
+            events=events,
+            elapsed_s=elapsed,
+            stop_reason=stop_reason,
+            snapshots=snapshots,
+            shards=self.shards,
+            mode=self.mode,
+            shard_events=[payload["events"] for payload in payloads],
+            shard_busy_s=[payload["busy_s"] for payload in payloads],
+            partition_stats=partitioner.stats(),
+            registry=registry,
+            clock_state=clock_state,
+            shard_clock_states=[payload["clocks"] for payload in payloads],
+            shard_names=[payload["names"] for payload in payloads],
+            clock_deltas=clock_deltas,
+        )
+
+    @staticmethod
+    def _merge_stats(merged: RaceReport, shard_reports: List[RaceReport]) -> None:
+        """Aggregate per-shard detector stats onto the merged report.
+
+        ``max_*`` stats take the maximum across shards; counter stats sum;
+        ratio/fraction stats are recomputed from the aggregates where
+        possible and dropped otherwise (a mean of ratios means nothing).
+        """
+        keys = set()
+        for report in shard_reports:
+            keys.update(report.stats)
+        for key in keys:
+            values = [
+                report.stats[key] for report in shard_reports
+                if key in report.stats
+            ]
+            if key.endswith(("_ratio", "_fraction")) or key in (
+                "time_s", "events", "events_per_s"
+            ):
+                continue
+            if key.startswith("max_"):
+                merged.stats[key] = max(values)
+            else:
+                merged.stats[key] = sum(values)
+        total = merged.stats.get("fast_path_hits", 0.0) + merged.stats.get(
+            "slow_path_hits", 0.0
+        )
+        if total:
+            merged.stats["fast_path_ratio"] = (
+                merged.stats["fast_path_hits"] / total
+            )
+        if "max_queue_total" in merged.stats and merged.stats.get("events"):
+            merged.stats["max_queue_fraction"] = (
+                merged.stats["max_queue_total"] / merged.stats["events"]
+            )
+
+    def __repr__(self) -> str:
+        return "ShardedEngine(shards=%d, mode=%r, policy=%r)" % (
+            self.shards, self.mode, self.policy,
+        )

@@ -143,9 +143,12 @@ class SimulatorSource(EventSource):
 
     The program is executed (under the given scheduler) when the engine
     starts iterating, and the emitted events flow straight into the
-    detectors -- the caller never touches the intermediate trace.  Note
-    the current interpreter accumulates its event list internally while
-    executing; making it fully incremental is a ROADMAP follow-on.
+    detectors through the interpreter's incremental
+    :meth:`~repro.simulator.interpreter.Interpreter.iter_events`
+    generator: no intermediate trace is ever materialised, so memory
+    stays constant no matter how long the run is.  Like every genuine
+    stream, the events see no trace-level validation (execution semantics
+    guarantee lock consistency anyway).
     """
 
     def __init__(self, program, scheduler=None, allow_deadlock: bool = False,
@@ -159,12 +162,13 @@ class SimulatorSource(EventSource):
         self.registry = ThreadRegistry()
 
     def __iter__(self) -> Iterator[Event]:
-        from repro.simulator.interpreter import run_program
+        from repro.simulator.interpreter import Interpreter
 
-        trace = run_program(
-            self.program, self.scheduler, allow_deadlock=self.allow_deadlock
+        interpreter = Interpreter(self.program, self.scheduler)
+        return _stamped(
+            interpreter.iter_events(allow_deadlock=self.allow_deadlock),
+            self.registry,
         )
-        return _stamped(trace, self.registry)
 
 
 class CountingSource(EventSource):

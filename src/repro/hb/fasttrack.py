@@ -67,6 +67,10 @@ class FastTrackDetector(Detector):
 
     name = "FastTrack"
 
+    #: Like HB, FastTrack's clocks move only on synchronization events, so
+    #: sharding by variable with a replicated sync skeleton is exact.
+    shardable = True
+
     def __init__(self, clock_backend: str = "dense") -> None:
         super().__init__()
         self.clock_backend = clock_backend
@@ -212,6 +216,21 @@ class FastTrackDetector(Detector):
 
         state.write_epoch = Epoch(tid, clock.get(tid))
         state.write_event = event
+
+    def sync_clock_state(self) -> dict:
+        """Serialized per-thread clocks (shard-boundary protocol).
+
+        FastTrack increments eagerly at release/fork, so the live clocks
+        are already a pure function of the synchronization skeleton.
+        """
+        from repro.vectorclock.dense import serialize_clock
+
+        state = {}
+        name_of = self._registry.name_of
+        for tid, clock in enumerate(self._clocks):
+            if clock is not None:
+                state[name_of(tid)] = serialize_clock(clock)
+        return state
 
     def finish(self) -> None:
         total = self.fast_path_hits + self.slow_path_hits

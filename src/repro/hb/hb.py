@@ -53,6 +53,11 @@ class HBDetector(Detector):
 
     name = "HB"
 
+    #: HB clocks move only on synchronization events, so the sharded
+    #: engine's replicate-sync / route-accesses split is exact for HB and
+    #: foreign in-CS accesses need not even be transported.
+    shardable = True
+
     def __init__(self, clock_backend: str = "dense") -> None:
         super().__init__()
         self.clock_backend = clock_backend
@@ -143,6 +148,50 @@ class HBDetector(Detector):
             # Any (unusual) child events after the join start a new interval.
             self._pending[child_tid] = True
         # BEGIN / END: no clock effect.
+
+    def process_foreign(self, event: Event) -> None:
+        """Apply a foreign access's clock effects: only the deferred bump.
+
+        Accesses never join anything into HB clocks, but the *first*
+        access after a release/fork applies the thread's deferred local
+        increment; replaying that here keeps this shard's clock visibility
+        in lock-step with the shards that own the access (so later
+        replicated fork/join snapshots of this thread agree everywhere).
+        Called only when a co-selected detector (WCP) caused foreign
+        transport; HB alone never requests it, because its race verdicts
+        are independent of the bump's visibility lag.
+        """
+        tid = event.tid
+        if tid is None or not self._trust_tids:
+            tid = self._registry.intern(event.thread)
+        if tid >= len(self._clocks) or self._clocks[tid] is None:
+            clock = self._ensure_thread(tid)
+        else:
+            clock = self._clocks[tid]
+        if self._pending[tid]:
+            clock.increment(tid)
+            self._pending[tid] = False
+            self._snap[tid] = None
+
+    def sync_clock_state(self) -> dict:
+        """Serialized per-thread HB clocks (shard-boundary protocol).
+
+        Deferred local increments (pending after release/fork) are applied
+        to the exported copies so the state is a pure function of the
+        synchronization skeleton, which every shard sees in full.
+        """
+        from repro.vectorclock.dense import serialize_clock
+
+        state = {}
+        name_of = self._registry.name_of
+        for tid, clock in enumerate(self._clocks):
+            if clock is None:
+                continue
+            snap = clock.copy()
+            if self._pending[tid]:
+                snap.increment(tid)
+            state[name_of(tid)] = serialize_clock(snap)
+        return state
 
     def timestamps(self, trace: Trace) -> list:
         """Run over ``trace`` and return the HB timestamp of every event.

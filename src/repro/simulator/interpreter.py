@@ -19,7 +19,7 @@ can introduce between synchronisation points.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.simulator.program import (
     Acquire, Compute, Fork, Join, Program, Read, Release, Statement, Write,
@@ -54,7 +54,38 @@ class Interpreter:
 
     def run(self, allow_deadlock: bool = False, emit_fork_join: bool = True,
             max_steps: Optional[int] = None, validate: bool = True) -> Trace:
-        """Run to completion (or deadlock) and return the emitted trace."""
+        """Run to completion (or deadlock) and return the emitted trace.
+
+        Batch wrapper over :meth:`iter_events`: collects the generated
+        events into a validated :class:`Trace`.  On deadlock the raised
+        :class:`DeadlockDetected` carries the events emitted so far.
+        """
+        events: List[Event] = []
+        try:
+            events.extend(self.iter_events(
+                allow_deadlock=allow_deadlock,
+                emit_fork_join=emit_fork_join,
+                max_steps=max_steps,
+            ))
+        except DeadlockDetected as deadlock:
+            raise DeadlockDetected(deadlock.waiting, events) from None
+        return Trace(events, validate=validate, name=self.program.name)
+
+    def iter_events(self, allow_deadlock: bool = False,
+                    emit_fork_join: bool = True,
+                    max_steps: Optional[int] = None) -> Iterator[Event]:
+        """Execute the program, yielding each event as it is emitted.
+
+        The incremental core of the interpreter: memory stays constant in
+        the trace length, so a :class:`~repro.engine.sources.SimulatorSource`
+        can feed the streaming engine from an unboundedly long run.  No
+        trace-level validation happens (there is no trace); the execution
+        semantics themselves guarantee lock consistency.  On deadlock
+        (with ``allow_deadlock`` False) :class:`DeadlockDetected` is
+        raised after the last executable event was yielded, with an empty
+        ``partial_events`` list -- the batch :meth:`run` re-raises it with
+        the accumulated events.
+        """
         self.scheduler.reset()
 
         program_counter: Dict[str, int] = {
@@ -63,7 +94,7 @@ class Interpreter:
         compute_remaining: Dict[str, int] = {thread: 0 for thread in self.program.threads}
         started: Set[str] = set(self.program.initial_threads)
         lock_holder: Dict[str, str] = {}
-        events: List[Event] = []
+        emitted = 0
         step = 0
 
         def finished(thread: str) -> bool:
@@ -108,7 +139,7 @@ class Interpreter:
                     if (reason := blocked_reason(thread)) is not None
                 }
                 if unfinished and not allow_deadlock:
-                    raise DeadlockDetected(unfinished, events)
+                    raise DeadlockDetected(unfinished, [])
                 break
 
             thread = self.scheduler.pick(enabled, step)
@@ -130,9 +161,10 @@ class Interpreter:
 
             if isinstance(statement, Acquire):
                 lock_holder[statement.lock] = thread
-                events.append(Event(
-                    len(events), thread, EventType.ACQUIRE, statement.lock, statement.loc
-                ))
+                yield Event(
+                    emitted, thread, EventType.ACQUIRE, statement.lock, statement.loc
+                )
+                emitted += 1
             elif isinstance(statement, Release):
                 if lock_holder.get(statement.lock) != thread:
                     raise RuntimeError(
@@ -140,36 +172,39 @@ class Interpreter:
                         % (thread, statement.lock)
                     )
                 del lock_holder[statement.lock]
-                events.append(Event(
-                    len(events), thread, EventType.RELEASE, statement.lock, statement.loc
-                ))
+                yield Event(
+                    emitted, thread, EventType.RELEASE, statement.lock, statement.loc
+                )
+                emitted += 1
             elif isinstance(statement, Read):
-                events.append(Event(
-                    len(events), thread, EventType.READ, statement.var, statement.loc
-                ))
+                yield Event(
+                    emitted, thread, EventType.READ, statement.var, statement.loc
+                )
+                emitted += 1
             elif isinstance(statement, Write):
-                events.append(Event(
-                    len(events), thread, EventType.WRITE, statement.var, statement.loc
-                ))
+                yield Event(
+                    emitted, thread, EventType.WRITE, statement.var, statement.loc
+                )
+                emitted += 1
             elif isinstance(statement, Fork):
                 started.add(statement.thread)
                 if emit_fork_join:
-                    events.append(Event(
-                        len(events), thread, EventType.FORK, statement.thread,
+                    yield Event(
+                        emitted, thread, EventType.FORK, statement.thread,
                         statement.loc
-                    ))
+                    )
+                    emitted += 1
             elif isinstance(statement, Join):
                 if emit_fork_join:
-                    events.append(Event(
-                        len(events), thread, EventType.JOIN, statement.thread,
+                    yield Event(
+                        emitted, thread, EventType.JOIN, statement.thread,
                         statement.loc
-                    ))
+                    )
+                    emitted += 1
             else:  # pragma: no cover - defensive
                 raise TypeError("unknown statement %r" % (statement,))
 
             program_counter[thread] += 1
-
-        return Trace(events, validate=validate, name=self.program.name)
 
 
 def run_program(

@@ -28,6 +28,7 @@ lets the WCP detector cache each thread's ``C_t`` and rebuild it only when
 
 from __future__ import annotations
 
+import struct
 from operator import le as _le
 from typing import Dict, Iterable, Iterator, List, Mapping, Tuple, Union
 
@@ -225,6 +226,45 @@ class DenseClock:
         return not (self <= other) and not (other <= self)
 
     # ------------------------------------------------------------------ #
+    # Serialization / tid remapping (shard-boundary protocol)
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact little-endian int64 array.
+
+        Trailing zeros are stripped first, so equal clocks serialize
+        identically regardless of how far their backing lists grew.
+        """
+        times = self._times
+        end = len(times)
+        while end and not times[end - 1]:
+            end -= 1
+        return struct.pack("<%dq" % end, *times[:end])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DenseClock":
+        """Inverse of :meth:`to_bytes`."""
+        clock = cls.__new__(cls)
+        clock._times = list(struct.unpack("<%dq" % (len(data) // 8), data))
+        return clock
+
+    def remapped(self, mapping: List[int]) -> "DenseClock":
+        """Return a copy with every tid translated through ``mapping``.
+
+        ``mapping[old_tid] -> new_tid`` is the remap table produced by
+        :meth:`repro.vectorclock.registry.ThreadRegistry.merge_names`;
+        components beyond the table (necessarily zero for clocks produced
+        alongside it) are dropped.  Used when merging clocks from shard
+        workers, whose private registries number threads in (different)
+        orders of local first appearance.
+        """
+        clock = DenseClock()
+        for tid, value in enumerate(self._times):
+            if value and tid < len(mapping):
+                clock.assign(mapping[tid], value)
+        return clock
+
+    # ------------------------------------------------------------------ #
     # Misc
     # ------------------------------------------------------------------ #
 
@@ -238,3 +278,39 @@ class DenseClock:
 
     def __len__(self) -> int:
         return self.width()
+
+
+# --------------------------------------------------------------------- #
+# Backend-agnostic clock wire format
+# --------------------------------------------------------------------- #
+#
+# The sharded engine ships per-thread clocks across process boundaries at
+# batch boundaries.  Dense clocks serialize as a flat int64 array (tag
+# ``D``); sparse tid-keyed VectorClocks serialize as (tid, time) int64
+# pairs (tag ``S``).  Both deserialize to a DenseClock -- the merge side
+# only ever joins and remaps, for which the dense form is canonical.
+
+def serialize_clock(clock) -> bytes:
+    """Serialize a tid-keyed clock (either backend) for transport."""
+    if isinstance(clock, DenseClock):
+        return b"D" + clock.to_bytes()
+    pairs = sorted(clock.items())
+    flat: List[int] = []
+    for tid, value in pairs:
+        flat.append(tid)
+        flat.append(value)
+    return b"S" + struct.pack("<%dq" % len(flat), *flat)
+
+
+def deserialize_clock(data: bytes) -> DenseClock:
+    """Inverse of :func:`serialize_clock`; always returns a DenseClock."""
+    tag, payload = data[:1], data[1:]
+    if tag == b"D":
+        return DenseClock.from_bytes(payload)
+    if tag != b"S":
+        raise ValueError("unknown clock wire tag %r" % (tag,))
+    flat = struct.unpack("<%dq" % (len(payload) // 8), payload)
+    clock = DenseClock()
+    for position in range(0, len(flat), 2):
+        clock.assign(flat[position], flat[position + 1])
+    return clock

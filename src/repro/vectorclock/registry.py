@@ -82,6 +82,24 @@ class ThreadRegistry:
         return list(self._names)
 
     # ------------------------------------------------------------------ #
+    # Registry merging (shard-boundary protocol)
+    # ------------------------------------------------------------------ #
+
+    def merge_names(self, names: Iterable[ThreadName]) -> List[int]:
+        """Intern another registry's tid-ordered name list; return the remap.
+
+        ``names`` is the peer registry's :meth:`names` output (its tid
+        numbering).  Every name is interned here, and the returned table
+        maps the peer's tids to this registry's: ``remap[peer_tid] ->
+        local_tid``.  Together with
+        :meth:`repro.vectorclock.dense.DenseClock.remapped` this is how the
+        sharded engine folds worker clocks -- numbered by each worker's
+        private order of first appearance -- into one coherent view.
+        """
+        intern = self.intern
+        return [intern(name) for name in names]
+
+    # ------------------------------------------------------------------ #
     # Clock conversion (tid-keyed internal <-> name-keyed public)
     # ------------------------------------------------------------------ #
 

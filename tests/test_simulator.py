@@ -184,3 +184,54 @@ class TestSchedulers:
         scripts = list(enumerate_schedules(["a", "b"], 3))
         assert len(scripts) == 8
         assert ["a", "a", "a"] in scripts
+
+
+class TestIncrementalInterpreter:
+    """Interpreter.iter_events streams the execution with constant memory."""
+
+    def test_generator_matches_batch_run(self):
+        program = Program({
+            "main": [Write("a"), Fork("child"), Acquire("l"), Write("x"),
+                     Release("l"), Join("child"), Read("x")],
+            "child": [Acquire("l"), Read("x"), Write("x"), Release("l")],
+        })
+        batch = run_program(program)
+        streamed = list(Interpreter(program).iter_events())
+        assert [(e.index, e.thread, e.etype, e.target) for e in streamed] == \
+            [(e.index, e.thread, e.etype, e.target) for e in batch]
+
+    def test_generator_is_lazy(self):
+        program = Program({"t1": [Write("x")] * 100})
+        iterator = Interpreter(program).iter_events()
+        first = next(iterator)
+        assert first.index == 0 and first.is_write()
+        # Nothing else has been produced yet; the rest still streams.
+        assert sum(1 for _ in iterator) == 99
+
+    def test_generator_deadlock_contract(self):
+        program = Program({
+            "t1": [Acquire("l1"), Acquire("l2")],
+            "t2": [Acquire("l2"), Acquire("l1")],
+        })
+        events = []
+        with pytest.raises(DeadlockDetected) as info:
+            for event in Interpreter(program).iter_events():
+                events.append(event)
+        # The generator yields everything executable before raising; the
+        # partial events travel with the batch run() wrapper instead.
+        assert len(events) == 2
+        assert info.value.partial_events == []
+        with pytest.raises(DeadlockDetected) as info:
+            Interpreter(program).run()
+        assert len(info.value.partial_events) == 2
+
+    def test_simulator_source_streams_without_trace(self):
+        from repro.engine import RaceEngine, SimulatorSource
+
+        program = Program({
+            "t1": [Read("c"), Write("c")],
+            "t2": [Read("c"), Write("c")],
+        }, name="counter")
+        result = RaceEngine().run(SimulatorSource(program), detectors=["hb"])
+        assert result.events == 4
+        assert result["HB"].has_race()
