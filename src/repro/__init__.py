@@ -41,25 +41,34 @@ from repro.cp import CPDetector, CPClosure
 from repro.lockset import EraserDetector
 from repro.mcm import MCMPredictor
 from repro.engine import (
+    AsyncEventSource,
+    AsyncRaceEngine,
     CountingSource,
     EngineConfig,
     EngineResult,
     EventSource,
     FileSource,
     IterableSource,
+    LineProtocolSource,
+    OnlineValidator,
+    QueueSource,
     RaceEngine,
     ShardedEngine,
     ShardedResult,
     SimulatorSource,
     TraceSource,
+    ValidatingSource,
+    as_async_source,
     as_source,
 )
 from repro.api import (
     available_detectors,
     compare_detectors,
     detect_races,
+    detect_races_async,
     make_detector,
     run_engine,
+    run_engine_async,
 )
 
 __version__ = "1.0.0"
@@ -88,21 +97,30 @@ __all__ = [
     "MCMPredictor",
     "ReportSnapshot",
     "RaceEngine",
+    "AsyncRaceEngine",
     "ShardedEngine",
     "ShardedResult",
     "EngineConfig",
     "EngineResult",
     "EventSource",
+    "AsyncEventSource",
     "TraceSource",
     "FileSource",
     "IterableSource",
     "SimulatorSource",
     "CountingSource",
+    "QueueSource",
+    "LineProtocolSource",
+    "OnlineValidator",
+    "ValidatingSource",
     "as_source",
+    "as_async_source",
     "detect_races",
+    "detect_races_async",
     "compare_detectors",
     "available_detectors",
     "make_detector",
     "run_engine",
+    "run_engine_async",
     "__version__",
 ]

@@ -18,6 +18,13 @@ Three calls cover most uses:
   :class:`~repro.engine.EngineResult` (per-detector reports plus run
   metadata, snapshots and the early-stop reason).
 
+Each has an asyncio-native twin (:func:`detect_races_async`,
+:func:`run_engine_async`) for *push* ingestion: live producers feed a
+:class:`~repro.engine.QueueSource` or a socket/pipe speaking the STD
+line protocol (:class:`~repro.engine.LineProtocolSource`), and the
+engine awaits events instead of pulling them -- same single-pass
+semantics, identical reports (both drive the shared per-event stepper).
+
 Engine behaviour (early stop, snapshot cadence, cost accounting) is
 configured with the fluent :class:`~repro.engine.EngineConfig` builder::
 
@@ -36,7 +43,13 @@ from repro.core.detector import Detector
 from repro.core.races import RaceReport
 from repro.core.wcp import WCPDetector
 from repro.cp.detector import CPDetector
-from repro.engine import EngineConfig, EngineResult, RaceEngine, ShardedEngine
+from repro.engine import (
+    AsyncRaceEngine,
+    EngineConfig,
+    EngineResult,
+    RaceEngine,
+    ShardedEngine,
+)
 from repro.hb.fasttrack import FastTrackDetector
 from repro.hb.hb import HBDetector
 from repro.lockset.eraser import EraserDetector
@@ -119,6 +132,47 @@ def detect_races(
     elif isinstance(detector, str):
         detector = make_detector(detector, **kwargs)
     result = _make_engine(None, shards).run(source, detectors=[detector])
+    return next(iter(result.values()))
+
+
+async def run_engine_async(
+    source,
+    detectors: Optional[Sequence[Union[str, Detector]]] = None,
+    config: Optional[EngineConfig] = None,
+) -> EngineResult:
+    """Asynchronous :func:`run_engine`: await events instead of pulling.
+
+    ``source`` may be an asynchronous source
+    (:class:`~repro.engine.QueueSource`,
+    :class:`~repro.engine.LineProtocolSource`, any ``__aiter__`` object)
+    or anything :func:`run_engine` accepts (adapted cooperatively).  The
+    pass is driven by :class:`~repro.engine.AsyncRaceEngine`, which
+    shares the per-event stepper with the synchronous engine -- reports
+    are identical for identical streams.
+    """
+    return await AsyncRaceEngine(config).run(source, detectors=detectors)
+
+
+async def detect_races_async(
+    source,
+    detector: Union[str, Detector, None] = None,
+    **kwargs,
+) -> RaceReport:
+    """Asynchronous :func:`detect_races` over a push/async source.
+
+    Typical use: a live producer feeds a
+    :class:`~repro.engine.QueueSource` (or a socket speaking the STD
+    line protocol wrapped in a
+    :class:`~repro.engine.LineProtocolSource`) while this coroutine
+    analyses it online::
+
+        report = await detect_races_async(queue_source)
+    """
+    if detector is None:
+        detector = WCPDetector(**kwargs)
+    elif isinstance(detector, str):
+        detector = make_detector(detector, **kwargs)
+    result = await AsyncRaceEngine().run(source, detectors=[detector])
     return next(iter(result.values()))
 
 

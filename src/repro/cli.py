@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro-race analyze TRACE_FILE [--detector wcp,hb] [--stream] [--window N]
                        [--first-race] [--max-events N] [--json OUT]
     repro-race compare TRACE_FILE [--detectors wcp,hb] [--stream]
+    repro-race serve (--port N | --socket PATH) [--detector wcp] [--once]
     repro-race bench [--benchmark NAME ...] [--scale 0.1] [--detectors wcp,hb]
     repro-race generate BENCHMARK -o trace.std [--scale 0.1] [--seed 0]
     repro-race stats TRACE_FILE
@@ -13,13 +14,16 @@ Six subcommands::
 ``analyze`` runs one or more detectors (comma-separated) on a logged trace
 file (STD or CSV format) in a single engine pass; with ``--stream`` the
 file is parsed lazily and analysed without ever materialising a full
-in-memory trace.  ``compare`` prints a side-by-side single-pass comparison
-table for one trace.  ``bench`` regenerates Table-1-style rows on the
-synthetic benchmark suite, ``generate`` writes a benchmark trace to disk
-for use with other tools, ``stats`` prints the trace's descriptive
-columns, and ``witness`` searches for a correct-reordering witness of the
-first detected race (turning a warning into a concrete alternative
-schedule).
+in-memory trace (trace well-formedness is still checked, by the O(1)
+online validator -- ``--no-validate`` opts out).  ``compare`` prints a
+side-by-side single-pass comparison table for one trace.  ``serve``
+listens on a TCP port or unix socket for *pushed* STD event streams and
+analyses each connection online with the asynchronous engine.  ``bench``
+regenerates Table-1-style rows on the synthetic benchmark suite,
+``generate`` writes a benchmark trace to disk for use with other tools,
+``stats`` prints the trace's descriptive columns, and ``witness``
+searches for a correct-reordering witness of the first detected race
+(turning a warning into a concrete alternative schedule).
 """
 
 from __future__ import annotations
@@ -36,7 +40,12 @@ from repro.analysis.tables import format_table
 from repro.analysis.windowing import WindowedDetector
 from repro.api import available_detectors, make_detector, run_engine
 from repro.bench.suite import BENCHMARKS, get_benchmark
-from repro.engine import EngineConfig, FileSource
+from repro.engine import (
+    EngineConfig,
+    FileSource,
+    ValidatingSource,
+    serve_connection,
+)
 from repro.reordering.witness import find_race_witness
 from repro.trace.parsers import load_trace
 from repro.trace.writers import dump_trace
@@ -59,7 +68,8 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--stream", action="store_true",
         help="parse the file lazily and analyse it without materialising "
-             "a full in-memory trace (constant memory, no validation; "
+             "a full in-memory trace (constant memory; well-formedness is "
+             "checked online in O(1) per event unless --no-validate; "
              "WCP additionally prunes its Rule (b) logs with the "
              "thread-quiescence heuristic -- see --no-stream-reclaim)",
     )
@@ -104,7 +114,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--stream", action="store_true",
-        help="parse the file lazily (constant memory, no validation)",
+        help="parse the file lazily (constant memory; well-formedness is "
+             "checked online unless --no-validate)",
     )
     compare.add_argument(
         "--no-stream-reclaim", action="store_true",
@@ -116,6 +127,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip trace well-formedness validation",
     )
     _add_shard_arguments(compare)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="listen on a socket for pushed STD event streams and analyse "
+             "each connection online (asynchronous engine)",
+    )
+    listen = serve.add_mutually_exclusive_group(required=True)
+    listen.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="listen on TCP port N (0 picks a free port; the bound "
+             "address is printed on startup)",
+    )
+    listen.add_argument(
+        "--socket", dest="unix_socket", default=None, metavar="PATH",
+        help="listen on a unix domain socket at PATH",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --port (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--detector", default="wcp", metavar="NAMES",
+        help="comma-separated detector list run per connection "
+             "(default: wcp)",
+    )
+    serve.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the online lock-semantics/well-nestedness validation "
+             "of pushed streams",
+    )
+    serve.add_argument(
+        "--no-stream-reclaim", action="store_true",
+        help="keep WCP's Rule (b) logs in full instead of pruning them "
+             "with the thread-quiescence heuristic",
+    )
+    serve.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="stop each connection's pass after N events",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="handle exactly one connection, then exit with analyze-style "
+             "status (1 when races were found, 2 on a rejected stream)",
+    )
+    # serve is inherently streaming: detector construction follows the
+    # --stream conventions (WCP log reclamation unless opted out).
+    serve.set_defaults(stream=True)
 
     bench = subparsers.add_parser("bench", help="run the Table 1 benchmark suite")
     bench.add_argument(
@@ -138,6 +196,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="print trace summary statistics")
     stats.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+    stats.add_argument(
+        "--no-validate", action="store_true",
+        help="skip trace well-formedness validation",
+    )
 
     witness = subparsers.add_parser(
         "witness", help="search for a reordering witnessing the first race"
@@ -216,10 +278,18 @@ def _make_engine_config(args: argparse.Namespace) -> EngineConfig:
 
 
 def _make_source(args: argparse.Namespace):
-    """Build the analyze/compare event source from the CLI arguments."""
+    """Build the analyze/compare event source from the CLI arguments.
+
+    Both paths validate by default: batch loading through
+    ``Trace(validate=True)``, streaming through the O(1)-per-event
+    :class:`~repro.engine.ValidatingSource` (identical error classes and
+    messages).  ``--no-validate`` disables either.
+    """
+    validate = not getattr(args, "no_validate", False)
     if args.stream:
-        return FileSource(args.trace)
-    return load_trace(args.trace, validate=not getattr(args, "no_validate", False))
+        source = FileSource(args.trace)
+        return ValidatingSource(source) if validate else source
+    return load_trace(args.trace, validate=validate)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -307,7 +377,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace, validate=False)
+    # The shared load path: stats validates by default exactly like
+    # analyze/compare, so a malformed trace errors consistently across
+    # subcommands instead of being silently summarised.
+    try:
+        trace = load_trace(args.trace, validate=not args.no_validate)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     for key, value in sorted(trace_summary(trace).items()):
         print("%-10s %d" % (key, value))
     return 0
@@ -338,6 +415,91 @@ def _cmd_witness(args: argparse.Namespace) -> int:
     print("no correct reordering realises this pair as an adjacent race "
           "(it may only be realisable as a deadlock)")
     return 0
+
+
+async def _serve_async(args: argparse.Namespace, ready=None) -> int:
+    """The serve event loop: one engine pass per accepted connection.
+
+    ``ready`` (tests) is called with the listening server once the
+    socket is bound.  With ``--once`` the loop exits after the first
+    connection and the exit status follows analyze's convention; without
+    it the server runs until interrupted.
+    """
+    import asyncio
+
+    names = _split_detector_names(args.detector)
+    outcomes: List = []
+    done = asyncio.Event()
+
+    async def handle(reader, writer) -> None:
+        # Fresh detector instances per connection: streams are
+        # independent passes, state never leaks between clients.
+        detectors = _make_detectors(names, args)
+        config = EngineConfig()
+        if args.max_events:
+            config.stop_after_events(args.max_events)
+        label = "client-%d" % (len(outcomes) + 1)
+        try:
+            result = await serve_connection(
+                reader, writer, detectors, config=config,
+                validate=not args.no_validate, name=label,
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            result = None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+        if result is None:
+            print("%s: stream rejected (malformed or interrupted)" % label,
+                  file=sys.stderr)
+        else:
+            print(result.summary(), flush=True)
+        outcomes.append(result)
+        if args.once:
+            done.set()
+
+    if args.unix_socket:
+        server = await asyncio.start_unix_server(handle, path=args.unix_socket)
+        where = args.unix_socket
+    else:
+        server = await asyncio.start_server(
+            handle, host=args.host, port=args.port
+        )
+        where = "%s:%d" % server.sockets[0].getsockname()[:2]
+    print("serving on %s" % where, flush=True)
+    if ready is not None:
+        ready(server)
+    try:
+        async with server:
+            await done.wait()
+    finally:
+        if args.unix_socket:
+            try:
+                os.unlink(args.unix_socket)
+            except OSError:  # pragma: no cover - already removed
+                pass
+    result = outcomes[0] if outcomes else None
+    if result is None:
+        return 2
+    return 1 if result.has_race() else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        names = _split_detector_names(args.detector)
+        _make_detectors(names, args)  # fail fast on unknown detector names
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    import asyncio
+
+    try:
+        return asyncio.run(_serve_async(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -374,6 +536,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "generate":

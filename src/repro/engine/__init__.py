@@ -16,8 +16,10 @@ The top-level helpers :func:`repro.api.detect_races` and
 """
 
 from repro.core.races import ReportSnapshot
+from repro.engine.async_engine import AsyncRaceEngine, serve_connection
 from repro.engine.config import EngineConfig
 from repro.engine.engine import (
+    EnginePass,
     EngineResult,
     RaceEngine,
     StreamContext,
@@ -35,30 +37,44 @@ from repro.engine.partition import (
 )
 from repro.engine.sharding import ShardedEngine, ShardedResult
 from repro.engine.sources import (
+    AsyncEventSource,
     CountingSource,
     EventSource,
     FileSource,
     IterableSource,
+    LineProtocolSource,
+    QueueSource,
     SimulatorSource,
     TraceSource,
+    as_async_source,
     as_source,
 )
+from repro.engine.validate import OnlineValidator, ValidatingSource
 
 __all__ = [
     "RaceEngine",
+    "AsyncRaceEngine",
     "ShardedEngine",
     "ShardedResult",
     "EngineConfig",
+    "EnginePass",
     "EngineResult",
     "ReportSnapshot",
     "StreamContext",
     "EventSource",
+    "AsyncEventSource",
     "TraceSource",
     "FileSource",
     "IterableSource",
     "SimulatorSource",
     "CountingSource",
+    "QueueSource",
+    "LineProtocolSource",
+    "OnlineValidator",
+    "ValidatingSource",
+    "serve_connection",
     "as_source",
+    "as_async_source",
     "PartitionPolicy",
     "HashPartition",
     "RoundRobinPartition",

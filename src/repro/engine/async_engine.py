@@ -1,0 +1,136 @@
+"""The asynchronous race engine: push ingestion without blocking.
+
+:class:`~repro.engine.engine.RaceEngine` *pulls* events: a live logger
+feeding it must either materialise its output first or block a thread in
+a queue.  :class:`AsyncRaceEngine` is the asyncio-native counterpart --
+one coroutine awaits events off any asynchronous source (a socket or
+pipe speaking the STD line protocol, a push queue, or any object with
+``__aiter__``) and steps them through the detectors as they arrive, so
+producers and analysis interleave on one event loop.
+
+The per-event semantics are **shared**, not reimplemented: both engines
+drive the same :class:`~repro.engine.engine.EnginePass` stepper, so
+reset/process/snapshot/early-stop/finish behaviour, cost accounting and
+the resulting :class:`~repro.engine.engine.EngineResult` are identical
+by construction -- the async-vs-sync parity suite asserts report
+equality event for event.  Per-event work stays O(1); the only
+difference is who waits when the stream runs dry.
+
+Synchronous inputs (traces, files, iterables) are accepted too: they are
+adapted through :func:`~repro.engine.sources.as_async_source`, which
+periodically surrenders the event loop so a long file pass cannot starve
+other tasks.
+
+Serving is layered on top: :func:`serve_connection` runs one engine pass
+over an accepted ``(reader, writer)`` stream pair, validating the stream
+online by default and answering with a compact per-detector summary --
+the core of the ``repro-race serve`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.engine.config import DetectorSpec, EngineConfig
+from repro.engine.engine import EnginePass, EngineResult
+from repro.engine.sources import LineProtocolSource, as_async_source
+from repro.engine.validate import ValidatingSource
+
+__all__ = ["AsyncRaceEngine", "serve_connection"]
+
+
+class AsyncRaceEngine:
+    """Drive N detectors over one asynchronous event source in one pass.
+
+    Usage::
+
+        engine = AsyncRaceEngine(EngineConfig().with_detectors("wcp", "hb"))
+        result = await engine.run(source)
+        result["WCP"].count()
+
+    ``source`` may be an asynchronous source
+    (:class:`~repro.engine.sources.LineProtocolSource`,
+    :class:`~repro.engine.sources.QueueSource`, any ``__aiter__``
+    object) or anything the synchronous engine accepts (trace, path,
+    iterable), adapted cooperatively.  Configuration, early-stop
+    policies, snapshots and the result type are exactly
+    :class:`~repro.engine.engine.RaceEngine`'s -- both drive the shared
+    :class:`~repro.engine.engine.EnginePass`.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+
+    async def run(
+        self,
+        source,
+        detectors: Optional[Sequence[DetectorSpec]] = None,
+    ) -> EngineResult:
+        """Await events from ``source`` and run the configured detectors."""
+        config = self.config
+        resolved = config.resolve_detectors(detectors)
+        async_source = as_async_source(source)
+
+        pass_ = EnginePass(
+            config, resolved, getattr(async_source, "name", "stream"),
+            trace=getattr(async_source, "trace", None),
+            registry=getattr(async_source, "registry", None),
+        )
+        pass_.start()
+        step = pass_.step
+        async for event in async_source:
+            if step(event) is not None:
+                break
+        return pass_.result()
+
+    def __repr__(self) -> str:
+        return "AsyncRaceEngine(%r)" % (self.config,)
+
+
+async def serve_connection(
+    reader,
+    writer,
+    detectors: Sequence[DetectorSpec],
+    config: Optional[EngineConfig] = None,
+    validate: bool = True,
+    name: str = "client",
+) -> Optional[EngineResult]:
+    """Analyse one pushed STD event stream and answer on the same stream.
+
+    The wire contract (one line each, ``utf-8``):
+
+    * request -- STD trace lines (``thread|op(arg)[|loc]``), terminated
+      by EOF (half-close the socket after the last event);
+    * response -- one ``<detector> <distinct> <raw>`` line per detector,
+      then ``done <events>``; or a single ``error <Type>: <message>``
+      line when the stream is rejected: malformed (online validation,
+      on by default), unparseable, or a line over the reader's buffer
+      limit (``asyncio`` raises ValueError for those -- trace and parse
+      errors are ValueErrors too, so one handler answers them all).
+
+    Returns the :class:`~repro.engine.engine.EngineResult`, or None when
+    the stream was rejected.  The writer is drained but left open;
+    closing is the caller's (the server's) responsibility.
+    """
+    source = LineProtocolSource(reader, name=name)
+    if validate:
+        source = ValidatingSource(source)
+    engine = AsyncRaceEngine(config)
+    try:
+        result = await engine.run(source, detectors=detectors)
+    except ValueError as error:
+        # TraceError (validation), TraceParseError (grammar) and the
+        # stream reader's over-limit-line error are all ValueErrors.
+        writer.write(
+            ("error %s: %s\n" % (type(error).__name__, error)).encode("utf-8")
+        )
+        await writer.drain()
+        return None
+    lines: List[str] = [
+        "%s %d %d" % (key, report.count(), report.raw_race_count)
+        for key, report in result.items()
+    ]
+    lines.append("done %d" % result.events)
+    writer.write(("\n".join(lines) + "\n").encode("utf-8"))
+    await writer.drain()
+    return result

@@ -15,6 +15,14 @@ trace-wide optimisations like WCP's queue pruning stay enabled) or a
 
 Early-stop policies, snapshot cadence and per-detector cost accounting
 come from :class:`~repro.engine.config.EngineConfig`.
+
+The per-event core lives in :class:`EnginePass`: one in-flight pass
+owning reset/process/snapshot/early-stop/finish semantics and cost
+accounting.  :class:`RaceEngine` drives it from a synchronous ``for``
+loop, :class:`~repro.engine.async_engine.AsyncRaceEngine` from an
+``async for`` loop, and the sharded workers
+(:mod:`repro.engine.sharding`) reuse its dispatch/finish core -- the
+stepping semantics are implemented exactly once.
 """
 
 from __future__ import annotations
@@ -160,6 +168,239 @@ class EngineResult:
         )
 
 
+class EnginePass:
+    """One in-flight engine pass: the shared per-event stepper.
+
+    Owns everything between detector reset and the final
+    :class:`EngineResult`: context construction (real trace vs
+    :class:`StreamContext`), reset with cost attribution, per-event
+    stepping (renumbering, detector dispatch, snapshot cadence,
+    early-stop policies) and finishing.  The drivers differ only in how
+    they obtain events:
+
+    * :meth:`RaceEngine.run` pulls them from a synchronous iterator;
+    * :meth:`~repro.engine.async_engine.AsyncRaceEngine.run` awaits them
+      from an asynchronous one;
+    * the sharded workers decode them off the transport wire and call
+      :attr:`dispatch` / :meth:`finish_detectors` directly (their
+      snapshot/early-stop logic is batch-granular and coordinator-side).
+
+    Protocol::
+
+        pass_ = EnginePass(config, resolved, source_name, trace=..., registry=...)
+        pass_.start()
+        for event in stream:              # or: async for event in stream
+            if pass_.step(event) is not None:
+                break
+        result = pass_.result()
+
+    ``step`` returns the stop reason (one of the ``STOP_*`` constants)
+    when an early-stop policy fires, else None.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig],
+        detectors: Sequence[Detector],
+        source_name: str,
+        trace=None,
+        registry=None,
+        accounting: Optional[bool] = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.detectors = list(detectors)
+        if len({id(detector) for detector in self.detectors}) != len(
+            self.detectors
+        ):
+            raise ValueError(
+                "the same Detector instance appears more than once in the "
+                "selection; it would process every event twice -- pass "
+                "distinct instances (or names) instead"
+            )
+        self.source_name = source_name
+        self.trace = trace
+        # Complete sources hand detectors the real trace so reset-time
+        # prescans keep working; streams get a non-prescannable context.
+        self.context = (
+            trace
+            if trace is not None
+            else StreamContext(source_name, registry=registry)
+        )
+        # Per-event attribution only pays off with several detectors; for a
+        # single one it necessarily equals the pass total, so skip the two
+        # clock reads per event and use the (cleaner) overall elapsed time.
+        self.accounting = (
+            self.config.cost_accounting and len(self.detectors) > 1
+            if accounting is None
+            else accounting
+        )
+        self.events = 0
+        self.snapshots: List[ReportSnapshot] = []
+        self.stop_reason = STOP_EXHAUSTED
+        self.elapsed_s = 0.0
+        self._started: Optional[float] = None
+        self._finished = False
+        #: Per-event detector dispatch, bound by :meth:`start` to the
+        #: cheapest shape for this pass (see ``_bind_dispatch``).
+        self.dispatch = self._dispatch_unbound
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Reset every detector against the pass context and arm dispatch."""
+        clock = time.perf_counter
+        self._started = clock()
+        # reset() may do real per-trace work (e.g. WCP's queue-pruning
+        # prescan), so it is part of each detector's attributed cost; the
+        # attribution happens after reset() since reset zeroes the counters.
+        for detector in self.detectors:
+            before = clock()
+            detector.reset(self.context)
+            if self.accounting:
+                detector.account_cost(clock() - before, events=0)
+        self._bind_dispatch()
+
+    def _bind_dispatch(self) -> None:
+        """Pick the per-event dispatch shape.
+
+        With accounting on, every ``process`` is timed.  With it off the
+        pass must pay *nothing* beyond the ``process`` calls themselves:
+        a single detector dispatches straight to its bound ``process``
+        method, several loop over pre-bound methods -- in neither case is
+        ``account_cost`` touched on the per-event path (the bulk
+        attribution happens once, in :meth:`finish_detectors`).
+        """
+        if self.accounting:
+            self.dispatch = self._dispatch_accounted
+        elif len(self.detectors) == 1:
+            self.dispatch = self.detectors[0].process
+        else:
+            processors = [detector.process for detector in self.detectors]
+
+            def dispatch(event: Event) -> None:
+                for process in processors:
+                    process(event)
+
+            self.dispatch = dispatch
+
+    def _dispatch_unbound(self, event: Event) -> None:
+        raise RuntimeError("EnginePass.start() must be called before step()")
+
+    def _dispatch_accounted(self, event: Event) -> None:
+        clock = time.perf_counter
+        for detector in self.detectors:
+            before = clock()
+            detector.process(event)
+            detector.account_cost(clock() - before)
+
+    def step(self, event: Event) -> Optional[str]:
+        """Feed one event through the pass.
+
+        Renumbers the event to its stream position, dispatches it to
+        every detector, maintains the stream context and snapshot
+        cadence, and evaluates the early-stop policies.  Returns the
+        stop reason when the pass should end, else None.
+        """
+        events = self.events
+        # Streams may carry unnumbered events (builder convention -1);
+        # renumber so race distances stay well-defined (preserving the
+        # source's interned-tid stamp).
+        if event.index != events:
+            event = Event(
+                events, event.thread, event.etype, event.target,
+                event.loc, tid=event.tid,
+            )
+
+        self.dispatch(event)
+
+        self.events = events = events + 1
+        context = self.context
+        if context is not self.trace:
+            context.events_seen = events
+
+        config = self.config
+        interval = config.snapshot_interval
+        if interval is not None and events % interval == 0:
+            self.take_snapshots()
+
+        race_budget = config.race_budget
+        if race_budget is not None and any(
+            detector.report.count() >= race_budget
+            for detector in self.detectors
+        ):
+            self.stop_reason = STOP_RACE_BUDGET
+            return self.stop_reason
+        if config.event_budget is not None and events >= config.event_budget:
+            self.stop_reason = STOP_EVENT_BUDGET
+            return self.stop_reason
+        return None
+
+    def finish_detectors(self) -> None:
+        """Run every detector's ``finish`` hook (idempotent).
+
+        finish() may still do real work (flush buffered windows), so it
+        is both always called and included in the per-detector cost.  In
+        no-accounting mode the processed-event census is attributed here
+        in one bulk call, keeping ``Detector.cost_events`` (and therefore
+        ``Detector.snapshot()``'s default) correct without any per-event
+        ``account_cost`` traffic.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        clock = time.perf_counter
+        for detector in self.detectors:
+            if self.accounting:
+                before = clock()
+                detector.finish()
+                detector.account_cost(clock() - before, events=0)
+            else:
+                detector.finish()
+                detector.account_cost(0.0, events=self.events)
+        if self._started is not None:
+            self.elapsed_s = clock() - self._started
+
+    def take_snapshots(self) -> None:
+        """Append one snapshot per detector (and fire the callback)."""
+        for detector in self.detectors:
+            snap = detector.snapshot(events=self.events)
+            self.snapshots.append(snap)
+            if self.config.snapshot_callback is not None:
+                self.config.snapshot_callback(snap)
+
+    def result(self) -> EngineResult:
+        """Finish the pass and assemble the :class:`EngineResult`."""
+        self.finish_detectors()
+        events = self.events
+        reports: Dict[str, RaceReport] = {}
+        for detector in self.detectors:
+            per_detector = (
+                detector.cost_time_s if self.accounting else self.elapsed_s
+            )
+            report = detector.finalize_stats(events, per_detector)
+            reports[RaceEngine._unique_name(reports, detector.name)] = report
+
+        interval = self.config.snapshot_interval
+        if interval is not None and (events == 0 or events % interval != 0):
+            self.take_snapshots()
+
+        return EngineResult(
+            source_name=self.source_name,
+            reports=reports,
+            events=events,
+            elapsed_s=self.elapsed_s,
+            stop_reason=self.stop_reason,
+            snapshots=self.snapshots,
+        )
+
+    def __repr__(self) -> str:
+        return "EnginePass(%r, detectors=%d, events=%d)" % (
+            self.source_name, len(self.detectors), self.events,
+        )
+
+
 class RaceEngine:
     """Drive N detectors over one event source in a single pass.
 
@@ -193,131 +434,23 @@ class RaceEngine:
         """
         config = self.config
         resolved = config.resolve_detectors(detectors)
-        if len({id(detector) for detector in resolved}) != len(resolved):
-            raise ValueError(
-                "the same Detector instance appears more than once in the "
-                "selection; it would process every event twice -- pass "
-                "distinct instances (or names) instead"
-            )
         event_source = as_source(source)
 
-        # Complete sources hand detectors the real trace so reset-time
-        # prescans keep working; streams get a non-prescannable context.
-        trace = event_source.trace
-        context = (
-            trace
-            if trace is not None
-            else StreamContext(
-                event_source.name,
-                registry=getattr(event_source, "registry", None),
-            )
+        pass_ = EnginePass(
+            config, resolved, event_source.name,
+            trace=event_source.trace,
+            registry=getattr(event_source, "registry", None),
         )
-
-        # Per-event attribution only pays off with several detectors; for a
-        # single one it necessarily equals the pass total, so skip the two
-        # clock reads per event and use the (cleaner) overall elapsed time.
-        accounting = config.cost_accounting and len(resolved) > 1
-        clock = time.perf_counter
-
-        started = clock()
-        # reset() may do real per-trace work (e.g. WCP's queue-pruning
-        # prescan), so it is part of each detector's attributed cost; the
-        # attribution happens after reset() since reset zeroes the counters.
-        for detector in resolved:
-            before = clock()
-            detector.reset(context)
-            if accounting:
-                detector.account_cost(clock() - before, events=0)
-        race_budget = config.race_budget
-        event_budget = config.event_budget
-        interval = config.snapshot_interval
-
-        snapshots: List[ReportSnapshot] = []
-        stop_reason = STOP_EXHAUSTED
-        events = 0
-
+        pass_.start()
+        step = pass_.step
         for event in event_source:
-            # Streams may carry unnumbered events (builder convention -1);
-            # renumber so race distances stay well-defined (preserving the
-            # source's interned-tid stamp).
-            if event.index != events:
-                event = Event(
-                    events, event.thread, event.etype, event.target,
-                    event.loc, tid=event.tid,
-                )
-
-            if accounting:
-                for detector in resolved:
-                    before = clock()
-                    detector.process(event)
-                    detector.account_cost(clock() - before)
-            else:
-                for detector in resolved:
-                    detector.process(event)
-                    detector.account_cost(0.0)
-
-            events += 1
-            if context is not trace:
-                context.events_seen = events
-
-            if interval is not None and events % interval == 0:
-                self._take_snapshots(resolved, events, snapshots, config)
-
-            if race_budget is not None and any(
-                detector.report.count() >= race_budget for detector in resolved
-            ):
-                stop_reason = STOP_RACE_BUDGET
+            if step(event) is not None:
                 break
-            if event_budget is not None and events >= event_budget:
-                stop_reason = STOP_EVENT_BUDGET
-                break
-
-        # finish() may still do real work (flush buffered windows), so it
-        # is both always called and included in the per-detector cost.
-        for detector in resolved:
-            if accounting:
-                before = clock()
-                detector.finish()
-                detector.account_cost(clock() - before, events=0)
-            else:
-                detector.finish()
-
-        elapsed = time.perf_counter() - started
-
-        reports: Dict[str, RaceReport] = {}
-        for detector in resolved:
-            per_detector = detector.cost_time_s if accounting else elapsed
-            report = detector.finalize_stats(events, per_detector)
-            reports[self._unique_name(reports, detector.name)] = report
-
-        if interval is not None and (events == 0 or events % interval != 0):
-            self._take_snapshots(resolved, events, snapshots, config)
-
-        return EngineResult(
-            source_name=event_source.name,
-            reports=reports,
-            events=events,
-            elapsed_s=elapsed,
-            stop_reason=stop_reason,
-            snapshots=snapshots,
-        )
+        return pass_.result()
 
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-
-    @staticmethod
-    def _take_snapshots(
-        detectors: Sequence[Detector],
-        events: int,
-        snapshots: List[ReportSnapshot],
-        config: EngineConfig,
-    ) -> None:
-        for detector in detectors:
-            snap = detector.snapshot(events=events)
-            snapshots.append(snap)
-            if config.snapshot_callback is not None:
-                config.snapshot_callback(snap)
 
     @staticmethod
     def _unique_name(existing: Dict[str, RaceReport], name: str) -> str:

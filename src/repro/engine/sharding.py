@@ -74,9 +74,9 @@ from repro.engine.engine import (
     STOP_EVENT_BUDGET,
     STOP_EXHAUSTED,
     STOP_RACE_BUDGET,
+    EnginePass,
     EngineResult,
     RaceEngine,
-    StreamContext,
 )
 from repro.engine.partition import (
     REPLICATE,
@@ -212,9 +212,12 @@ class _ShardWorker:
     """The in-process worker core shared by every transport mode.
 
     Owns the shard's detector instances, a private
-    :class:`ThreadRegistry`, and a :class:`StreamContext` (shard
+    :class:`ThreadRegistry`, and -- through a shared
+    :class:`~repro.engine.engine.EnginePass` -- the
+    reset/dispatch/finish semantics of the unsharded engine (shard
     substreams are genuine streams: no pre-scan, threads discovered
-    lazily).
+    lazily; snapshotting and early stop are coordinator-side, so the
+    worker never calls ``step``).
     """
 
     def __init__(
@@ -224,17 +227,23 @@ class _ShardWorker:
         self.detectors = detectors
         self.source_name = source_name
         self.registry = ThreadRegistry()
-        self.context = StreamContext(source_name, registry=self.registry)
+        # Workers never attribute per-event cost: busy time is measured
+        # per batch and shipped in the finish payload.
+        self.pass_ = EnginePass(
+            None, detectors, source_name,
+            registry=self.registry, accounting=False,
+        )
+        self.context = self.pass_.context
         self.events = 0
         self.busy_s = 0.0
 
     def start(self) -> None:
-        for detector in self.detectors:
-            detector.reset(self.context)
+        self.pass_.start()
 
     def process_batch(self, batch: List[tuple]) -> None:
         started = time.perf_counter()
         detectors = self.detectors
+        dispatch = self.pass_.dispatch
         etype_of = _ETYPE_OF_VALUE
         intern = self.registry.intern
         new_event = Event.__new__
@@ -250,8 +259,7 @@ class _ShardWorker:
             event.loc = loc
             event.tid = intern(thread)
             if owned:
-                for detector in detectors:
-                    detector.process(event)
+                dispatch(event)
             else:
                 for detector in detectors:
                     detector.process_foreign(event)
@@ -279,8 +287,7 @@ class _ShardWorker:
 
     def finish(self) -> dict:
         started = time.perf_counter()
-        for detector in self.detectors:
-            detector.finish()
+        self.pass_.finish_detectors()
         self.busy_s += time.perf_counter() - started
         return {
             "shard": self.shard_id,

@@ -16,10 +16,24 @@ An :class:`EventSource` is anything that can hand the
   feeding the emitted events straight into the engine;
 * :class:`CountingSource` -- a transparent wrapper that counts iteration
   passes and events, used by tests and benchmarks to *prove* the engine's
-  single-pass property.
+  single-pass property;
+* :class:`QueueSource` -- a thread-safe **push** source: callback
+  producers (e.g. an instrumentation hook on another thread) ``put``
+  events into a bounded queue -- blocking when the consumer falls behind,
+  which is the backpressure contract -- and the engine drains it, from a
+  plain ``for`` loop or an ``async for`` loop;
+* :class:`LineProtocolSource` -- an asyncio-native source decoding the
+  STD line protocol off an :class:`asyncio.StreamReader` (an accepted
+  socket connection, a pipe) through
+  :func:`repro.trace.parsers.parse_std_line`; backpressure comes from the
+  stream's own flow control (the transport pauses the peer when the
+  reader's buffer fills).
 
 :func:`as_source` coerces plain traces, paths and iterables, so the
-public API accepts all of them interchangeably.
+public API accepts all of them interchangeably;
+:func:`as_async_source` additionally accepts asynchronous sources and
+adapts synchronous ones for cooperative ``async for`` consumption (see
+:class:`~repro.engine.async_engine.AsyncRaceEngine`).
 
 Every source exposes a ``registry``
 (:class:`~repro.vectorclock.registry.ThreadRegistry`): the interning
@@ -31,11 +45,12 @@ the source boundary -- no matter how many detectors run.
 
 from __future__ import annotations
 
+import queue as queue_module
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Union
+from typing import AsyncIterator, Iterable, Iterator, Optional, Union
 
 from repro.trace.event import Event
-from repro.trace.parsers import iter_trace_file
+from repro.trace.parsers import iter_trace_file, parse_std_line
 from repro.trace.trace import Trace
 from repro.vectorclock.registry import ThreadRegistry
 
@@ -177,6 +192,12 @@ class CountingSource(EventSource):
     Used to demonstrate (in tests and benchmarks) that the engine drives
     ``k`` detectors with exactly **one** iteration of the underlying
     source, where the legacy one-detector-at-a-time path took ``k``.
+
+    Transparency includes the completeness protocol: ``is_complete`` and
+    ``trace`` are forwarded from the wrapped source, so wrapping a
+    complete :class:`TraceSource` does not silently downgrade detectors
+    to stream mode (WCP would otherwise lose its queue-pruning prescan
+    and report different stats than the unwrapped run).
     """
 
     def __init__(self, inner: Union[EventSource, Trace, Iterable[Event]],
@@ -189,6 +210,14 @@ class CountingSource(EventSource):
         #: Number of events handed out across all passes.
         self.events_emitted = 0
 
+    @property
+    def is_complete(self) -> bool:
+        return self._inner.is_complete
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return self._inner.trace
+
     def __iter__(self) -> Iterator[Event]:
         self.passes += 1
         for event in self._inner:
@@ -199,6 +228,202 @@ class CountingSource(EventSource):
         return self._inner.length_hint()
 
 
+#: End-of-stream marker used by the push sources.
+_CLOSED = object()
+
+
+class QueueSource(EventSource):
+    """A thread-safe push source for callback producers.
+
+    Inverts the pull model of the other sources: a producer -- an
+    instrumentation callback, a logger thread, a network receiver --
+    calls :meth:`put` for every event and :meth:`close` at end of
+    stream, while an engine concurrently drains the queue.  The queue is
+    bounded (``maxsize``), so a producer outrunning the analysis blocks
+    in :meth:`put` until the engine catches up: backpressure instead of
+    unbounded buffering, preserving the constant-memory contract.
+
+    The source is a genuine one-shot stream (``is_complete`` False).  It
+    supports both consumption styles:
+
+    * ``for event in source`` -- blocking iteration for
+      :class:`~repro.engine.engine.RaceEngine` running in a consumer
+      thread;
+    * ``async for event in source`` -- for
+      :class:`~repro.engine.async_engine.AsyncRaceEngine`; queue waits
+      are delegated to the event loop's default executor so the loop is
+      never blocked.
+
+    Events are stamped with tids from the source's registry exactly like
+    :class:`IterableSource`.
+    """
+
+    def __init__(self, name: str = "queue", maxsize: int = 1024) -> None:
+        self.name = name
+        self.registry = ThreadRegistry()
+        self._queue: "queue_module.Queue" = queue_module.Queue(maxsize)
+        self._closed = False
+
+    def put(self, event: Event, timeout: Optional[float] = None) -> None:
+        """Enqueue one event; blocks while the queue is full (backpressure).
+
+        Raises :class:`queue.Full` when ``timeout`` elapses first, and
+        :class:`RuntimeError` when called after :meth:`close`.
+        """
+        if self._closed:
+            raise RuntimeError("QueueSource %r is closed" % (self.name,))
+        self._queue.put(event, timeout=timeout)
+
+    def push(self, thread: str, etype, target: Optional[str] = None,
+             loc: Optional[str] = None) -> None:
+        """Convenience: build and :meth:`put` an event in one call.
+
+        The index is left to the engine's renumbering (builder
+        convention -1).
+        """
+        self.put(Event(-1, thread, etype, target, loc))
+
+    def close(self) -> None:
+        """Signal end of stream; idempotent.
+
+        The consumer finishes draining whatever is queued and then
+        stops.
+        """
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_CLOSED)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def qsize(self) -> int:
+        """Events currently buffered (approximate, like ``Queue.qsize``)."""
+        return self._queue.qsize()
+
+    def __iter__(self) -> Iterator[Event]:
+        intern = self.registry.intern
+        get = self._queue.get
+        while True:
+            item = get()
+            if item is _CLOSED:
+                # Re-arm the marker so a second (empty) iteration
+                # terminates instead of blocking forever.
+                self._queue.put(_CLOSED)
+                return
+            yield _stamp(item, intern)
+
+    def __aiter__(self) -> AsyncIterator[Event]:
+        return self._drain_async()
+
+    async def _drain_async(self) -> AsyncIterator[Event]:
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        intern = self.registry.intern
+        get_nowait = self._queue.get_nowait
+        get = self._queue.get
+        while True:
+            try:
+                item = get_nowait()
+            except queue_module.Empty:
+                # Park the wait on a worker thread so the event loop
+                # stays free for the producers -- but in *bounded* slices
+                # (Queue.get timeouts), never an indefinite block: a
+                # cancelled consumer must not wedge an executor thread
+                # in get() forever (loop.shutdown_default_executor()
+                # would then hang the whole program on exit).
+                try:
+                    item = await loop.run_in_executor(None, get, True, 0.25)
+                except queue_module.Empty:
+                    continue
+            if item is _CLOSED:
+                self._queue.put(_CLOSED)
+                return
+            yield _stamp(item, intern)
+
+
+class AsyncEventSource:
+    """Base class for asyncio-native event stream producers.
+
+    The asynchronous counterpart of :class:`EventSource`: the same
+    ``name`` / ``is_complete`` / ``registry`` / ``trace`` protocol, but
+    events are produced through ``__aiter__`` for an ``async for`` loop
+    (:class:`~repro.engine.async_engine.AsyncRaceEngine`).
+    """
+
+    name = "stream"
+    is_complete = False
+    registry: Optional[ThreadRegistry] = None
+    #: Asynchronous sources never have a materialised backing trace.
+    trace: Optional[Trace] = None
+
+    def __aiter__(self) -> AsyncIterator[Event]:
+        raise NotImplementedError
+
+    def length_hint(self) -> Optional[int]:
+        return None
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+
+class LineProtocolSource(AsyncEventSource):
+    """Decode the STD line protocol off an :class:`asyncio.StreamReader`.
+
+    One ``thread|op(arg)[|loc]`` event per line, parsed incrementally by
+    :func:`repro.trace.parsers.parse_std_line` -- the exact grammar of
+    the on-disk STD format, so a logger can pipe the same bytes to a
+    file or a socket.  The reader may come from an accepted server
+    connection (``repro-race serve``), ``asyncio.open_connection``, or a
+    pipe transport; end of stream is the peer's EOF.  asyncio's stream
+    flow control provides the backpressure: when the engine falls
+    behind, the transport pauses the peer instead of buffering
+    unboundedly.
+    """
+
+    def __init__(self, reader, name: str = "socket",
+                 registry: Optional[ThreadRegistry] = None) -> None:
+        self.reader = reader
+        self.name = name
+        self.registry = registry if registry is not None else ThreadRegistry()
+
+    def __aiter__(self) -> AsyncIterator[Event]:
+        return self._decode()
+
+    async def _decode(self) -> AsyncIterator[Event]:
+        readline = self.reader.readline
+        registry = self.registry
+        index = 0
+        line_number = 0
+        while True:
+            raw = await readline()
+            if not raw:
+                return
+            line_number += 1
+            event = parse_std_line(
+                raw.decode("utf-8", "replace"), index, line_number,
+                registry=registry,
+            )
+            if event is None:
+                continue
+            yield event
+            index += 1
+
+
+def _stamp(event: Event, intern) -> Event:
+    """Stamp one event's ``tid``, copying on a conflicting prior stamp."""
+    tid = intern(event.thread)
+    if event.tid is None:
+        event.tid = tid
+    elif event.tid != tid:
+        event = Event(
+            event.index, event.thread, event.etype, event.target,
+            event.loc, tid=tid,
+        )
+    return event
+
+
 def _stamped(events: Iterable[Event], registry: ThreadRegistry) -> Iterator[Event]:
     """Yield ``events`` with their ``tid`` stamped from ``registry``.
 
@@ -207,15 +432,7 @@ def _stamped(events: Iterable[Event], registry: ThreadRegistry) -> Iterator[Even
     """
     intern = registry.intern
     for event in events:
-        tid = intern(event.thread)
-        if event.tid is None:
-            event.tid = tid
-        elif event.tid != tid:
-            event = Event(
-                event.index, event.thread, event.etype, event.target,
-                event.loc, tid=tid,
-            )
-        yield event
+        yield _stamp(event, intern)
 
 
 def as_source(obj: Union[EventSource, Trace, str, Path, Iterable[Event]],
@@ -237,3 +454,59 @@ def as_source(obj: Union[EventSource, Trace, str, Path, Iterable[Event]],
         "cannot build an event source from %r (expected EventSource, Trace, "
         "path, or iterable of events)" % (type(obj).__name__,)
     )
+
+
+class _CooperativeSource(AsyncEventSource):
+    """Adapt a synchronous source for an ``async for`` loop.
+
+    Yields the inner source's events unchanged, surrendering the event
+    loop every ``yield_every`` events so a long pull-based pass (a big
+    trace file) cannot starve the loop's other tasks.  Completeness,
+    trace, registry and length hints are forwarded, so the async engine
+    treats an adapted complete trace exactly like the sync engine does.
+    """
+
+    def __init__(self, inner: EventSource, yield_every: int = 256) -> None:
+        self._inner = inner
+        self._yield_every = yield_every
+        self.name = inner.name
+        self.registry = inner.registry
+
+    @property
+    def is_complete(self) -> bool:
+        return self._inner.is_complete
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return self._inner.trace
+
+    def length_hint(self) -> Optional[int]:
+        return self._inner.length_hint()
+
+    def __aiter__(self) -> AsyncIterator[Event]:
+        return self._cooperate()
+
+    async def _cooperate(self) -> AsyncIterator[Event]:
+        import asyncio
+
+        yield_every = self._yield_every
+        count = 0
+        for event in self._inner:
+            yield event
+            count += 1
+            if count % yield_every == 0:
+                await asyncio.sleep(0)
+
+
+def as_async_source(obj, name: Optional[str] = None):
+    """Coerce ``obj`` into something an ``async for`` loop can consume.
+
+    Asynchronous sources (anything with ``__aiter__``, e.g.
+    :class:`LineProtocolSource`, :class:`QueueSource`, a wrapped
+    :class:`~repro.engine.validate.ValidatingSource`) are returned
+    unchanged; everything :func:`as_source` accepts is adapted through a
+    cooperative wrapper that periodically yields the event loop.
+    """
+    if hasattr(obj, "__aiter__"):
+        return obj
+    return _CooperativeSource(as_source(obj, name=name))

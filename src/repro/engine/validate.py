@@ -1,0 +1,203 @@
+"""Online stream validation: O(1)-per-event trace well-formedness checks.
+
+:class:`~repro.trace.trace.Trace` validates lock semantics and well
+nestedness at construction time -- which requires materialising the
+trace.  The streaming paths (CLI ``--stream``, push sources, the serve
+subcommand) never build a :class:`Trace`, so before this module they
+silently skipped validation: a malformed stream corrupted detector
+state instead of being rejected.
+
+:class:`OnlineValidator` performs exactly the same checks incrementally,
+with **O(1) work and state per event**: a held-lock map (lock ->
+holding thread + acquire position, mirroring ``Trace._index``'s
+``holder``) and a per-thread stack of open critical sections.  State is
+proportional to the number of *currently open* critical sections --
+never to the length of the stream -- and shrinks back as sections
+close.  On a violation it raises the **identical exception class and
+message** that ``Trace(validate=True)`` raises on the materialised
+prefix, so callers cannot tell (and tests assert) which path rejected
+the stream.
+
+:class:`ValidatingSource` wraps any event source (sync or async) with
+an online validator, transparently forwarding ``is_complete`` /
+``trace`` / ``registry`` / ``length_hint`` so wrapped complete sources
+keep their pre-scan optimisations.  The CLI wires it in by default
+under ``--stream`` (``--no-validate`` opts out), and the ``serve``
+subcommand applies it to every client connection.
+"""
+
+from __future__ import annotations
+
+from typing import AsyncIterator, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.sources import EventSource, as_async_source, as_source
+from repro.trace.event import Event
+from repro.trace.trace import LockSemanticsError, WellNestednessError
+
+__all__ = ["OnlineValidator", "ValidatingSource", "validate_events"]
+
+
+class OnlineValidator:
+    """Incremental lock-semantics / well-nestedness checker.
+
+    Feed events in stream order through :meth:`check`; the validator
+    numbers them by position (the same renumbering :class:`Trace` and
+    the engine apply), so error messages quote the same event indices a
+    batch ``Trace(validate=True)`` would.
+
+    The state is exactly what the checks need and nothing more:
+
+    ``_holder``
+        lock -> ``(thread, acquire position)`` for locks currently held
+        anywhere in the stream (detects overlapping critical sections
+        and re-entrant acquires);
+    ``_open``
+        thread -> stack of ``(lock, acquire position)`` open critical
+        sections (detects unnested releases); a thread's entry is
+        removed as soon as its stack empties, so lock-free stream
+        suffixes hold zero validator state.
+    """
+
+    def __init__(self) -> None:
+        self._holder: Dict[str, Tuple[str, int]] = {}
+        self._open: Dict[str, List[Tuple[str, int]]] = {}
+        #: Events checked so far == the position assigned to the next event.
+        self.events_checked = 0
+
+    def check(self, event: Event) -> None:
+        """Validate one event; raises on the first violation.
+
+        Raises :class:`~repro.trace.trace.LockSemanticsError` for
+        overlapping/re-entrant acquires and releases with no open
+        section, :class:`~repro.trace.trace.WellNestednessError` for a
+        release that does not match the innermost open acquire.
+        """
+        index = self.events_checked
+        self.events_checked = index + 1
+        if event.is_acquire():
+            lock = event.lock
+            thread = event.thread
+            held = self._holder.get(lock)
+            if held is not None:
+                if held[0] != thread:
+                    raise LockSemanticsError(
+                        "lock %r acquired at event %d while held by thread %r "
+                        "(acquired at event %d)" % (lock, index, held[0], held[1])
+                    )
+                raise LockSemanticsError(
+                    "re-entrant acquire of lock %r at event %d; re-entrant "
+                    "locking must be flattened by the trace producer"
+                    % (lock, index)
+                )
+            self._holder[lock] = (thread, index)
+            self._open.setdefault(thread, []).append((lock, index))
+        elif event.is_release():
+            lock = event.lock
+            thread = event.thread
+            stack = self._open.get(thread)
+            if not stack:
+                raise LockSemanticsError(
+                    "release of %r at event %d with no lock held" % (lock, index)
+                )
+            top_lock, top_index = stack[-1]
+            if top_lock != lock:
+                raise WellNestednessError(
+                    "release of %r at event %d does not match innermost "
+                    "open acquire of %r at event %d"
+                    % (lock, index, top_lock, top_index)
+                )
+            stack.pop()
+            if not stack:
+                del self._open[thread]
+            del self._holder[lock]
+
+    def state_size(self) -> int:
+        """Entries currently held: open sections counted on both indexes.
+
+        Zero on a fully closed stream; bounded by the number of
+        concurrently open critical sections, never by stream length --
+        the observable form of the O(1)-per-event contract.
+        """
+        return len(self._holder) + sum(
+            len(stack) for stack in self._open.values()
+        )
+
+    def __repr__(self) -> str:
+        return "OnlineValidator(events_checked=%d, state=%d)" % (
+            self.events_checked, self.state_size(),
+        )
+
+
+def validate_events(events, validator: Optional[OnlineValidator] = None):
+    """Yield ``events`` unchanged, checking each one on the way through."""
+    validator = validator if validator is not None else OnlineValidator()
+    check = validator.check
+    for event in events:
+        check(event)
+        yield event
+
+
+class ValidatingSource(EventSource):
+    """Wrap a source with online validation; otherwise fully transparent.
+
+    Accepts anything :func:`~repro.engine.sources.as_source` accepts,
+    plus asynchronous sources (anything with ``__aiter__``, e.g.
+    :class:`~repro.engine.sources.LineProtocolSource`); iterate it the
+    same way the wrapped source would be iterated.  ``is_complete``,
+    ``trace``, ``registry`` and ``length_hint`` are forwarded, so
+    wrapping a complete trace source does not downgrade detectors to
+    stream mode.
+
+    Each iteration pass runs a fresh :class:`OnlineValidator` (replayable
+    sources like :class:`~repro.engine.sources.FileSource` restart from
+    scratch); the most recent pass's validator is kept on
+    :attr:`validator` for inspection.
+    """
+
+    def __init__(self, inner, name: Optional[str] = None) -> None:
+        if not hasattr(inner, "__aiter__"):
+            inner = as_source(inner)
+        self._inner = inner
+        self.name = name or getattr(inner, "name", "stream")
+        self.registry = getattr(inner, "registry", None)
+        #: The validator of the most recent (or current) iteration pass.
+        self.validator = OnlineValidator()
+
+    @property
+    def is_complete(self) -> bool:
+        return bool(getattr(self._inner, "is_complete", False))
+
+    @property
+    def trace(self):
+        return getattr(self._inner, "trace", None)
+
+    def length_hint(self) -> Optional[int]:
+        hint = getattr(self._inner, "length_hint", None)
+        return hint() if callable(hint) else None
+
+    def __iter__(self) -> Iterator[Event]:
+        if not hasattr(self._inner, "__iter__"):
+            raise TypeError(
+                "wrapped source %r is asynchronous; iterate with 'async for'"
+                % (self._inner,)
+            )
+        self.validator = OnlineValidator()
+        return validate_events(self._inner, self.validator)
+
+    def __aiter__(self) -> AsyncIterator[Event]:
+        inner = (
+            self._inner
+            if hasattr(self._inner, "__aiter__")
+            else as_async_source(self._inner)
+        )
+        return self._avalidate(inner)
+
+    async def _avalidate(self, inner) -> AsyncIterator[Event]:
+        self.validator = validator = OnlineValidator()
+        check = validator.check
+        async for event in inner:
+            check(event)
+            yield event
+
+    def __repr__(self) -> str:
+        return "ValidatingSource(%r)" % (self._inner,)

@@ -82,6 +82,39 @@ def _parse_operation(text: str, line_number: int) -> "tuple[EventType, Optional[
 # Streaming layer
 # --------------------------------------------------------------------- #
 
+def parse_std_line(
+    raw: str,
+    index: int,
+    line_number: int = 1,
+    registry: Optional[ThreadRegistry] = None,
+) -> Optional[Event]:
+    """Parse a single STD-format line into an :class:`Event`.
+
+    Returns None for blank lines and ``#`` comments.  ``index`` becomes
+    the event's stream position, ``line_number`` is quoted in parse
+    errors, and ``registry`` stamps the interned thread ``tid`` exactly
+    like the batch entry points.  This is the unit the incremental
+    consumers build on: :func:`iter_std_events` for files, the engine's
+    :class:`~repro.engine.sources.LineProtocolSource` for live
+    socket/pipe streams.
+    """
+    line = raw.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = [part.strip() for part in line.split("|")]
+    if len(parts) < 2:
+        raise TraceParseError(
+            "line %d: expected 'thread|op(arg)[|loc]', got %r" % (line_number, raw)
+        )
+    thread = parts[0]
+    etype, target = _parse_operation(parts[1], line_number)
+    loc = parts[2] if len(parts) > 2 and parts[2] else None
+    return Event(
+        index, thread, etype, target, loc,
+        tid=registry.intern(thread) if registry is not None else None,
+    )
+
+
 def iter_std_events(
     lines: Iterable[str], registry: Optional[ThreadRegistry] = None
 ) -> Iterator[Event]:
@@ -93,24 +126,12 @@ def iter_std_events(
     thread ``tid`` at parse time so downstream detectors sharing the
     registry never hash a thread identifier again.
     """
-    intern = registry.intern if registry is not None else None
     index = 0
     for line_number, raw in enumerate(lines, start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
+        event = parse_std_line(raw, index, line_number, registry=registry)
+        if event is None:
             continue
-        parts = [part.strip() for part in line.split("|")]
-        if len(parts) < 2:
-            raise TraceParseError(
-                "line %d: expected 'thread|op(arg)[|loc]', got %r" % (line_number, raw)
-            )
-        thread = parts[0]
-        etype, target = _parse_operation(parts[1], line_number)
-        loc = parts[2] if len(parts) > 2 and parts[2] else None
-        yield Event(
-            index, thread, etype, target, loc,
-            tid=intern(thread) if intern is not None else None,
-        )
+        yield event
         index += 1
 
 

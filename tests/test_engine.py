@@ -75,6 +75,49 @@ class TestSources:
         assert source.passes == 2
         assert source.events_emitted == 2 * len(simple_race_trace)
 
+    def test_counting_source_is_transparent(self, simple_race_trace):
+        """Regression: the wrapper forwards is_complete/trace, so wrapping
+        a complete trace source must not downgrade detectors to stream
+        mode (WCP would lose its queue-pruning prescan)."""
+        wrapped = CountingSource(simple_race_trace)
+        assert wrapped.is_complete
+        assert wrapped.trace is simple_race_trace
+        streaming = CountingSource(IterableSource(iter(simple_race_trace)))
+        assert not streaming.is_complete
+        assert streaming.trace is None
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_counting_source_reports_and_stats_identical(self, seed):
+        """The wrapped run is indistinguishable from the unwrapped one:
+        same races AND same stats (the stream-mode downgrade used to
+        change WCP's queue statistics), and the prescan stays enabled."""
+        trace = random_trace(seed=seed, n_events=60, n_locks=2)
+
+        plain_detector = WCPDetector()
+        plain = RaceEngine().run(trace, detectors=[plain_detector])
+
+        wrapped_detector = WCPDetector()
+        counter = CountingSource(trace)
+        wrapped = RaceEngine().run(counter, detectors=[wrapped_detector])
+
+        assert counter.passes == 1
+        assert counter.events_emitted == len(trace)
+        # The wrapped detector saw a complete trace: prescan pruning on.
+        assert wrapped_detector._effective_prune
+        assert plain_detector._effective_prune
+
+        assert _report_fingerprint(wrapped["WCP"]) == _report_fingerprint(
+            plain["WCP"]
+        )
+        timing_keys = {"time_s", "events_per_s"}
+        assert {
+            key: value for key, value in wrapped["WCP"].stats.items()
+            if key not in timing_keys
+        } == {
+            key: value for key, value in plain["WCP"].stats.items()
+            if key not in timing_keys
+        }
+
 
 class TestSinglePass:
     def test_compare_detectors_iterates_source_exactly_once(self):
@@ -326,6 +369,35 @@ class TestTimingNormalization:
             round(report.stats["time_s"], 9) for report in result.values()
         }
         assert len(times) == 1
+
+    def test_no_accounting_path_never_calls_account_cost_per_event(self):
+        """Regression: with accounting off the hot loop used to pay a dead
+        attribute-lookup+call per event per detector
+        (``account_cost(0.0)``); now the whole attribution is one bulk
+        call at finish time, and the event census stays correct."""
+        trace = random_trace(seed=6, n_events=50)
+        calls = []
+
+        detector = HBDetector()
+        original = detector.account_cost
+        detector.account_cost = lambda *a, **kw: (
+            calls.append((a, kw)), original(*a, **kw),
+        )
+        result = RaceEngine().run(trace, detectors=[detector])
+        assert result.events == len(trace)
+        # One bulk attribution, not one call per event.
+        assert len(calls) == 1
+        assert detector.cost_events == len(trace)
+        # The snapshot default (cost_events) contract survives.
+        assert detector.snapshot().events == len(trace)
+
+    def test_accounted_path_still_attributes_per_event(self):
+        trace = random_trace(seed=6, n_events=30)
+        detectors = [WCPDetector(), HBDetector()]
+        RaceEngine().run(trace, detectors=detectors)
+        for detector in detectors:
+            assert detector.cost_events == len(trace)
+            assert detector.cost_time_s >= 0.0
 
 
 class TestCliStreaming:
