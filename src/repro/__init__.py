@@ -43,6 +43,10 @@ from repro.mcm import MCMPredictor
 from repro.engine import (
     AsyncEventSource,
     AsyncRaceEngine,
+    Checkpoint,
+    Checkpointer,
+    CheckpointError,
+    CheckpointMismatchError,
     CountingSource,
     EngineConfig,
     EngineResult,
@@ -67,6 +71,7 @@ from repro.api import (
     detect_races,
     detect_races_async,
     make_detector,
+    resume_engine,
     run_engine,
     run_engine_async,
 )
@@ -100,6 +105,10 @@ __all__ = [
     "AsyncRaceEngine",
     "ShardedEngine",
     "ShardedResult",
+    "Checkpoint",
+    "Checkpointer",
+    "CheckpointError",
+    "CheckpointMismatchError",
     "EngineConfig",
     "EngineResult",
     "EventSource",
@@ -120,6 +129,7 @@ __all__ = [
     "compare_detectors",
     "available_detectors",
     "make_detector",
+    "resume_engine",
     "run_engine",
     "run_engine_async",
     "__version__",

@@ -82,6 +82,12 @@ def make_window_trace(
 class WindowedDetector(Detector):
     """Run an inner detector on consecutive, non-overlapping windows."""
 
+    #: A window buffer is a slice of raw trace, not the bounded
+    #: incrementally-maintained state the snapshot protocol is for; a
+    #: "snapshot" would either drop the buffered window or have to embed
+    #: it wholesale.  The engine refuses --checkpoint for windowed runs.
+    supports_snapshot = False
+
     def __init__(self, inner: Detector, window_size: int) -> None:
         super().__init__()
         if window_size <= 0:

@@ -37,6 +37,7 @@ configured with the fluent :class:`~repro.engine.EngineConfig` builder::
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.detector import Detector
@@ -99,6 +100,8 @@ def run_engine(
     detectors: Optional[Sequence[Union[str, Detector]]] = None,
     config: Optional[EngineConfig] = None,
     shards: Optional[int] = None,
+    checkpoint=None,
+    checkpoint_every: Optional[int] = None,
 ) -> EngineResult:
     """Run a single engine pass over ``source`` and return the full result.
 
@@ -110,8 +113,75 @@ def run_engine(
     (:class:`~repro.engine.sharding.ShardedEngine`); transport mode and
     partition policy come from the configuration
     (:meth:`~repro.engine.EngineConfig.with_shards`).
+
+    ``checkpoint`` names a directory to persist periodic detector-state
+    checkpoints into (every ``checkpoint_every`` events, default 10,000);
+    a crashed or interrupted pass then continues from the newest
+    checkpoint with :func:`resume_engine`.  Every selected detector must
+    support the snapshot protocol
+    (:attr:`~repro.core.detector.Detector.supports_snapshot`).
     """
+    if checkpoint is not None:
+        # Copy before mutating: the caller's config must not keep the
+        # checkpoint directory for later, unrelated runs.
+        config = copy.copy(config) if config is not None else EngineConfig()
+        config.with_checkpoints(
+            checkpoint,
+            every=(
+                checkpoint_every if checkpoint_every is not None
+                else config.checkpoint_every
+            ),
+            keep=config.checkpoint_keep,
+        )
     return _make_engine(config, shards).run(source, detectors=detectors)
+
+
+def resume_engine(
+    source,
+    checkpoint,
+    detectors: Optional[Sequence[Union[str, Detector]]] = None,
+    config: Optional[EngineConfig] = None,
+) -> EngineResult:
+    """Resume a checkpointed pass over ``source`` (:func:`run_engine`'s twin).
+
+    ``checkpoint`` is a checkpoint directory (the newest checkpoint is
+    used), a :class:`~repro.engine.Checkpointer`, or a loaded
+    :class:`~repro.engine.Checkpoint`.  Detectors are rebuilt from the
+    checkpoint's configuration stamps unless explicitly selected (in
+    which case the selection must match the stamps -- a different
+    detector list, clock backend or snapshot format version fails fast).
+    Sharded checkpoints are resumed by a sharded engine with the
+    checkpoint's shard count and partition policy automatically; the
+    transport mode may differ (worker state is transport-agnostic).
+    The resumed pass keeps checkpointing into the same directory at the
+    original cadence and produces reports identical to an uninterrupted
+    run.
+    """
+    from repro.engine.checkpoint import open_for_resume
+
+    # Copy before any adjustment below: the caller's config must not be
+    # rewritten by the dispatch.
+    effective = copy.copy(config) if config is not None else EngineConfig()
+    loaded, checkpointer = open_for_resume(checkpoint, None)
+    if checkpointer is not None and effective.checkpoint_dir is None:
+        # Directory-backed resume keeps checkpointing into the same
+        # directory at the original cadence.
+        effective.checkpoint_dir = checkpointer.directory
+        effective.checkpoint_every = checkpointer.every
+    if loaded.sharded is not None:
+        sharded = loaded.sharded
+        if effective.shards != sharded["shards"]:
+            effective.with_shards(
+                sharded["shards"],
+                mode=effective.shard_mode,
+                policy=sharded.get("policy"),
+            )
+        engine = ShardedEngine(effective)
+    else:
+        engine = RaceEngine(effective)
+    # The loaded Checkpoint is passed through, so the blob is read and
+    # decoded exactly once.
+    return engine.resume(source, loaded, detectors=detectors)
 
 
 def detect_races(

@@ -4,8 +4,10 @@ Seven subcommands::
 
     repro-race analyze TRACE_FILE [--detector wcp,hb] [--stream] [--window N]
                        [--first-race] [--max-events N] [--json OUT]
+                       [--checkpoint DIR [--checkpoint-every N] | --resume DIR]
     repro-race compare TRACE_FILE [--detectors wcp,hb] [--stream]
     repro-race serve (--port N | --socket PATH) [--detector wcp] [--once]
+                     [--checkpoint-dir DIR]
     repro-race bench [--benchmark NAME ...] [--scale 0.1] [--detectors wcp,hb]
     repro-race generate BENCHMARK -o trace.std [--scale 0.1] [--seed 0]
     repro-race stats TRACE_FILE
@@ -15,7 +17,10 @@ Seven subcommands::
 file (STD or CSV format) in a single engine pass; with ``--stream`` the
 file is parsed lazily and analysed without ever materialising a full
 in-memory trace (trace well-formedness is still checked, by the O(1)
-online validator -- ``--no-validate`` opts out).  ``compare`` prints a
+online validator -- ``--no-validate`` opts out).  ``--checkpoint DIR``
+persists detector-state snapshots at a fixed event cadence and
+``--resume DIR`` continues a crashed pass from the newest one with
+reports identical to an uninterrupted run (works sharded, too).  ``compare`` prints a
 side-by-side single-pass comparison table for one trace.  ``serve``
 listens on a TCP port or unix socket for *pushed* STD event streams and
 analyses each connection online with the asynchronous engine.  ``bench``
@@ -38,7 +43,12 @@ from repro.analysis.export import save_report
 from repro.analysis.metrics import trace_summary
 from repro.analysis.tables import format_table
 from repro.analysis.windowing import WindowedDetector
-from repro.api import available_detectors, make_detector, run_engine
+from repro.api import (
+    available_detectors,
+    make_detector,
+    resume_engine,
+    run_engine,
+)
 from repro.bench.suite import BENCHMARKS, get_benchmark
 from repro.engine import (
     EngineConfig,
@@ -61,9 +71,30 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze = subparsers.add_parser("analyze", help="analyze a trace file")
     analyze.add_argument("trace", help="path to a .std/.txt/.csv trace file")
     analyze.add_argument(
-        "--detector", default="wcp", metavar="NAMES",
+        "--detector", default=None, metavar="NAMES",
         help="comma-separated detector list run in one pass "
-             "(default: wcp; available: %s)" % ", ".join(available_detectors()),
+             "(default: wcp, or the checkpointed selection under --resume; "
+             "available: %s)" % ", ".join(available_detectors()),
+    )
+    persistence = analyze.add_mutually_exclusive_group()
+    persistence.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="periodically snapshot detector state into DIR (atomic, "
+             "offset-keyed files); a crashed run continues from the newest "
+             "checkpoint with --resume DIR.  All selected detectors must "
+             "support snapshots (wcp, hb, fasttrack)",
+    )
+    persistence.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume from the newest checkpoint in DIR: the trace is "
+             "replayed from the checkpointed offset, detectors (rebuilt "
+             "from the checkpoint unless --detector is given) are "
+             "restored, and checkpointing continues into DIR at the "
+             "original cadence; reports equal the uninterrupted run",
+    )
+    analyze.add_argument(
+        "--checkpoint-every", type=_positive_int, default=10_000, metavar="N",
+        help="events between checkpoints under --checkpoint (default 10000)",
     )
     analyze.add_argument(
         "--stream", action="store_true",
@@ -165,6 +196,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-events", type=int, default=None, metavar="N",
         help="stop each connection's pass after N events",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="per-connection crash recovery: clients that send "
+             "'# stream-id: <id>' as their first line get detector state "
+             "checkpointed under DIR/<id> and receive a 'resume <offset>' "
+             "response telling them where to replay from after a server "
+             "restart",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=_positive_int, default=10_000, metavar="N",
+        help="events between per-connection checkpoints (default 10000)",
     )
     serve.add_argument(
         "--once", action="store_true",
@@ -293,9 +336,11 @@ def _make_source(args: argparse.Namespace):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    detectors = None
     try:
-        names = _split_detector_names(args.detector)
-        detectors = _make_detectors(names, args)
+        if args.detector is not None or args.resume is None:
+            names = _split_detector_names(args.detector or "wcp")
+            detectors = _make_detectors(names, args)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -304,16 +349,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print("--window cannot be combined with --shards (windowed "
                   "detectors are not shardable)", file=sys.stderr)
             return 2
+        if args.checkpoint or args.resume:
+            print("--window cannot be combined with --checkpoint/--resume "
+                  "(windowed detectors do not support state snapshots)",
+                  file=sys.stderr)
+            return 2
         detectors = [WindowedDetector(inner, args.window) for inner in detectors]
 
-    config = _make_engine_config(args).with_detectors(*detectors)
+    config = _make_engine_config(args)
+    if detectors is not None:
+        config.with_detectors(*detectors)
     if args.first_race:
         config.stop_on_first_race()
     if args.max_events:
         config.stop_after_events(args.max_events)
+    if args.checkpoint:
+        config.with_checkpoints(args.checkpoint, every=args.checkpoint_every)
 
     try:
-        result = run_engine(_make_source(args), config=config)
+        if args.resume:
+            result = resume_engine(
+                _make_source(args), args.resume, config=config
+            )
+        else:
+            result = run_engine(_make_source(args), config=config)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -438,11 +497,14 @@ async def _serve_async(args: argparse.Namespace, ready=None) -> int:
         config = EngineConfig()
         if args.max_events:
             config.stop_after_events(args.max_events)
+        if args.checkpoint_dir:
+            config.checkpoint_every = args.checkpoint_every
         label = "client-%d" % (len(outcomes) + 1)
         try:
             result = await serve_connection(
                 reader, writer, detectors, config=config,
                 validate=not args.no_validate, name=label,
+                checkpoint_dir=args.checkpoint_dir,
             )
         except (ConnectionError, asyncio.IncompleteReadError):
             result = None

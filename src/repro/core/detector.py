@@ -30,6 +30,7 @@ import time
 from typing import Dict, Optional
 
 from repro.core.races import RaceReport, ReportSnapshot
+from repro.core.snapshot import SnapshotUnsupportedError
 from repro.trace.event import Event
 from repro.trace.trace import Trace
 
@@ -60,6 +61,27 @@ class Detector(abc.ABC):
     #: whose clocks only move on sync events (HB, FastTrack) leave this
     #: False and foreign accesses are never transported.
     needs_foreign_accesses = False
+
+    #: True when the detector implements the versioned snapshot protocol
+    #: (:meth:`state_snapshot` / :meth:`restore_state`), which is what the
+    #: engine-level checkpoint/resume subsystem
+    #: (:mod:`repro.engine.checkpoint`) and sharded worker restore build
+    #: on.  Detectors whose state is unbounded or window-buffered leave
+    #: this False and the engine refuses to checkpoint them up front.
+    supports_snapshot = False
+
+    #: Version stamp of the detector's snapshot *state layout*; bumped on
+    #: any change so a stale snapshot fails fast instead of restoring into
+    #: reinterpreted fields.
+    snapshot_version = 0
+
+    #: Set by the engines immediately before a ``reset`` that will be
+    #: followed by :meth:`restore_state`: reset-time whole-trace
+    #: precomputation (e.g. WCP's releaser-census prescan) would be
+    #: overwritten by the restore, so detectors may skip it.  Cleared by
+    #: :meth:`restore_state`; a detector that honours the hint must stay
+    #: correct (merely slower / more conservative) if no restore follows.
+    restore_pending = False
 
     def __init__(self) -> None:
         self._report: Optional[RaceReport] = None
@@ -113,6 +135,54 @@ class Detector(abc.ABC):
         agreement.  Detectors without meaningful clock state return None.
         """
         return None
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (checkpoint/resume, sharded worker restore)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_config(self) -> Dict[str, object]:
+        """Return the constructor kwargs that reproduce this configuration.
+
+        The stamp serves two purposes: it travels in every snapshot
+        header so a restore into a differently-configured detector fails
+        fast (:class:`~repro.core.snapshot.SnapshotMismatchError`), and
+        the sharded engine uses it to construct each worker's private
+        detector instances -- ``type(d)(**d.snapshot_config())`` must be
+        equivalent to ``d`` -- instead of pickling live objects.
+        """
+        return {}
+
+    def state_snapshot(self) -> bytes:
+        """Serialize the detector's complete mid-run state.
+
+        The blob is self-contained (format-version header, configuration
+        stamp, thread-interning table, clocks, access histories, report)
+        and safe -- it travels through the shared codec
+        (:mod:`repro.vectorclock.codec`), never pickle.  Restoring it in
+        a fresh process with :meth:`restore_state` and replaying the
+        remaining events must produce a report identical to an
+        uninterrupted run.  Only meaningful between :meth:`reset` and
+        :meth:`finish`.
+        """
+        raise SnapshotUnsupportedError(
+            "detector %s (%s) does not support state snapshots"
+            % (self.name, type(self).__name__)
+        )
+
+    def restore_state(self, blob: bytes) -> None:
+        """Inverse of :meth:`state_snapshot`.
+
+        Must be called after :meth:`reset` (which binds the pass context
+        and its shared thread registry); the snapshot's state then
+        replaces the freshly-reset state wholesale.  Raises
+        :class:`~repro.core.snapshot.SnapshotMismatchError` when the blob
+        was written by a different detector class, snapshot format
+        version, or configuration.
+        """
+        raise SnapshotUnsupportedError(
+            "detector %s (%s) does not support state snapshots"
+            % (self.name, type(self).__name__)
+        )
 
     @property
     def report(self) -> RaceReport:

@@ -201,6 +201,49 @@ class VariableHistory:
         return racy
 
     # ------------------------------------------------------------------ #
+    # Snapshot support (checkpoint/resume protocol)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, object]:
+        """Return this variable's history as codec-encodable structures.
+
+        The join clocks are serialized by value; restore re-marks them as
+        owned (the frozen-clock aliasing they may have had is a memory
+        optimisation, never observable in verdicts), which keeps
+        copy-on-write behaviour correct without tracking identities.
+        """
+        return {
+            "read_join": self.read_join,
+            "write_join": self.write_join,
+            "reads": {
+                thread: dict(by_loc) for thread, by_loc in self.reads.items()
+            },
+            "writes": {
+                thread: dict(by_loc) for thread, by_loc in self.writes.items()
+            },
+            "w": (self.w_tid, self.w_time, self.w_fast),
+            "r": (self.r_tid, self.r_time, self.r_fast),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "VariableHistory":
+        """Inverse of :meth:`state_dict`."""
+        history = cls()
+        history.read_join = state["read_join"]
+        history.write_join = state["write_join"]
+        history._rj_owned = history.read_join is not None
+        history._wj_owned = history.write_join is not None
+        history.reads = {
+            thread: dict(by_loc) for thread, by_loc in state["reads"].items()
+        }
+        history.writes = {
+            thread: dict(by_loc) for thread, by_loc in state["writes"].items()
+        }
+        history.w_tid, history.w_time, history.w_fast = state["w"]
+        history.r_tid, history.r_time, history.r_fast = state["r"]
+        return history
+
+    # ------------------------------------------------------------------ #
     # Compatibility layer (separate check / record, copying semantics)
     # ------------------------------------------------------------------ #
 
@@ -283,3 +326,24 @@ class AccessHistory:
     def clear(self) -> None:
         """Drop all recorded history."""
         self._variables.clear()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support (checkpoint/resume protocol)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, object]:
+        """Return every variable's history as codec-encodable structures."""
+        return {
+            variable: history.state_dict()
+            for variable, history in self._variables.items()
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "AccessHistory":
+        """Inverse of :meth:`state_dict`."""
+        history = cls()
+        history._variables = {
+            variable: VariableHistory.from_state(entry)
+            for variable, entry in state.items()
+        }
+        return history

@@ -178,6 +178,43 @@ class RaceReport:
         return self
 
     # ------------------------------------------------------------------ #
+    # Snapshot support (checkpoint/resume protocol)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, object]:
+        """Return the report's full state as codec-encodable structures.
+
+        Captures the pairs in insertion (detection) order with their
+        maximum observed distances, so :meth:`from_state` rebuilds a
+        report indistinguishable from the original -- including witness
+        choice, which :meth:`add`'s first-wins rule pinned at detection
+        time.
+        """
+        return {
+            "detector": self.detector_name,
+            "trace": self.trace_name,
+            "pairs": [
+                (pair.first_event, pair.second_event, self._max_distance[key])
+                for key, pair in self._pairs.items()
+            ],
+            "stats": dict(self.stats),
+            "raw": self.raw_race_count,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "RaceReport":
+        """Inverse of :meth:`state_dict`."""
+        report = cls(state["detector"], state["trace"])
+        for first_event, second_event, max_distance in state["pairs"]:
+            pair = RacePair(first_event, second_event)
+            key = pair.key()
+            report._pairs[key] = pair
+            report._max_distance[key] = max_distance
+        report.stats.update(state["stats"])
+        report.raw_race_count = state["raw"]
+        return report
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 

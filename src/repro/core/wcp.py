@@ -111,6 +111,8 @@ from typing import Deque, Dict, List, Optional, Set
 
 from repro.core.detector import Detector
 from repro.core.history import AccessHistory
+from repro.core.races import RaceReport
+from repro.core.snapshot import adopt_registry_names, pack_state, unpack_for
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
 from repro.vectorclock import clock_class
@@ -263,6 +265,12 @@ class WCPDetector(Detector):
     shardable = True
     needs_foreign_accesses = True
 
+    #: WCP's per-event state is bounded and incrementally maintained (the
+    #: paper's central property), so a mid-run snapshot is compact and the
+    #: checkpoint/resume protocol is supported in full.
+    supports_snapshot = True
+    snapshot_version = 1
+
     #: Stream-reclaim only bothers scanning once a lock's log is this long.
     _QUIESCE_LOG_THRESHOLD = 64
 
@@ -327,9 +335,14 @@ class WCPDetector(Detector):
         # Threads that release each lock somewhere in the trace: queues for
         # other threads are never read, so they need not be kept.  The
         # prescan needs the whole trace up front; when fed from a stream
-        # (``is_complete`` False) fall back to keeping every queue.
+        # (``is_complete`` False) fall back to keeping every queue.  A
+        # pending restore makes the prescan pure waste (the snapshot
+        # carries the censused releaser sets and modes), so skip it --
+        # conservatively disabling pruning, which the restore overwrites.
         self._effective_prune = (
-            self._prune_queues and getattr(trace, "is_complete", True)
+            self._prune_queues
+            and not self.restore_pending
+            and getattr(trace, "is_complete", True)
         )
         # Quiescence reclamation replaces the census exactly when the
         # census is unavailable (stream) but pruning is wanted.
@@ -960,6 +973,162 @@ class WCPDetector(Detector):
                 self._pt[tid].copy().assign(tid, nt)
             )
         return state
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (checkpoint/resume, sharded worker restore)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_config(self) -> Dict[str, object]:
+        return {
+            "track_queue_stats": self._track_queue_stats,
+            "strict_pseudocode": self._strict_pseudocode,
+            "prune_queues": self._prune_queues,
+            "stream_reclaim": self._stream_reclaim,
+            "clock_backend": self.clock_backend,
+        }
+
+    @staticmethod
+    def _cell_state(cell: _RuleACell) -> Dict[str, object]:
+        return {
+            "by_tid": dict(cell.by_tid),
+            "top_tid": cell.top_tid,
+            "second_tid": cell.second_tid,
+            "version": cell.version,
+            "seen": dict(cell.seen),
+        }
+
+    @staticmethod
+    def _cell_from_state(state: Dict[str, object]) -> _RuleACell:
+        cell = _RuleACell()
+        cell.by_tid = dict(state["by_tid"])
+        cell.top_tid = state["top_tid"]
+        cell.second_tid = state["second_tid"]
+        # top/second must *alias* the by_tid entries (they keep growing via
+        # in-place merges at later releases), so they are re-linked rather
+        # than stored.
+        cell.top = cell.by_tid.get(cell.top_tid)
+        cell.second = cell.by_tid.get(cell.second_tid)
+        cell.version = state["version"]
+        cell.seen = dict(state["seen"])
+        return cell
+
+    def state_snapshot(self) -> bytes:
+        report = self.report  # raises before reset()
+        locks: Dict[str, object] = {}
+        for lock, state in self._locks.items():
+            locks[lock] = {
+                "log": [tuple(entry) for entry in state.log],
+                "base": state.base,
+                "cursor": dict(state.cursor),
+                "open_entry": dict(state.open_entry),
+                "pl": state.pl,
+                "hl": state.hl,
+                "holder": state.holder,
+                "tainted": state.tainted,
+                "releasers": state.releasers,
+                "lr": {
+                    variable: self._cell_state(cell)
+                    for variable, cell in state.lr.items()
+                },
+                "lw": {
+                    variable: self._cell_state(cell)
+                    for variable, cell in state.lw.items()
+                },
+                "evicted_acq": state.evicted_acq,
+                "evicted_rel": state.evicted_rel,
+            }
+        state_dict = {
+            "names": self._registry.names(),
+            "nt": list(self._nt),
+            "pt": list(self._pt),
+            "ht": list(self._ht),
+            "prev_release": list(self._prev_release),
+            "leak": list(self._leak),
+            "open_sections": [
+                None if sections is None else [
+                    (lock, reads, writes)
+                    for lock, reads, writes, _lock_state in sections
+                ]
+                for sections in self._open_sections
+            ],
+            "thread_names": list(self._thread_names),
+            "locks": locks,
+            "history": self._history.state_dict(),
+            "report": report.state_dict(),
+            "counters": (
+                self._queue_total,
+                self._max_queue_total,
+                self._processed_events,
+                self._stream_reclaimed,
+            ),
+            "modes": (self._effective_prune, self._quiesce_reclaim),
+        }
+        return pack_state(
+            type(self).__name__, self.snapshot_version,
+            self.snapshot_config(), state_dict,
+        )
+
+    def restore_state(self, blob: bytes) -> None:
+        if self._report is None:
+            raise RuntimeError(
+                "restore_state() requires reset() first (the reset binds "
+                "the pass context and its shared thread registry)"
+            )
+        state = unpack_for(self).unpack(blob)
+        adopt_registry_names(self._registry, state["names"])
+
+        self._nt = list(state["nt"])
+        self._pt = list(state["pt"])
+        self._ht = list(state["ht"])
+        self._ct = [None] * len(self._nt)
+        self._prev_release = list(state["prev_release"])
+        self._leak = list(state["leak"])
+        self._thread_names = list(state["thread_names"])
+
+        locks: Dict[str, _LockState] = {}
+        for lock, entry in state["locks"].items():
+            lock_state = _LockState()
+            lock_state.log = deque(list(item) for item in entry["log"])
+            lock_state.base = entry["base"]
+            lock_state.cursor = dict(entry["cursor"])
+            lock_state.open_entry = dict(entry["open_entry"])
+            lock_state.pl = entry["pl"]
+            lock_state.hl = entry["hl"]
+            lock_state.holder = entry["holder"]
+            lock_state.tainted = entry["tainted"]
+            lock_state.releasers = set(entry["releasers"])
+            lock_state.lr = {
+                variable: self._cell_from_state(cell)
+                for variable, cell in entry["lr"].items()
+            }
+            lock_state.lw = {
+                variable: self._cell_from_state(cell)
+                for variable, cell in entry["lw"].items()
+            }
+            lock_state.evicted_acq = entry["evicted_acq"]
+            lock_state.evicted_rel = entry["evicted_rel"]
+            locks[lock] = lock_state
+        self._locks = locks
+
+        # Re-link open sections to their (just rebuilt) lock states.
+        self._open_sections = [
+            None if sections is None else [
+                (lock, set(reads), set(writes), self._lock_state(lock))
+                for lock, reads, writes in sections
+            ]
+            for sections in state["open_sections"]
+        ]
+
+        self._history = AccessHistory.from_state(state["history"])
+        self._report = RaceReport.from_state(state["report"])
+        (
+            self._queue_total,
+            self._max_queue_total,
+            self._processed_events,
+            self._stream_reclaimed,
+        ) = state["counters"]
+        self._effective_prune, self._quiesce_reclaim = state["modes"]
+        self.restore_pending = False
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by tests and the closure cross-check

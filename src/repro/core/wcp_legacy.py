@@ -135,6 +135,11 @@ class LegacyWCPDetector(Detector):
 
     name = "WCP-legacy"
 
+    #: Frozen baseline: deliberately excluded from the snapshot protocol
+    #: (no features are added here), so the engine refuses to checkpoint
+    #: it with a capability error instead of a pickle traceback.
+    supports_snapshot = False
+
     def __init__(
         self,
         track_queue_stats: bool = True,

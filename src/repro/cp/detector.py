@@ -35,6 +35,12 @@ class CPDetector(Detector):
 
     name = "CP"
 
+    #: CP has no known linear-time algorithm; the detector buffers whole
+    #: windows of raw events, which is exactly the unbounded state the
+    #: snapshot protocol excludes.  The engine refuses --checkpoint for it
+    #: with a one-line capability error.
+    supports_snapshot = False
+
     def __init__(self, window_size: Optional[int] = 500) -> None:
         super().__init__()
         if window_size is not None and window_size <= 0:

@@ -17,6 +17,12 @@ The top-level helpers :func:`repro.api.detect_races` and
 
 from repro.core.races import ReportSnapshot
 from repro.engine.async_engine import AsyncRaceEngine, serve_connection
+from repro.engine.checkpoint import (
+    Checkpoint,
+    Checkpointer,
+    CheckpointError,
+    CheckpointMismatchError,
+)
 from repro.engine.config import EngineConfig
 from repro.engine.engine import (
     EnginePass,
@@ -56,6 +62,10 @@ __all__ = [
     "AsyncRaceEngine",
     "ShardedEngine",
     "ShardedResult",
+    "Checkpoint",
+    "Checkpointer",
+    "CheckpointError",
+    "CheckpointMismatchError",
     "EngineConfig",
     "EnginePass",
     "EngineResult",

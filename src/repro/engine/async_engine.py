@@ -29,10 +29,13 @@ the core of the ``repro-race serve`` CLI subcommand.
 
 from __future__ import annotations
 
+import copy
+import os
+import re
 from typing import List, Optional, Sequence
 
 from repro.engine.config import DetectorSpec, EngineConfig
-from repro.engine.engine import EnginePass, EngineResult
+from repro.engine.engine import EnginePass, EngineResult, prepare_resume_pass
 from repro.engine.sources import LineProtocolSource, as_async_source
 from repro.engine.validate import ValidatingSource
 
@@ -66,17 +69,71 @@ class AsyncRaceEngine:
         source,
         detectors: Optional[Sequence[DetectorSpec]] = None,
     ) -> EngineResult:
-        """Await events from ``source`` and run the configured detectors."""
+        """Await events from ``source`` and run the configured detectors.
+
+        With ``config.checkpoint_dir`` set, the pass persists detector
+        checkpoints at the configured cadence, exactly like the
+        synchronous engine -- both wire the same
+        :class:`~repro.engine.checkpoint.Checkpointer` into the shared
+        stepper.
+        """
         config = self.config
         resolved = config.resolve_detectors(detectors)
         async_source = as_async_source(source)
 
+        checkpointer = None
+        if config.checkpoint_dir is not None:
+            from repro.engine.checkpoint import (
+                Checkpointer,
+                check_snapshot_support,
+            )
+
+            check_snapshot_support(resolved)
+            # background=True: the stepper runs on the event loop thread,
+            # so the write+fsync must not stall other connections.
+            checkpointer = Checkpointer(
+                config.checkpoint_dir,
+                every=config.checkpoint_every,
+                keep=config.checkpoint_keep,
+                background=True,
+            )
+            checkpointer.source = async_source
         pass_ = EnginePass(
             config, resolved, getattr(async_source, "name", "stream"),
             trace=getattr(async_source, "trace", None),
             registry=getattr(async_source, "registry", None),
+            checkpointer=checkpointer,
         )
         pass_.start()
+        return await self._drive(pass_, async_source)
+
+    async def resume(
+        self,
+        source,
+        checkpoint,
+        detectors: Optional[Sequence[DetectorSpec]] = None,
+    ) -> EngineResult:
+        """Resume a checkpointed pass over an asynchronous source.
+
+        The asynchronous counterpart of
+        :meth:`~repro.engine.engine.RaceEngine.resume`.  Pull sources are
+        positioned at the checkpoint offset; push sources
+        (:class:`~repro.engine.sources.QueueSource`,
+        :class:`~repro.engine.sources.LineProtocolSource`) record it as
+        their ``resume_offset`` so the producer can replay from there --
+        the resume handshake ``repro-race serve`` speaks on the wire.
+        """
+        async_source = as_async_source(source)
+        pass_ = prepare_resume_pass(
+            self.config, checkpoint, detectors, async_source
+        )
+        if pass_.checkpointer is not None:
+            # See run(): writes must not stall the event loop.
+            pass_.checkpointer.background = True
+        return await self._drive(pass_, async_source)
+
+    @staticmethod
+    async def _drive(pass_: EnginePass, async_source) -> EngineResult:
         step = pass_.step
         async for event in async_source:
             if step(event) is not None:
@@ -87,6 +144,27 @@ class AsyncRaceEngine:
         return "AsyncRaceEngine(%r)" % (self.config,)
 
 
+#: First-line directive opting a pushed stream into crash recovery.  The
+#: id becomes a directory name under --checkpoint-dir, so the character
+#: class excludes separators and the path-special names "." / ".." are
+#: rejected after the match (a client must not be able to direct
+#: checkpoint writes -- or the clean-completion deletion -- outside its
+#: own subdirectory).
+_STREAM_ID_LINE = re.compile(
+    r"^#\s*stream-id\s*[:=]\s*([A-Za-z0-9._-]{1,64})\s*$"
+)
+
+
+def _safe_stream_id(line: bytes):
+    match = _STREAM_ID_LINE.match(line.decode("utf-8", "replace").strip())
+    if match is None:
+        return None
+    stream_id = match.group(1)
+    if stream_id in (".", ".."):
+        return None
+    return stream_id
+
+
 async def serve_connection(
     reader,
     writer,
@@ -94,6 +172,7 @@ async def serve_connection(
     config: Optional[EngineConfig] = None,
     validate: bool = True,
     name: str = "client",
+    checkpoint_dir=None,
 ) -> Optional[EngineResult]:
     """Analyse one pushed STD event stream and answer on the same stream.
 
@@ -108,19 +187,77 @@ async def serve_connection(
       limit (``asyncio`` raises ValueError for those -- trace and parse
       errors are ValueErrors too, so one handler answers them all).
 
+    Crash recovery (``checkpoint_dir``): a client that may need to
+    survive a server restart sends ``# stream-id: <id>`` as its *first*
+    line (a legal STD comment, so old servers ignore it).  The server
+    answers immediately with ``resume <offset>`` -- the last durable
+    event offset for that id (0 for a fresh stream) -- and the client
+    replays its events from that offset on.  Detector state is
+    checkpointed under ``checkpoint_dir/<id>`` at the configured cadence
+    and deleted once the stream completes cleanly.
+
     Returns the :class:`~repro.engine.engine.EngineResult`, or None when
     the stream was rejected.  The writer is drained but left open;
     closing is the caller's (the server's) responsibility.
     """
-    source = LineProtocolSource(reader, name=name)
+    initial_lines: List[bytes] = []
+    resume_checkpoint = None
+    stream_dir = None
+    if checkpoint_dir is not None:
+        try:
+            first = await reader.readline()
+        except ValueError as error:
+            # An over-limit first line raises here, before the engine's
+            # own handler could answer it; reply on the wire exactly like
+            # a rejection during the pass would.
+            writer.write(
+                ("error %s: %s\n" % (type(error).__name__, error))
+                .encode("utf-8")
+            )
+            await writer.drain()
+            return None
+        stream_id = _safe_stream_id(first) if first else None
+        if stream_id is not None:
+            from repro.engine.checkpoint import Checkpointer
+
+            stream_dir = os.path.join(str(checkpoint_dir), stream_id)
+            try:
+                resume_checkpoint = Checkpointer(stream_dir).load_latest()
+            except ValueError as error:
+                # A corrupt or version-drifted checkpoint must reject the
+                # stream on the wire, not kill the connection handler.
+                writer.write(
+                    ("error %s: %s\n" % (type(error).__name__, error))
+                    .encode("utf-8")
+                )
+                await writer.drain()
+                return None
+            offset = resume_checkpoint.events if resume_checkpoint else 0
+            writer.write(("resume %d\n" % offset).encode("utf-8"))
+            await writer.drain()
+        elif first:
+            # Not a directive: hand the peeked line to the source.
+            initial_lines.append(first)
+
+    source = LineProtocolSource(reader, name=name, initial_lines=initial_lines)
     if validate:
         source = ValidatingSource(source)
-    engine = AsyncRaceEngine(config)
+    engine_config = config if config is not None else EngineConfig()
+    if stream_dir is not None:
+        engine_config = copy.copy(engine_config)
+        engine_config.checkpoint_dir = stream_dir
+    engine = AsyncRaceEngine(engine_config)
     try:
-        result = await engine.run(source, detectors=detectors)
+        if resume_checkpoint is not None:
+            result = await engine.resume(
+                source, resume_checkpoint, detectors=detectors
+            )
+        else:
+            result = await engine.run(source, detectors=detectors)
     except ValueError as error:
-        # TraceError (validation), TraceParseError (grammar) and the
-        # stream reader's over-limit-line error are all ValueErrors.
+        # TraceError (validation), TraceParseError (grammar), checkpoint
+        # mismatches and the stream reader's over-limit-line error are
+        # all ValueErrors.
         writer.write(
             ("error %s: %s\n" % (type(error).__name__, error)).encode("utf-8")
         )
@@ -133,4 +270,13 @@ async def serve_connection(
     lines.append("done %d" % result.events)
     writer.write(("\n".join(lines) + "\n").encode("utf-8"))
     await writer.drain()
+    if stream_dir is not None:
+        # The stream completed cleanly; its recovery state is obsolete.
+        from repro.engine.checkpoint import Checkpointer
+
+        Checkpointer(stream_dir).clear()
+        try:
+            os.rmdir(stream_dir)
+        except OSError:  # pragma: no cover - non-empty or already gone
+            pass
     return result

@@ -60,6 +60,13 @@ class EngineConfig:
         #: surface (collected on ``ShardedResult.clock_deltas``) and not
         #: worth their serialization cost unless asked for.
         self.shard_clock_sync_every: int = 0
+        #: Directory for periodic detector-state checkpoints (None
+        #: disables checkpointing; see :mod:`repro.engine.checkpoint`).
+        self.checkpoint_dir = None
+        #: Events between checkpoints when ``checkpoint_dir`` is set.
+        self.checkpoint_every: int = 10_000
+        #: Newest checkpoints retained on disk.
+        self.checkpoint_keep: int = 3
 
     # ------------------------------------------------------------------ #
     # Fluent setters
@@ -107,6 +114,30 @@ class EngineConfig:
         self.snapshot_interval = interval
         if callback is not None:
             self.snapshot_callback = callback
+        return self
+
+    def with_checkpoints(
+        self,
+        directory,
+        every: int = 10_000,
+        keep: int = 3,
+    ) -> "EngineConfig":
+        """Persist detector-state checkpoints into ``directory``.
+
+        Every ``every`` events the engine snapshots all detectors through
+        the versioned snapshot protocol and atomically writes an
+        offset-keyed checkpoint file, retaining the newest ``keep``.  A
+        crashed run resumes from the newest checkpoint with
+        :func:`repro.api.resume_engine` (or ``analyze --resume``).
+        Requires every selected detector to support snapshots.
+        """
+        if every <= 0:
+            raise ValueError("checkpoint cadence must be positive")
+        if keep <= 0:
+            raise ValueError("must keep at least one checkpoint")
+        self.checkpoint_dir = directory
+        self.checkpoint_every = every
+        self.checkpoint_keep = keep
         return self
 
     def with_cost_accounting(self, enabled: bool = True) -> "EngineConfig":
@@ -190,4 +221,8 @@ class EngineConfig:
             parts.append("cost_accounting=False")
         if self.shards != 1:
             parts.append("shards=%d[%s]" % (self.shards, self.shard_mode))
+        if self.checkpoint_dir is not None:
+            parts.append(
+                "checkpoint=%r/%d" % (str(self.checkpoint_dir), self.checkpoint_every)
+            )
         return "EngineConfig(%s)" % ", ".join(parts)

@@ -206,6 +206,8 @@ class EnginePass:
         trace=None,
         registry=None,
         accounting: Optional[bool] = None,
+        start_events: int = 0,
+        checkpointer=None,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         self.detectors = list(detectors)
@@ -234,7 +236,18 @@ class EnginePass:
             if accounting is None
             else accounting
         )
-        self.events = 0
+        # A resumed pass continues the checkpointed numbering: ``events``
+        # stays the *absolute* stream offset, so renumbering, race
+        # distances, snapshot cadence and checkpoint offsets all line up
+        # with the uninterrupted run.
+        self.events = start_events
+        self.start_events = start_events
+        if self.context is not self.trace:
+            self.context.events_seen = start_events
+        #: Optional :class:`~repro.engine.checkpoint.Checkpointer`; when
+        #: set, the pass persists a checkpoint every ``checkpointer.every``
+        #: events through :meth:`step`.
+        self.checkpointer = checkpointer
         self.snapshots: List[ReportSnapshot] = []
         self.stop_reason = STOP_EXHAUSTED
         self.elapsed_s = 0.0
@@ -325,6 +338,10 @@ class EnginePass:
         if interval is not None and events % interval == 0:
             self.take_snapshots()
 
+        checkpointer = self.checkpointer
+        if checkpointer is not None and events % checkpointer.every == 0:
+            checkpointer.save_pass(self)
+
         race_budget = config.race_budget
         if race_budget is not None and any(
             detector.report.count() >= race_budget
@@ -373,6 +390,10 @@ class EnginePass:
     def result(self) -> EngineResult:
         """Finish the pass and assemble the :class:`EngineResult`."""
         self.finish_detectors()
+        if self.checkpointer is not None:
+            # Background checkpoint writes must land before the pass is
+            # reported complete (a caller may clear the directory next).
+            self.checkpointer.drain()
         events = self.events
         reports: Dict[str, RaceReport] = {}
         for detector in self.detectors:
@@ -399,6 +420,64 @@ class EnginePass:
         return "EnginePass(%r, detectors=%d, events=%d)" % (
             self.source_name, len(self.detectors), self.events,
         )
+
+
+def prepare_resume_pass(
+    config: EngineConfig,
+    checkpoint,
+    detectors: Optional[Sequence[Detector]],
+    event_source,
+) -> EnginePass:
+    """The shared resume prologue of the sync and async engines.
+
+    Loads/validates the checkpoint, resolves the detector selection
+    (rebuilt from the stamps unless explicitly given, in which case it
+    must match them), positions the source, restores source-side state,
+    and returns a started :class:`EnginePass` whose detectors have been
+    restored -- ready for the caller's drive loop.  Implemented once so
+    the resume protocol cannot diverge between the two engines.
+    """
+    from repro.engine.checkpoint import (
+        CheckpointMismatchError,
+        open_for_resume,
+        restore_source_state,
+        seek_source,
+    )
+
+    loaded, checkpointer = open_for_resume(checkpoint, config)
+    if loaded.sharded is not None:
+        raise CheckpointMismatchError(
+            "checkpoint at offset %d was taken by a sharded run "
+            "(%d shard(s)); resume it with ShardedEngine.resume or "
+            "resume_engine()" % (loaded.events, loaded.sharded["shards"])
+        )
+
+    if detectors is None and config.detectors is None:
+        resolved = loaded.build_detectors()
+    else:
+        resolved = config.resolve_detectors(detectors)
+    loaded.match_detectors(resolved)
+
+    seek_source(event_source, loaded.events)
+    restore_source_state(event_source, loaded)
+    if checkpointer is not None:
+        checkpointer.source = event_source
+
+    pass_ = EnginePass(
+        config, resolved, getattr(event_source, "name", "stream"),
+        trace=getattr(event_source, "trace", None),
+        registry=getattr(event_source, "registry", None),
+        start_events=loaded.events,
+        checkpointer=checkpointer,
+    )
+    # Reset-time whole-trace precomputation would be overwritten by the
+    # restore below; let detectors skip it.
+    for detector in resolved:
+        detector.restore_pending = True
+    pass_.start()
+    for detector, blob in zip(resolved, loaded.states):
+        detector.restore_state(blob)
+    return pass_
 
 
 class RaceEngine:
@@ -430,7 +509,10 @@ class RaceEngine:
 
         ``source`` may be an :class:`~repro.engine.sources.EventSource`, a
         :class:`~repro.trace.trace.Trace`, a file path, or an iterable of
-        events (see :func:`~repro.engine.sources.as_source`).
+        events (see :func:`~repro.engine.sources.as_source`).  With
+        ``config.checkpoint_dir`` set, the pass persists a detector-state
+        checkpoint every ``config.checkpoint_every`` events (see
+        :mod:`repro.engine.checkpoint`).
         """
         config = self.config
         resolved = config.resolve_detectors(detectors)
@@ -440,6 +522,7 @@ class RaceEngine:
             config, resolved, event_source.name,
             trace=event_source.trace,
             registry=getattr(event_source, "registry", None),
+            checkpointer=self._make_checkpointer(resolved, event_source),
         )
         pass_.start()
         step = pass_.step
@@ -447,6 +530,52 @@ class RaceEngine:
             if step(event) is not None:
                 break
         return pass_.result()
+
+    def resume(
+        self,
+        source,
+        checkpoint,
+        detectors: Optional[Sequence[DetectorSpec]] = None,
+    ) -> EngineResult:
+        """Resume a checkpointed pass over ``source``.
+
+        ``checkpoint`` is a :class:`~repro.engine.checkpoint.Checkpoint`,
+        a :class:`~repro.engine.checkpoint.Checkpointer`, or a checkpoint
+        directory path (the newest checkpoint is used).  The source is
+        positioned at the checkpoint's event offset
+        (:func:`~repro.engine.checkpoint.seek_source`), the detectors --
+        rebuilt from the checkpoint's stamps unless explicitly selected,
+        in which case the selection must match the stamps exactly -- are
+        restored, and the pass continues checkpointing into the same
+        directory at the original cadence when one was given.
+        """
+        event_source = as_source(source)
+        pass_ = prepare_resume_pass(
+            self.config, checkpoint, detectors, event_source
+        )
+        step = pass_.step
+        for event in event_source:
+            if step(event) is not None:
+                break
+        return pass_.result()
+
+    def _make_checkpointer(self, resolved, event_source):
+        """Build the run's checkpointer from the configuration (or None)."""
+        if self.config.checkpoint_dir is None:
+            return None
+        from repro.engine.checkpoint import (
+            Checkpointer,
+            check_snapshot_support,
+        )
+
+        check_snapshot_support(resolved)
+        checkpointer = Checkpointer(
+            self.config.checkpoint_dir,
+            every=self.config.checkpoint_every,
+            keep=self.config.checkpoint_keep,
+        )
+        checkpointer.source = event_source
+        return checkpointer
 
     # ------------------------------------------------------------------ #
     # Helpers

@@ -74,6 +74,19 @@ class PartitionPolicy:
         """Return the shard that owns ``variable``."""
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, object]:
+        """Return resumable policy state (checkpoint/resume protocol).
+
+        Stateless policies (hashing) return an empty dict -- their
+        ownership is a pure function of the variable name.  Stateful
+        policies (round-robin) must capture whatever makes ownership
+        depend on stream history.
+        """
+        return {}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict`."""
+
     def __repr__(self) -> str:
         return "%s(shards=%d)" % (type(self).__name__, self.shards)
 
@@ -118,6 +131,14 @@ class RoundRobinPartition(PartitionPolicy):
             self._owners[variable] = owner
         return owner
 
+    def state_dict(self) -> Dict[str, object]:
+        # First-appearance assignments are stream history: a resumed pass
+        # must route every known variable exactly as the original did.
+        return {"owners": dict(self._owners)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._owners = dict(state.get("owners", {}))
+
 
 class ExplicitPartition(PartitionPolicy):
     """A fixed ``variable -> shard`` mapping with a fallback policy.
@@ -147,6 +168,12 @@ class ExplicitPartition(PartitionPolicy):
         if owner is None:
             owner = self._fallback.owner_of(variable)
         return owner
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"fallback": self._fallback.state_dict()}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._fallback.load_state(state.get("fallback", {}))
 
 
 #: Policy names accepted by :func:`make_policy` (and the CLI's
@@ -245,3 +272,30 @@ class StreamPartitioner:
             "routed": self.routed,
             "routed_clock": self.routed_clock,
         }
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support (checkpoint/resume protocol)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, object]:
+        """Return the classifier state as codec-encodable structures.
+
+        The held-lock depths and pending-bump set decide the
+        ROUTE-vs-ROUTE_CLOCK taxonomy of upcoming accesses, so a resumed
+        coordinator must classify the suffix exactly as the original
+        would have; the census rides along so partition statistics stay
+        whole-stream accurate.
+        """
+        return {
+            "depth": dict(self._depth),
+            "pending": set(self._pending_bump),
+            "census": (self.replicated, self.routed, self.routed_clock),
+            "policy": self.policy.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self._depth = dict(state["depth"])
+        self._pending_bump = set(state["pending"])
+        self.replicated, self.routed, self.routed_clock = state["census"]
+        self.policy.load_state(state["policy"])

@@ -56,11 +56,25 @@ boundaries:
 ``shards=1`` bypasses all of this and delegates to
 :class:`~repro.engine.engine.RaceEngine`, so single-shard output is
 byte-identical to the unsharded engine by construction.
+
+Worker state never travels by pickle.  Fresh workers construct their
+private detector instances from configuration stamps
+(:func:`~repro.engine.checkpoint.detector_stamp` /
+:func:`~repro.engine.checkpoint.build_detector`); mid-run state crosses
+process boundaries only as versioned snapshot blobs
+(:meth:`~repro.core.detector.Detector.state_snapshot`), which is also
+how the coordinator's checkpoint/resume works: at the configured cadence
+it flushes all in-flight batches, collects every worker's snapshot, and
+persists one sharded :class:`~repro.engine.checkpoint.Checkpoint`
+(worker snapshots + partitioner state) through the same
+:class:`~repro.engine.checkpoint.Checkpointer` the single-engine path
+uses.  :meth:`ShardedEngine.resume` restores each worker from its blob
+and replays the source suffix -- the merged report equals the
+uninterrupted run's exactly.
 """
 
 from __future__ import annotations
 
-import pickle
 import queue as queue_module
 import threading
 import time
@@ -69,6 +83,18 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.detector import Detector
 from repro.core.races import RaceReport, ReportSnapshot
+from repro.engine.checkpoint import (
+    Checkpoint,
+    Checkpointer,
+    CheckpointMismatchError,
+    build_detector,
+    check_reconstructible,
+    check_snapshot_support,
+    detector_stamp,
+    open_for_resume,
+    restore_source_state,
+    seek_source,
+)
 from repro.engine.config import DetectorSpec, EngineConfig
 from repro.engine.engine import (
     STOP_EVENT_BUDGET,
@@ -79,6 +105,7 @@ from repro.engine.engine import (
     RaceEngine,
 )
 from repro.engine.partition import (
+    POLICIES,
     REPLICATE,
     ROUTE,
     StreamPartitioner,
@@ -89,6 +116,11 @@ from repro.trace.event import Event, EventType
 from repro.vectorclock.clock import VectorClock
 from repro.vectorclock.dense import DenseClock, deserialize_clock
 from repro.vectorclock.registry import ThreadRegistry
+
+def _policy_key(name):
+    """Normalize a policy name for mismatch checks ("rr" == "round-robin")."""
+    return POLICIES.get(name, name)
+
 
 #: Wire value -> EventType (EventType(...) does a linear scan; this is a dict).
 _ETYPE_OF_VALUE = {etype.value: etype for etype in EventType}
@@ -240,6 +272,28 @@ class _ShardWorker:
     def start(self) -> None:
         self.pass_.start()
 
+    def restore(self, state: dict) -> None:
+        """Restore the shard's detectors from a checkpointed worker state.
+
+        ``state`` is one entry of a sharded checkpoint's ``shard_states``:
+        the shard's processed-event count plus one snapshot blob per
+        detector.  Must run after :meth:`start` (the blobs re-populate the
+        worker's private registry through the restored name tables).
+        """
+        for detector, blob in zip(self.detectors, state["blobs"]):
+            detector.restore_state(blob)
+        self.events = state["events"]
+        self.context.events_seen = self.events
+
+    def snapshot_state(self) -> dict:
+        """Freeze the shard for a coordinator checkpoint."""
+        return {
+            "events": self.events,
+            "blobs": [
+                detector.state_snapshot() for detector in self.detectors
+            ],
+        }
+
     def process_batch(self, batch: List[tuple]) -> None:
         started = time.perf_counter()
         detectors = self.detectors
@@ -308,9 +362,11 @@ class _ShardWorker:
 class _SerialTransport:
     """Run the worker inline; the deterministic reference transport."""
 
-    def __init__(self, worker: _ShardWorker) -> None:
+    def __init__(self, worker: _ShardWorker, restore: Optional[dict] = None) -> None:
         self.worker = worker
         worker.start()
+        if restore is not None:
+            worker.restore(restore)
 
     def send(self, batch: List[tuple]) -> None:
         self.worker.process_batch(batch)
@@ -320,6 +376,9 @@ class _SerialTransport:
 
     def poll_delta(self):
         return self.worker.clock_delta()
+
+    def snapshot(self) -> dict:
+        return self.worker.snapshot_state()
 
     def finish(self) -> dict:
         return self.worker.finish()
@@ -335,8 +394,9 @@ class _ThreadTransport:
     before joining.
     """
 
-    def __init__(self, worker: _ShardWorker) -> None:
+    def __init__(self, worker: _ShardWorker, restore: Optional[dict] = None) -> None:
         self.worker = worker
+        self._restore = restore
         self.queue: "queue_module.Queue" = queue_module.Queue(maxsize=8)
         self.error: Optional[str] = None
         self.result: Optional[dict] = None
@@ -348,18 +408,29 @@ class _ThreadTransport:
     def _loop(self) -> None:
         try:
             self.worker.start()
+            if self._restore is not None:
+                self.worker.restore(self._restore)
             while True:
                 batch = self.queue.get()
                 if batch is None:
                     self.result = self.worker.finish()
                     return
+                if isinstance(batch, tuple) and batch[0] == "snapshot":
+                    batch[1].append(self.worker.snapshot_state())
+                    batch[2].set()
+                    continue
                 self.worker.process_batch(batch)
         except Exception:
             self.error = traceback.format_exc()
-            # Keep draining so the coordinator's put() never deadlocks.
+            # Keep draining so the coordinator's put() never deadlocks
+            # (snapshot requests are acknowledged empty so their waiters
+            # wake up and observe the error).
             while True:
-                if self.queue.get() is None:
+                item = self.queue.get()
+                if item is None:
                     return
+                if isinstance(item, tuple) and item[0] == "snapshot":
+                    item[2].set()
 
     def send(self, batch: List[tuple]) -> None:
         self.queue.put(batch)
@@ -369,6 +440,24 @@ class _ThreadTransport:
 
     def poll_delta(self):
         return None
+
+    def snapshot_begin(self):
+        holder: List[dict] = []
+        done = threading.Event()
+        self.queue.put(("snapshot", holder, done))
+        return holder, done
+
+    def snapshot_end(self, token) -> dict:
+        holder, done = token
+        done.wait()
+        if self.error is not None:
+            raise RuntimeError(
+                "shard %d worker failed:\n%s" % (self.worker.shard_id, self.error)
+            )
+        return holder[0]
+
+    def snapshot(self) -> dict:
+        return self.snapshot_end(self.snapshot_begin())
 
     def finish(self) -> dict:
         self.queue.put(None)
@@ -382,20 +471,28 @@ class _ThreadTransport:
 
 
 def _process_worker_main(
-    conn, shard_id: int, detector_blob: bytes, source_name: str,
-    clock_sync_every: int,
+    conn, shard_id: int, specs: List[dict], source_name: str,
+    clock_sync_every: int, restore: Optional[dict] = None,
 ) -> None:
     """Entry point of a shard worker process (pipe protocol).
 
-    Messages from the coordinator: ``("batch", [encoded events])`` and
-    ``("finish",)``.  The worker acknowledges every batch with a progress
-    message, sends a clock/registry delta every ``clock_sync_every``
-    batches, and answers ``finish`` with its result payload.
+    The worker builds its private detector instances from configuration
+    stamps (never from pickled live objects) and, on a resumed run,
+    restores them from the checkpoint's snapshot blobs.
+
+    Messages from the coordinator: ``("batch", [encoded events])``,
+    ``("snapshot",)`` and ``("finish",)``.  The worker acknowledges every
+    batch with a progress message, sends a clock/registry delta every
+    ``clock_sync_every`` batches, answers ``snapshot`` with a
+    ``("state", ...)`` payload of snapshot blobs, and answers ``finish``
+    with its result payload.
     """
     try:
-        detectors: List[Detector] = pickle.loads(detector_blob)
+        detectors: List[Detector] = [build_detector(spec) for spec in specs]
         worker = _ShardWorker(shard_id, detectors, source_name)
         worker.start()
+        if restore is not None:
+            worker.restore(restore)
         batches = 0
         while True:
             message = conn.recv()
@@ -406,6 +503,8 @@ def _process_worker_main(
                 conn.send(("progress", shard_id, worker.events, worker.progress()))
                 if clock_sync_every and batches % clock_sync_every == 0:
                     conn.send(("delta", shard_id, worker.clock_delta()))
+            elif kind == "snapshot":
+                conn.send(("state", shard_id, worker.snapshot_state()))
             elif kind == "finish":
                 conn.send(("result", shard_id, worker.finish()))
                 return
@@ -441,6 +540,7 @@ class _ProcessTransport:
         self._progress = None
         self._delta = None
         self._result = None
+        self._state = None
 
     def _drain(self, block: bool = False) -> None:
         """Absorb pending worker messages (progress / deltas / errors)."""
@@ -451,6 +551,9 @@ class _ProcessTransport:
                 self._progress = message[3]
             elif kind == "delta":
                 self._delta = message[2]
+            elif kind == "state":
+                self._state = message[2]
+                return
             elif kind == "result":
                 self._result = message[2]
                 return
@@ -472,6 +575,19 @@ class _ProcessTransport:
         self._drain()
         delta, self._delta = self._delta, None
         return delta
+
+    def snapshot_begin(self):
+        self.conn.send(("snapshot",))
+        return None
+
+    def snapshot_end(self, token) -> dict:
+        while self._state is None:
+            self._drain(block=True)
+        state, self._state = self._state, None
+        return state
+
+    def snapshot(self) -> dict:
+        return self.snapshot_end(self.snapshot_begin())
 
     def finish(self) -> dict:
         try:
@@ -547,14 +663,88 @@ class ShardedEngine:
         if self.shards == 1:
             # Byte-identical single-shard guarantee: the unsharded engine.
             return RaceEngine(self.config).run(source, detectors=detectors)
+        resolved = self._resolve(detectors)
+        return self._run_sharded(source, resolved, None, None)
 
-        config = self.config
-        resolved = config.resolve_detectors(detectors)
+    def resume(
+        self,
+        source,
+        checkpoint,
+        detectors: Optional[Sequence[DetectorSpec]] = None,
+    ) -> EngineResult:
+        """Resume a sharded pass from a checkpoint.
+
+        ``checkpoint`` is a :class:`~repro.engine.checkpoint.Checkpoint`,
+        a :class:`~repro.engine.checkpoint.Checkpointer` or a checkpoint
+        directory.  The engine must be configured with the checkpoint's
+        shard count and partition policy (routing must not diverge);
+        the transport ``mode`` is free to differ -- worker state is
+        transport-agnostic.  Each worker is reconstructed from its
+        configuration stamps, restored from its snapshot blobs, and the
+        source suffix is replayed; the merged report equals an
+        uninterrupted sharded (and therefore single-engine) run.
+        """
+        loaded, checkpointer = open_for_resume(checkpoint, self.config)
+        sharded = loaded.sharded
+        if sharded is None:
+            raise CheckpointMismatchError(
+                "checkpoint at offset %d was taken by an unsharded run; "
+                "resume it with RaceEngine.resume or resume_engine()"
+                % loaded.events
+            )
+        if sharded["shards"] != self.shards:
+            raise CheckpointMismatchError(
+                "checkpoint has %d shard(s) but the engine is configured "
+                "for %d; construct the engine with the checkpoint's shard "
+                "count" % (sharded["shards"], self.shards)
+            )
+        # Routing must not diverge between the prefix and the suffix: a
+        # name-based checkpoint requires the same policy name, and a
+        # checkpoint taken with a custom policy *instance* (recorded as
+        # None) can only resume with an equivalent instance supplied by
+        # the caller -- silently falling back to hashing would split a
+        # variable's history across shards.
+        checkpoint_policy = sharded.get("policy")
+        engine_policy = self.policy if isinstance(self.policy, str) else None
+        if _policy_key(checkpoint_policy) != _policy_key(engine_policy):
+            if checkpoint_policy is None:
+                raise CheckpointMismatchError(
+                    "checkpoint was partitioned with a custom policy "
+                    "instance; resume by configuring the engine with an "
+                    "equivalent policy instance (its state is restored "
+                    "from the checkpoint)"
+                )
+            if engine_policy is None:
+                raise CheckpointMismatchError(
+                    "checkpoint was partitioned with policy %r but the "
+                    "engine is configured with a policy instance; variable "
+                    "routing would diverge" % (checkpoint_policy,)
+                )
+            raise CheckpointMismatchError(
+                "checkpoint was partitioned with policy %r but the engine "
+                "is configured with %r; variable routing would diverge"
+                % (checkpoint_policy, engine_policy)
+            )
+        if detectors is None and self.config.detectors is None:
+            resolved = loaded.build_detectors()
+            self._check_shardable(resolved)
+        else:
+            resolved = self._resolve(detectors)
+        loaded.match_detectors(resolved)
+        return self._run_sharded(source, resolved, loaded, checkpointer)
+
+    def _resolve(self, detectors):
+        resolved = self.config.resolve_detectors(detectors)
         if len({id(detector) for detector in resolved}) != len(resolved):
             raise ValueError(
                 "the same Detector instance appears more than once in the "
                 "selection; pass distinct instances (or names) instead"
             )
+        self._check_shardable(resolved)
+        return resolved
+
+    @staticmethod
+    def _check_shardable(resolved) -> None:
         unshardable = [d.name for d in resolved if not d.shardable]
         if unshardable:
             raise ValueError(
@@ -562,6 +752,15 @@ class ShardedEngine:
                 "accesses outside the replicated synchronization skeleton; "
                 "run them with shards=1" % ", ".join(sorted(set(unshardable)))
             )
+
+    def _run_sharded(
+        self,
+        source,
+        resolved: List[Detector],
+        loaded: Optional[Checkpoint],
+        checkpointer: Optional[Checkpointer],
+    ) -> EngineResult:
+        config = self.config
         send_foreign = any(d.needs_foreign_accesses for d in resolved)
 
         event_source = as_source(source)
@@ -569,11 +768,32 @@ class ShardedEngine:
         shards = self.shards
         partitioner = StreamPartitioner(make_policy(self.policy, shards))
 
-        # Workers get pickled copies of the resolved detectors -- one
-        # private instance set per shard in every mode (this is also what
-        # keeps detector state pickle-safe by contract).
-        detector_blob = pickle.dumps(resolved)
-        transports = self._start_transports(detector_blob, source_name)
+        # Workers build one private instance set per shard from the
+        # detectors' configuration stamps; live detector objects are never
+        # pickled.  Mid-run state only ever travels as snapshot blobs.
+        specs = [detector_stamp(detector) for detector in resolved]
+        check_reconstructible(resolved)
+
+        restore_states = None
+        start_events = 0
+        if loaded is not None:
+            restore_states = loaded.sharded["shard_states"]
+            partitioner.load_state(loaded.sharded["partition"])
+            seek_source(event_source, loaded.events)
+            restore_source_state(event_source, loaded)
+            start_events = loaded.events
+        elif config.checkpoint_dir is not None:
+            checkpointer = Checkpointer(
+                config.checkpoint_dir,
+                every=config.checkpoint_every,
+                keep=config.checkpoint_keep,
+            )
+        if checkpointer is not None:
+            check_snapshot_support(resolved)
+            checkpointer.source = event_source
+        policy_spec = self.policy if isinstance(self.policy, str) else None
+
+        transports = self._start_transports(specs, source_name, restore_states)
 
         batch_size = self.batch_size
         clock_sync_every = config.shard_clock_sync_every
@@ -588,7 +808,7 @@ class ShardedEngine:
         detector_names = [detector.name for detector in resolved]
 
         stop_reason = STOP_EXHAUSTED
-        events = 0
+        events = start_events
         flushes = 0
         last_delta_sync = 0
         started = time.perf_counter()
@@ -656,6 +876,37 @@ class ShardedEngine:
 
                 if interval is not None and events % interval == 0:
                     take_snapshot()
+                if (
+                    checkpointer is not None
+                    and events % checkpointer.every == 0
+                ):
+                    # Flush every in-flight batch so each worker's state
+                    # reflects exactly the first ``events`` events, then
+                    # collect one snapshot per shard (transports block
+                    # until the worker answers -- pipe messages are
+                    # processed in order, so the snapshot is taken after
+                    # everything flushed so far).
+                    for shard in range(shards):
+                        if batches[shard]:
+                            flush(shard)
+                            flushes += 1
+                    checkpointer.save(Checkpoint(
+                        events=events,
+                        source_name=source_name,
+                        stamps=specs,
+                        states=None,
+                        every=checkpointer.every,
+                        source_state=checkpointer.source_state(),
+                        sharded={
+                            "shards": shards,
+                            "mode": self.mode,
+                            "policy": policy_spec,
+                            "partition": partitioner.state_dict(),
+                            "shard_states": self._collect_snapshots(
+                                transports
+                            ),
+                        },
+                    ))
                 if event_budget is not None and events >= event_budget:
                     stop_reason = STOP_EVENT_BUDGET
                     break
@@ -726,7 +977,12 @@ class ShardedEngine:
     # Worker management
     # ------------------------------------------------------------------ #
 
-    def _start_transports(self, detector_blob: bytes, source_name: str):
+    def _start_transports(
+        self,
+        specs: List[dict],
+        source_name: str,
+        restore_states: Optional[List[dict]] = None,
+    ):
         mode = self.mode
         transports = []
         if mode == "process":
@@ -734,23 +990,46 @@ class ShardedEngine:
 
             mp_context = multiprocessing.get_context()
             for shard in range(self.shards):
+                restore = restore_states[shard] if restore_states else None
                 transports.append(_ProcessTransport(
                     (
-                        shard, detector_blob, source_name,
-                        self.config.shard_clock_sync_every,
+                        shard, specs, source_name,
+                        self.config.shard_clock_sync_every, restore,
                     ),
                     shard, mp_context,
                 ))
             return transports
         for shard in range(self.shards):
             worker = _ShardWorker(
-                shard, pickle.loads(detector_blob), source_name
+                shard, [build_detector(spec) for spec in specs], source_name
             )
+            restore = restore_states[shard] if restore_states else None
             if mode == "thread":
-                transports.append(_ThreadTransport(worker))
+                transports.append(_ThreadTransport(worker, restore))
             else:
-                transports.append(_SerialTransport(worker))
+                transports.append(_SerialTransport(worker, restore))
         return transports
+
+    @staticmethod
+    def _collect_snapshots(transports) -> List[dict]:
+        """Collect one worker snapshot per shard, overlapping the waits.
+
+        Every transport gets its snapshot request first, so the workers
+        serialize their state concurrently; the coordinator then drains
+        the replies in shard order -- the per-checkpoint pause is the
+        slowest single worker, not the sum (serial transports have no
+        begin/end split and run inline).
+        """
+        tokens = [
+            (transport, transport.snapshot_begin())
+            if hasattr(transport, "snapshot_begin") else (transport, None)
+            for transport in transports
+        ]
+        return [
+            transport.snapshot_end(token)
+            if hasattr(transport, "snapshot_end") else transport.snapshot()
+            for transport, token in tokens
+        ]
 
     @staticmethod
     def _abort_transports(transports) -> None:

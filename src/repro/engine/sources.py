@@ -45,6 +45,7 @@ the source boundary -- no matter how many detectors run.
 
 from __future__ import annotations
 
+import itertools
 import queue as queue_module
 from pathlib import Path
 from typing import AsyncIterator, Iterable, Iterator, Optional, Union
@@ -81,6 +82,21 @@ class EventSource:
         """Return the number of events when known up front, else None."""
         return None
 
+    def seek_events(self, events: int) -> None:
+        """Position the source so iteration resumes at offset ``events``.
+
+        Part of the checkpoint/resume protocol
+        (:mod:`repro.engine.checkpoint`): replayable sources skip the
+        first ``events`` events of their stream; push sources instead
+        record the offset and advertise it to their producer.  The base
+        implementation only accepts offset 0.
+        """
+        if events:
+            raise ValueError(
+                "%s cannot seek to event %d; resume requires a seekable "
+                "source" % (type(self).__name__, events)
+            )
+
     @property
     def trace(self) -> Optional[Trace]:
         """The backing :class:`Trace` when one exists, else None.
@@ -103,9 +119,13 @@ class TraceSource(EventSource):
         self._trace = trace
         self.name = trace.name
         self.registry = getattr(trace, "registry", None)
+        self._skip = 0
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._trace)
+        return _skip_prefix(iter(self._trace), self._skip)
+
+    def seek_events(self, events: int) -> None:
+        self._skip = events
 
     def length_hint(self) -> Optional[int]:
         return len(self._trace)
@@ -128,9 +148,19 @@ class FileSource(EventSource):
         self.path = Path(path)
         self.name = name or self.path.stem
         self.registry = ThreadRegistry()
+        self._skip = 0
 
     def __iter__(self) -> Iterator[Event]:
-        return iter_trace_file(self.path, registry=self.registry)
+        # A skipped prefix is parsed (cheap relative to analysis) but not
+        # yielded; skipped events still intern their threads, in the
+        # same first-appearance order a restored snapshot expects.
+        return _skip_prefix(
+            iter_trace_file(self.path, registry=self.registry), self._skip
+        )
+
+    def seek_events(self, events: int) -> None:
+        """Resume iteration at event offset ``events`` (checkpoint/resume)."""
+        self._skip = events
 
     def __repr__(self) -> str:
         return "FileSource(%r)" % (str(self.path),)
@@ -148,9 +178,14 @@ class IterableSource(EventSource):
         self._events = events
         self.name = name
         self.registry = ThreadRegistry()
+        self._skip = 0
 
     def __iter__(self) -> Iterator[Event]:
-        return _stamped(self._events, self.registry)
+        return _skip_prefix(_stamped(self._events, self.registry), self._skip)
+
+    def seek_events(self, events: int) -> None:
+        """Resume at offset ``events`` (skips that many events on iteration)."""
+        self._skip = events
 
 
 class SimulatorSource(EventSource):
@@ -227,6 +262,9 @@ class CountingSource(EventSource):
     def length_hint(self) -> Optional[int]:
         return self._inner.length_hint()
 
+    def seek_events(self, events: int) -> None:
+        self._inner.seek_events(events)
+
 
 #: End-of-stream marker used by the push sources.
 _CLOSED = object()
@@ -263,6 +301,20 @@ class QueueSource(EventSource):
         self.registry = ThreadRegistry()
         self._queue: "queue_module.Queue" = queue_module.Queue(maxsize)
         self._closed = False
+        #: The resume handshake (checkpoint/resume protocol): the last
+        #: durable event offset of a resumed pass.  A producer re-attached
+        #: after a crash reads this and replays its events from that
+        #: absolute position onward -- the engine renumbers from the same
+        #: offset, so the replayed suffix continues the original stream.
+        self.resume_offset = 0
+
+    def seek_events(self, events: int) -> None:
+        """Record the resume offset for the producer-side handshake.
+
+        Nothing is skipped: the producer is expected to consult
+        :attr:`resume_offset` and push only events from that offset on.
+        """
+        self.resume_offset = events
 
     def put(self, event: Event, timeout: Optional[float] = None) -> None:
         """Enqueue one event; blocks while the queue is full (backpressure).
@@ -383,10 +435,23 @@ class LineProtocolSource(AsyncEventSource):
     """
 
     def __init__(self, reader, name: str = "socket",
-                 registry: Optional[ThreadRegistry] = None) -> None:
+                 registry: Optional[ThreadRegistry] = None,
+                 initial_lines: Optional[list] = None) -> None:
         self.reader = reader
         self.name = name
         self.registry = registry if registry is not None else ThreadRegistry()
+        #: Raw lines (bytes) consumed before the reader -- a server that
+        #: peeked at the stream head (the resume handshake) pushes the
+        #: peeked line back through here.
+        self.initial_lines = list(initial_lines or [])
+        #: The resume handshake: the last durable event offset, advertised
+        #: to the peer as a ``resume <offset>`` response line by the serve
+        #: protocol; the peer replays its events from that offset on.
+        self.resume_offset = 0
+
+    def seek_events(self, events: int) -> None:
+        """Record the resume offset; the peer replays from it (handshake)."""
+        self.resume_offset = events
 
     def __aiter__(self) -> AsyncIterator[Event]:
         return self._decode()
@@ -396,6 +461,16 @@ class LineProtocolSource(AsyncEventSource):
         registry = self.registry
         index = 0
         line_number = 0
+        for raw in self.initial_lines:
+            line_number += 1
+            event = parse_std_line(
+                raw.decode("utf-8", "replace") if isinstance(raw, bytes)
+                else raw,
+                index, line_number, registry=registry,
+            )
+            if event is not None:
+                yield event
+                index += 1
         while True:
             raw = await readline()
             if not raw:
@@ -409,6 +484,13 @@ class LineProtocolSource(AsyncEventSource):
                 continue
             yield event
             index += 1
+
+
+def _skip_prefix(events: Iterator[Event], skip: int) -> Iterator[Event]:
+    """Drop the first ``skip`` events (checkpoint/resume positioning)."""
+    if skip:
+        return itertools.islice(events, skip, None)
+    return events
 
 
 def _stamp(event: Event, intern) -> Event:
@@ -482,6 +564,18 @@ class _CooperativeSource(AsyncEventSource):
 
     def length_hint(self) -> Optional[int]:
         return self._inner.length_hint()
+
+    def seek_events(self, events: int) -> None:
+        self._inner.seek_events(events)
+
+    def checkpoint_state(self):
+        state = getattr(self._inner, "checkpoint_state", None)
+        return state() if callable(state) else None
+
+    def restore_checkpoint_state(self, state) -> None:
+        restore = getattr(self._inner, "restore_checkpoint_state", None)
+        if callable(restore):
+            restore(state)
 
     def __aiter__(self) -> AsyncIterator[Event]:
         return self._cooperate()

@@ -111,6 +111,36 @@ class OnlineValidator:
                 del self._open[thread]
             del self._holder[lock]
 
+    # ------------------------------------------------------------------ #
+    # Snapshot support (checkpoint/resume protocol)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Return the validator state as codec-encodable structures.
+
+        A resumed stream pass restores this so prefix-opened critical
+        sections are still known -- otherwise every release in the suffix
+        of a section opened before the checkpoint would be (wrongly)
+        rejected as unmatched.
+        """
+        return {
+            "holder": dict(self._holder),
+            "open": {thread: list(stack) for thread, stack in self._open.items()},
+            "events": self.events_checked,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineValidator":
+        """Inverse of :meth:`state_dict`."""
+        validator = cls()
+        validator._holder = dict(state["holder"])
+        validator._open = {
+            thread: [tuple(entry) for entry in stack]
+            for thread, stack in state["open"].items()
+        }
+        validator.events_checked = state["events"]
+        return validator
+
     def state_size(self) -> int:
         """Entries currently held: open sections counted on both indexes.
 
@@ -162,6 +192,12 @@ class ValidatingSource(EventSource):
         self.registry = getattr(inner, "registry", None)
         #: The validator of the most recent (or current) iteration pass.
         self.validator = OnlineValidator()
+        #: Restored validator to adopt on the next iteration pass (resume).
+        self._resume_validator: Optional[OnlineValidator] = None
+        #: Set by a non-zero seek: iteration refuses to start without a
+        #: restored validator (a fresh one would spuriously reject valid
+        #: suffixes whose critical sections opened in the prefix).
+        self._needs_resume_validator = False
 
     @property
     def is_complete(self) -> bool:
@@ -175,13 +211,54 @@ class ValidatingSource(EventSource):
         hint = getattr(self._inner, "length_hint", None)
         return hint() if callable(hint) else None
 
+    def seek_events(self, events: int) -> None:
+        """Delegate positioning to the wrapped source (checkpoint/resume).
+
+        Validating a stream *suffix* soundly requires the validator state
+        at the seek offset (prefix-opened critical sections would
+        otherwise make valid releases look unmatched), so seeking also
+        arms a check that :meth:`restore_checkpoint_state` supplies one
+        before iteration starts.
+        """
+        seek = getattr(self._inner, "seek_events", None)
+        if seek is None:
+            raise ValueError(
+                "wrapped source %r cannot seek to event %d"
+                % (self._inner, events)
+            )
+        seek(events)
+        self._needs_resume_validator = events > 0
+
+    def checkpoint_state(self) -> dict:
+        """Bundle the online validator's state into engine checkpoints."""
+        return {"validator": self.validator.state_dict()}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Adopt a checkpointed validator for the next iteration pass."""
+        validator = state.get("validator")
+        if validator is not None:
+            self._resume_validator = OnlineValidator.from_state(validator)
+
+    def _next_validator(self) -> OnlineValidator:
+        if self._needs_resume_validator and self._resume_validator is None:
+            raise ValueError(
+                "resuming a validated stream mid-way requires the "
+                "checkpoint to carry validator state (checkpoints written "
+                "by a non-streaming run do not); resume without --stream, "
+                "or disable validation with --no-validate"
+            )
+        validator, self._resume_validator = (
+            self._resume_validator or OnlineValidator(), None
+        )
+        return validator
+
     def __iter__(self) -> Iterator[Event]:
         if not hasattr(self._inner, "__iter__"):
             raise TypeError(
                 "wrapped source %r is asynchronous; iterate with 'async for'"
                 % (self._inner,)
             )
-        self.validator = OnlineValidator()
+        self.validator = self._next_validator()
         return validate_events(self._inner, self.validator)
 
     def __aiter__(self) -> AsyncIterator[Event]:
@@ -193,7 +270,7 @@ class ValidatingSource(EventSource):
         return self._avalidate(inner)
 
     async def _avalidate(self, inner) -> AsyncIterator[Event]:
-        self.validator = validator = OnlineValidator()
+        self.validator = validator = self._next_validator()
         check = validator.check
         async for event in inner:
             check(event)

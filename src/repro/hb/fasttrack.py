@@ -32,6 +32,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.detector import Detector
+from repro.core.races import RaceReport
+from repro.core.snapshot import adopt_registry_names, pack_state, unpack_for
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
 from repro.vectorclock import clock_class
@@ -70,6 +72,11 @@ class FastTrackDetector(Detector):
     #: Like HB, FastTrack's clocks move only on synchronization events, so
     #: sharding by variable with a replicated sync skeleton is exact.
     shardable = True
+
+    #: Epoch-compressed per-variable state is the smallest in the library;
+    #: snapshots are supported in full.
+    supports_snapshot = True
+    snapshot_version = 1
 
     def __init__(self, clock_backend: str = "dense") -> None:
         super().__init__()
@@ -216,6 +223,67 @@ class FastTrackDetector(Detector):
 
         state.write_epoch = Epoch(tid, clock.get(tid))
         state.write_event = event
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (checkpoint/resume, sharded worker restore)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_config(self) -> dict:
+        return {"clock_backend": self.clock_backend}
+
+    def state_snapshot(self) -> bytes:
+        report = self.report  # raises before reset()
+        variables = {}
+        for variable, var_state in self._variables.items():
+            variables[variable] = {
+                "write_epoch": var_state.write_epoch,
+                "write_event": var_state.write_event,
+                "read_epoch": var_state.read_epoch,
+                "read_event": var_state.read_event,
+                "read_map": (
+                    dict(var_state.read_map)
+                    if var_state.read_map is not None else None
+                ),
+            }
+        state = {
+            "names": self._registry.names(),
+            "clocks": list(self._clocks),
+            "lock_clocks": dict(self._lock_clocks),
+            "variables": variables,
+            "counters": (self.fast_path_hits, self.slow_path_hits),
+            "report": report.state_dict(),
+        }
+        return pack_state(
+            type(self).__name__, self.snapshot_version,
+            self.snapshot_config(), state,
+        )
+
+    def restore_state(self, blob: bytes) -> None:
+        if self._report is None:
+            raise RuntimeError(
+                "restore_state() requires reset() first (the reset binds "
+                "the pass context and its shared thread registry)"
+            )
+        state = unpack_for(self).unpack(blob)
+        adopt_registry_names(self._registry, state["names"])
+        self._clocks = list(state["clocks"])
+        self._lock_clocks = dict(state["lock_clocks"])
+        variables = {}
+        for variable, entry in state["variables"].items():
+            var_state = _VariableState()
+            var_state.write_epoch = entry["write_epoch"]
+            var_state.write_event = entry["write_event"]
+            var_state.read_epoch = entry["read_epoch"]
+            var_state.read_event = entry["read_event"]
+            var_state.read_map = (
+                dict(entry["read_map"])
+                if entry["read_map"] is not None else None
+            )
+            variables[variable] = var_state
+        self._variables = variables
+        self.fast_path_hits, self.slow_path_hits = state["counters"]
+        self._report = RaceReport.from_state(state["report"])
+        self.restore_pending = False
 
     def sync_clock_state(self) -> dict:
         """Serialized per-thread clocks (shard-boundary protocol).

@@ -35,6 +35,8 @@ from typing import Dict, List, Optional
 
 from repro.core.detector import Detector
 from repro.core.history import AccessHistory
+from repro.core.races import RaceReport
+from repro.core.snapshot import adopt_registry_names, pack_state, unpack_for
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
 from repro.vectorclock import clock_class
@@ -57,6 +59,11 @@ class HBDetector(Detector):
     #: engine's replicate-sync / route-accesses split is exact for HB and
     #: foreign in-CS accesses need not even be transported.
     shardable = True
+
+    #: Per-thread/per-lock clocks plus the access history: all bounded,
+    #: all incrementally maintained, so snapshots are supported in full.
+    supports_snapshot = True
+    snapshot_version = 1
 
     def __init__(self, clock_backend: str = "dense") -> None:
         super().__init__()
@@ -172,6 +179,46 @@ class HBDetector(Detector):
             clock.increment(tid)
             self._pending[tid] = False
             self._snap[tid] = None
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (checkpoint/resume, sharded worker restore)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_config(self) -> dict:
+        return {"clock_backend": self.clock_backend}
+
+    def state_snapshot(self) -> bytes:
+        report = self.report  # raises before reset()
+        state = {
+            "names": self._registry.names(),
+            "clocks": list(self._clocks),
+            "pending": list(self._pending),
+            "lock_clocks": dict(self._lock_clocks),
+            "history": self._history.state_dict(),
+            "report": report.state_dict(),
+        }
+        return pack_state(
+            type(self).__name__, self.snapshot_version,
+            self.snapshot_config(), state,
+        )
+
+    def restore_state(self, blob: bytes) -> None:
+        if self._report is None:
+            raise RuntimeError(
+                "restore_state() requires reset() first (the reset binds "
+                "the pass context and its shared thread registry)"
+            )
+        state = unpack_for(self).unpack(blob)
+        adopt_registry_names(self._registry, state["names"])
+        self._clocks = list(state["clocks"])
+        self._pending = list(state["pending"])
+        # Frozen per-thread snapshots are a sharing optimisation; the next
+        # access of each thread takes a fresh copy.
+        self._snap = [None] * len(self._clocks)
+        self._lock_clocks = dict(state["lock_clocks"])
+        self._history = AccessHistory.from_state(state["history"])
+        self._report = RaceReport.from_state(state["report"])
+        self.restore_pending = False
 
     def sync_clock_state(self) -> dict:
         """Serialized per-thread HB clocks (shard-boundary protocol).

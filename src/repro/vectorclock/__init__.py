@@ -25,6 +25,7 @@ from repro.vectorclock.clock import VectorClock
 from repro.vectorclock.dense import DenseClock
 from repro.vectorclock.epoch import Epoch
 from repro.vectorclock.registry import ThreadRegistry
+from repro.vectorclock import codec
 
 #: The classes usable as detector-internal clocks, by backend name.
 CLOCK_BACKENDS = {"dense": DenseClock, "dict": VectorClock}
@@ -48,4 +49,5 @@ __all__ = [
     "ThreadRegistry",
     "CLOCK_BACKENDS",
     "clock_class",
+    "codec",
 ]

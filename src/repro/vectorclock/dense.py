@@ -28,7 +28,6 @@ lets the WCP detector cache each thread's ``C_t`` and rebuild it only when
 
 from __future__ import annotations
 
-import struct
 from operator import le as _le
 from typing import Dict, Iterable, Iterator, List, Mapping, Tuple, Union
 
@@ -230,23 +229,21 @@ class DenseClock:
     # ------------------------------------------------------------------ #
 
     def to_bytes(self) -> bytes:
-        """Serialize to a compact little-endian int64 array.
+        """Serialize through the shared codec (:mod:`repro.vectorclock.codec`).
 
         Trailing zeros are stripped first, so equal clocks serialize
         identically regardless of how far their backing lists grew.
         """
-        times = self._times
-        end = len(times)
-        while end and not times[end - 1]:
-            end -= 1
-        return struct.pack("<%dq" % end, *times[:end])
+        from repro.vectorclock.codec import encode
+
+        return encode(self)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "DenseClock":
         """Inverse of :meth:`to_bytes`."""
-        clock = cls.__new__(cls)
-        clock._times = list(struct.unpack("<%dq" % (len(data) // 8), data))
-        return clock
+        from repro.vectorclock.codec import decode_clock
+
+        return decode_clock(data)
 
     def remapped(self, mapping: List[int]) -> "DenseClock":
         """Return a copy with every tid translated through ``mapping``.
@@ -285,32 +282,21 @@ class DenseClock:
 # --------------------------------------------------------------------- #
 #
 # The sharded engine ships per-thread clocks across process boundaries at
-# batch boundaries.  Dense clocks serialize as a flat int64 array (tag
-# ``D``); sparse tid-keyed VectorClocks serialize as (tid, time) int64
-# pairs (tag ``S``).  Both deserialize to a DenseClock -- the merge side
-# only ever joins and remaps, for which the dense form is canonical.
+# batch boundaries, and the checkpoint subsystem persists them inside
+# detector snapshots.  Both speak the *same* wire format: the shared
+# codec of :mod:`repro.vectorclock.codec` (self-describing tags, varint
+# components).  These two functions are kept as the historical entry
+# points of the shard-boundary protocol; they are now thin aliases.
 
 def serialize_clock(clock) -> bytes:
     """Serialize a tid-keyed clock (either backend) for transport."""
-    if isinstance(clock, DenseClock):
-        return b"D" + clock.to_bytes()
-    pairs = sorted(clock.items())
-    flat: List[int] = []
-    for tid, value in pairs:
-        flat.append(tid)
-        flat.append(value)
-    return b"S" + struct.pack("<%dq" % len(flat), *flat)
+    from repro.vectorclock.codec import encode_clock
+
+    return encode_clock(clock)
 
 
 def deserialize_clock(data: bytes) -> DenseClock:
     """Inverse of :func:`serialize_clock`; always returns a DenseClock."""
-    tag, payload = data[:1], data[1:]
-    if tag == b"D":
-        return DenseClock.from_bytes(payload)
-    if tag != b"S":
-        raise ValueError("unknown clock wire tag %r" % (tag,))
-    flat = struct.unpack("<%dq" % (len(payload) // 8), payload)
-    clock = DenseClock()
-    for position in range(0, len(flat), 2):
-        clock.assign(flat[position], flat[position + 1])
-    return clock
+    from repro.vectorclock.codec import decode_clock
+
+    return decode_clock(data)

@@ -71,6 +71,24 @@ class Epoch:
         """Return True when the epoch belongs to ``thread``."""
         return self.thread == thread
 
+    def to_bytes(self) -> bytes:
+        """Serialize through the shared codec (:mod:`repro.vectorclock.codec`)."""
+        from repro.vectorclock.codec import encode
+
+        return encode(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Epoch":
+        """Inverse of :meth:`to_bytes`."""
+        from repro.vectorclock.codec import CodecError, decode
+
+        epoch = decode(data)
+        if not isinstance(epoch, cls):
+            raise CodecError(
+                "blob does not contain an epoch (got %s)" % type(epoch).__name__
+            )
+        return epoch
+
     def to_clock(self) -> VectorClock:
         """Expand the epoch into a full vector clock."""
         if self.is_bottom():

@@ -100,6 +100,35 @@ class ThreadRegistry:
         return [intern(name) for name in names]
 
     # ------------------------------------------------------------------ #
+    # Serialization (checkpoint / shard-boundary protocols)
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Serialize the tid-ordered name table through the shared codec.
+
+        The numbering is the registry's whole identity (tids are dense
+        positions), so the name list *is* the registry.  Used by detector
+        snapshots so a resumed process can re-establish the identical
+        interning before any suffix event is stamped.
+        """
+        from repro.vectorclock.codec import encode
+
+        return encode(list(self._names))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ThreadRegistry":
+        """Inverse of :meth:`to_bytes`."""
+        from repro.vectorclock.codec import CodecError, decode
+
+        names = decode(data)
+        if not isinstance(names, list):
+            raise CodecError(
+                "registry blob does not contain a name list (got %s)"
+                % type(names).__name__
+            )
+        return cls(names)
+
+    # ------------------------------------------------------------------ #
     # Clock conversion (tid-keyed internal <-> name-keyed public)
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,1079 @@
+"""Checkpoint/resume subsystem tests.
+
+Covers the three layers of the snapshot protocol:
+
+* the shared binary codec (:mod:`repro.vectorclock.codec`) that
+  registries, epochs, clocks and whole detector states serialize through;
+* the versioned detector snapshot protocol (round-trip parity for WCP,
+  HB and FastTrack at arbitrary event offsets; fail-fast mismatch
+  handling);
+* the engine-level checkpoint/resume subsystem (sync, async/push, and
+  sharded engines; CLI surface; fresh-process resume).
+
+The central property throughout: checkpointing at an arbitrary offset
+and resuming must yield reports identical to an uninterrupted run --
+witnesses and distances included.
+"""
+
+import asyncio
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro import (
+    CPDetector,
+    EngineConfig,
+    FastTrackDetector,
+    HBDetector,
+    QueueSource,
+    RaceEngine,
+    ShardedEngine,
+    WCPDetector,
+    detect_races,
+    resume_engine,
+    run_engine,
+)
+from repro.analysis.windowing import WindowedDetector
+from repro.cli import main
+from repro.core.snapshot import (
+    SnapshotMismatchError,
+    SnapshotUnsupportedError,
+    pack_state,
+    unpack_state,
+)
+from repro.core.wcp_legacy import LegacyWCPDetector
+from repro.engine import (
+    AsyncRaceEngine,
+    Checkpoint,
+    Checkpointer,
+    CheckpointError,
+    CheckpointMismatchError,
+    FileSource,
+    IterableSource,
+    TraceSource,
+    ValidatingSource,
+)
+from repro.engine.checkpoint import (
+    build_detector,
+    check_snapshot_support,
+    detector_stamp,
+    seek_source,
+)
+from repro.trace.event import Event, EventType
+from repro.trace.trace import Trace
+from repro.trace.writers import dump_trace
+from repro.vectorclock import DenseClock, Epoch, ThreadRegistry, VectorClock
+from repro.vectorclock.codec import (
+    CodecError,
+    decode,
+    decode_clock,
+    encode,
+    encode_clock,
+)
+
+from conftest import random_trace
+
+
+def _fingerprint(report):
+    """Everything that identifies a report's findings, witnesses included."""
+    return (
+        sorted(tuple(sorted(key)) for key in report.location_pairs()),
+        report.raw_race_count,
+        [
+            (
+                tuple(sorted(pair.locations)),
+                pair.first_event.index,
+                pair.second_event.index,
+                report.distance_of(pair),
+            )
+            for pair in report.pairs()
+        ],
+    )
+
+
+def _deterministic_stats(report):
+    return {
+        key: value for key, value in report.stats.items()
+        if key not in ("time_s", "events_per_s")
+    }
+
+
+def fork_join_trace(seed, workers=3, steps=80):
+    """Fork/join workload mixing protected and unprotected accesses."""
+    rng = random.Random(seed)
+    events = []
+
+    def add(thread, etype, target):
+        events.append(Event(len(events), thread, etype, target))
+
+    threads = ["w%d" % i for i in range(workers)]
+    add("main", EventType.WRITE, "x0")
+    for worker in threads:
+        add("main", EventType.FORK, worker)
+    pool = ["main"] + threads
+    for _ in range(steps):
+        thread = rng.choice(pool)
+        variable = "x%d" % rng.randrange(6)
+        if rng.random() < 0.35:
+            lock = "l%d" % rng.randrange(2)
+            add(thread, EventType.ACQUIRE, lock)
+            add(thread, EventType.WRITE, variable)
+            add(thread, EventType.RELEASE, lock)
+        else:
+            etype = EventType.READ if rng.random() < 0.5 else EventType.WRITE
+            add(thread, etype, variable)
+    for worker in threads:
+        add("main", EventType.JOIN, worker)
+    add("main", EventType.READ, "x1")
+    return Trace(events, validate=False, name="forkjoin_%d" % seed)
+
+
+DETECTOR_FACTORIES = [
+    WCPDetector,
+    lambda: WCPDetector(clock_backend="dict"),
+    lambda: WCPDetector(stream_reclaim=True),
+    HBDetector,
+    lambda: HBDetector(clock_backend="dict"),
+    FastTrackDetector,
+]
+
+
+# --------------------------------------------------------------------- #
+# The shared codec
+# --------------------------------------------------------------------- #
+
+class TestCodec:
+    def test_primitive_round_trip(self):
+        value = {
+            "none": None, "t": True, "f": False,
+            "ints": [0, 1, -1, 127, 128, -300, 2**40, -(2**40)],
+            "big": 2**77, "float": 2.5, "str": "héllo",
+            "bytes": b"\x00\xffraw", ("tuple", 1): (1, "two", None),
+        }
+        assert decode(encode(value)) == value
+
+    def test_sets_encode_canonically(self):
+        a = encode({"s": {"b", "a", "c"}, "i": {3, 1, 2}})
+        b = encode({"s": {"c", "b", "a"}, "i": {2, 3, 1}})
+        assert a == b
+        assert decode(a) == {"s": {"a", "b", "c"}, "i": {1, 2, 3}}
+
+    def test_domain_values_round_trip_to_their_types(self):
+        dense = DenseClock([3, 0, 5])
+        sparse = VectorClock({0: 2, 4: 9})
+        epoch = Epoch(2, 7)
+        event = Event(11, "t1", EventType.READ, "x", "a.py:3", tid=0)
+        back = decode(encode([dense, sparse, epoch, event, Epoch.bottom()]))
+        assert isinstance(back[0], DenseClock) and back[0] == dense
+        assert isinstance(back[1], VectorClock) and back[1] == sparse
+        assert back[2] == epoch
+        assert back[3] == event and back[3].loc == "a.py:3" and back[3].tid == 0
+        assert back[4].is_bottom()
+
+    def test_trailing_zero_clocks_encode_identically(self):
+        assert encode(DenseClock([1, 0, 0])) == encode(DenseClock([1]))
+
+    def test_errors(self):
+        with pytest.raises(CodecError):
+            decode(b"\xff")
+        with pytest.raises(CodecError):
+            decode(encode(1) + b"extra")
+        with pytest.raises(CodecError):
+            decode(encode("x")[:-1])
+        with pytest.raises(CodecError):
+            encode(object())
+
+    def test_clock_wire_helpers_coerce_to_dense(self):
+        assert decode_clock(encode_clock(VectorClock({1: 4}))) == DenseClock([0, 4])
+        assert decode_clock(encode_clock(DenseClock([2]))) == DenseClock([2])
+
+    def test_registry_and_epoch_share_the_codec(self):
+        registry = ThreadRegistry(["main", "t1"])
+        assert ThreadRegistry.from_bytes(registry.to_bytes()).names() == [
+            "main", "t1",
+        ]
+        assert Epoch.from_bytes(Epoch(0, 3).to_bytes()) == Epoch(0, 3)
+        assert DenseClock.from_bytes(DenseClock([7]).to_bytes()) == DenseClock([7])
+
+
+# --------------------------------------------------------------------- #
+# Detector snapshot protocol
+# --------------------------------------------------------------------- #
+
+class TestSnapshotEnvelope:
+    def test_pack_unpack(self):
+        blob = pack_state("X", 3, {"a": 1}, ["state"])
+        assert unpack_state(blob) == ("X", 3, {"a": 1}, ["state"])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            unpack_state(b"not a snapshot")
+
+
+class TestDetectorSnapshots:
+    @pytest.mark.parametrize("factory", DETECTOR_FACTORIES)
+    @pytest.mark.parametrize("seed", [0, 7])
+    @pytest.mark.parametrize("fraction", [0.2, 0.5, 0.85])
+    def test_random_trace_round_trip_parity(self, factory, seed, fraction):
+        trace = random_trace(seed, n_events=160, n_threads=4, n_vars=4)
+        reference = factory().run(trace)
+        split = int(len(trace) * fraction)
+
+        original = factory()
+        original.reset(trace)
+        for event in trace.events[:split]:
+            original.process(event)
+        blob = original.state_snapshot()
+
+        resumed = factory()
+        resumed.reset(trace)
+        resumed.restore_state(blob)
+        for event in trace.events[split:]:
+            resumed.process(event)
+        resumed.finish()
+        resumed.finalize_stats(len(trace), 0.0)
+        assert _fingerprint(resumed.report) == _fingerprint(reference)
+        assert _deterministic_stats(resumed.report) == _deterministic_stats(
+            reference
+        )
+
+    @pytest.mark.parametrize("factory", DETECTOR_FACTORIES)
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_fork_join_round_trip_parity(self, factory, seed):
+        trace = fork_join_trace(seed)
+        reference = factory().run(trace)
+        split = len(trace) // 2
+
+        original = factory()
+        original.reset(trace)
+        for event in trace.events[:split]:
+            original.process(event)
+        blob = original.state_snapshot()
+
+        resumed = factory()
+        resumed.reset(trace)
+        resumed.restore_state(blob)
+        for event in trace.events[split:]:
+            resumed.process(event)
+        resumed.finish()
+        assert _fingerprint(resumed.report) == _fingerprint(reference)
+
+    def test_snapshot_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            WCPDetector().state_snapshot()
+        detector = WCPDetector()
+        with pytest.raises(RuntimeError):
+            detector.restore_state(b"")
+
+    def test_wrong_class_is_rejected(self, simple_race_trace):
+        wcp = WCPDetector()
+        wcp.reset(simple_race_trace)
+        blob = wcp.state_snapshot()
+        hb = HBDetector()
+        hb.reset(simple_race_trace)
+        with pytest.raises(SnapshotMismatchError, match="WCPDetector"):
+            hb.restore_state(blob)
+
+    def test_version_mismatch_is_rejected(self, simple_race_trace):
+        detector = WCPDetector()
+        detector.reset(simple_race_trace)
+        blob = detector.state_snapshot()
+        fresh = WCPDetector()
+        fresh.reset(simple_race_trace)
+        fresh.snapshot_version = 99
+        with pytest.raises(SnapshotMismatchError, match="format version"):
+            fresh.restore_state(blob)
+
+    def test_config_mismatch_is_rejected(self, simple_race_trace):
+        detector = WCPDetector(clock_backend="dense")
+        detector.reset(simple_race_trace)
+        blob = detector.state_snapshot()
+        other = WCPDetector(clock_backend="dict")
+        other.reset(simple_race_trace)
+        with pytest.raises(SnapshotMismatchError, match="clock_backend"):
+            other.restore_state(blob)
+
+    def test_capability_flags(self):
+        assert WCPDetector.supports_snapshot
+        assert HBDetector.supports_snapshot
+        assert FastTrackDetector.supports_snapshot
+        assert not LegacyWCPDetector.supports_snapshot
+        assert not CPDetector.supports_snapshot
+        assert not WindowedDetector.supports_snapshot
+
+    def test_unsupported_detector_raises_capability_error(self, simple_race_trace):
+        detector = CPDetector()
+        detector.reset(simple_race_trace)
+        with pytest.raises(SnapshotUnsupportedError):
+            detector.state_snapshot()
+        with pytest.raises(SnapshotUnsupportedError):
+            detector.restore_state(b"blob")
+
+    def test_stamp_reconstruction(self):
+        detector = WCPDetector(clock_backend="dict", stream_reclaim=True)
+        clone = build_detector(detector_stamp(detector))
+        assert isinstance(clone, WCPDetector)
+        assert clone.snapshot_config() == detector.snapshot_config()
+
+    def test_build_detector_refuses_non_detector_classes(self):
+        with pytest.raises(CheckpointError, match="not a Detector"):
+            build_detector({"class": "os:system", "config": {}})
+
+    def test_check_snapshot_support(self):
+        check_snapshot_support([WCPDetector(), HBDetector()])
+        with pytest.raises(CheckpointError, match="CP"):
+            check_snapshot_support([WCPDetector(), CPDetector()])
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint persistence
+# --------------------------------------------------------------------- #
+
+class TestCheckpointer:
+    def _checkpoint(self, events):
+        return Checkpoint(
+            events=events, source_name="s",
+            stamps=[detector_stamp(WCPDetector())],
+            states=[b"blob-%d" % events], every=10,
+        )
+
+    def test_round_trip(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path, every=10)
+        checkpointer.save(self._checkpoint(10))
+        loaded = checkpointer.load()
+        assert loaded.events == 10
+        assert loaded.states == [b"blob-10"]
+        assert loaded.every == 10
+        assert loaded.stamps[0]["name"] == "WCP"
+
+    def test_offsets_and_pruning(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path, every=10, keep=2)
+        for offset in (10, 20, 30, 40):
+            checkpointer.save(self._checkpoint(offset))
+        assert checkpointer.offsets() == [30, 40]
+        assert checkpointer.load().events == 40
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_load_empty_directory_fails(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            Checkpointer(tmp_path).load()
+        assert Checkpointer(tmp_path).load_latest() is None
+
+    def test_probing_a_missing_directory_does_not_create_it(self, tmp_path):
+        # The serve handshake probes arbitrary client-supplied stream ids;
+        # a probe (load_latest) must not litter the checkpoint area.
+        target = tmp_path / "never-created"
+        assert Checkpointer(target).load_latest() is None
+        assert not target.exists()
+
+    def test_corrupt_file_fails_cleanly(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save(self._checkpoint(10))
+        path.write_bytes(b"RCKPgarbage")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            checkpointer.load()
+
+    def test_format_version_mismatch_fails_fast(self, tmp_path):
+        from repro.vectorclock.codec import encode as _encode
+
+        path = tmp_path / "ckpt-000000000010.rckp"
+        path.write_bytes(b"RCKP" + _encode((999, {})))
+        with pytest.raises(CheckpointMismatchError, match="version"):
+            Checkpointer(tmp_path).load()
+
+    def test_clear(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.save(self._checkpoint(10))
+        checkpointer.clear()
+        assert checkpointer.offsets() == []
+
+    def test_match_detectors_count_mismatch(self):
+        checkpoint = self._checkpoint(10)
+        with pytest.raises(CheckpointMismatchError, match="2"):
+            checkpoint.match_detectors([WCPDetector(), HBDetector()])
+
+    def test_match_detectors_config_mismatch(self):
+        checkpoint = self._checkpoint(10)
+        with pytest.raises(CheckpointMismatchError, match="configuration"):
+            checkpoint.match_detectors([WCPDetector(clock_backend="dict")])
+
+
+# --------------------------------------------------------------------- #
+# Engine-level checkpoint/resume
+# --------------------------------------------------------------------- #
+
+def _partial_then_resume(tmp_path, trace_or_path, source_factory, stop_at,
+                         every=20, detectors=("wcp", "hb")):
+    """Run a checkpointed pass that stops early, then resume it."""
+    directory = tmp_path / "ckpts"
+    config = (
+        EngineConfig()
+        .with_detectors(*detectors)
+        .with_checkpoints(directory, every=every)
+        .stop_after_events(stop_at)
+    )
+    RaceEngine(config).run(source_factory(trace_or_path))
+    assert Checkpointer(directory).offsets()
+    return RaceEngine(EngineConfig()).resume(
+        source_factory(trace_or_path), directory
+    )
+
+
+class TestEngineResume:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_trace_source_parity(self, tmp_path, seed):
+        trace = random_trace(seed, n_events=200, n_threads=4, n_vars=4)
+        reference = run_engine(trace, detectors=["wcp", "hb"])
+        resumed = _partial_then_resume(
+            tmp_path, trace, TraceSource, stop_at=len(trace) // 2
+        )
+        assert resumed.events == reference.events
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+            assert _deterministic_stats(resumed[key]) == _deterministic_stats(
+                reference[key]
+            )
+
+    def test_file_source_parity(self, tmp_path, ):
+        trace = random_trace(2, n_events=240, n_threads=4, n_vars=5)
+        path = tmp_path / "trace.std"
+        dump_trace(trace, path)
+        reference = run_engine(str(path), detectors=["wcp", "hb"])
+        resumed = _partial_then_resume(
+            tmp_path, str(path), FileSource, stop_at=100
+        )
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+
+    def test_fork_join_parity(self, tmp_path):
+        trace = fork_join_trace(4)
+        reference = run_engine(trace, detectors=["wcp", "hb", "fasttrack"])
+        resumed = _partial_then_resume(
+            tmp_path, trace, TraceSource, stop_at=len(trace) // 3,
+            detectors=("wcp", "hb", "fasttrack"),
+        )
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+
+    def test_resume_rebuilds_detectors_from_stamps(self, tmp_path):
+        trace = random_trace(1, n_events=120)
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig()
+            .with_detectors(WCPDetector(clock_backend="dict"))
+            .with_checkpoints(directory, every=20)
+            .stop_after_events(60)
+        )
+        RaceEngine(config).run(TraceSource(trace))
+        result = RaceEngine(EngineConfig()).resume(TraceSource(trace), directory)
+        assert list(result.keys()) == ["WCP"]
+        reference = detect_races(trace, WCPDetector(clock_backend="dict"))
+        assert _fingerprint(result["WCP"]) == _fingerprint(reference)
+
+    def test_resume_continues_checkpointing_at_original_cadence(self, tmp_path):
+        trace = random_trace(6, n_events=200)
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp")
+            .with_checkpoints(directory, every=30).stop_after_events(70)
+        )
+        RaceEngine(config).run(TraceSource(trace))
+        before = Checkpointer(directory).offsets()
+        assert before and all(offset % 30 == 0 for offset in before)
+        RaceEngine(EngineConfig()).resume(TraceSource(trace), directory)
+        after = Checkpointer(directory).offsets()
+        assert max(after) > max(before)
+        assert all(offset % 30 == 0 for offset in after)
+
+    def test_resume_with_mismatched_selection_fails_fast(self, tmp_path):
+        trace = random_trace(1, n_events=120)
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp", "hb")
+            .with_checkpoints(directory, every=20).stop_after_events(60)
+        )
+        RaceEngine(config).run(TraceSource(trace))
+        with pytest.raises(CheckpointMismatchError, match="detector"):
+            RaceEngine(EngineConfig()).resume(
+                TraceSource(trace), directory, detectors=["wcp"]
+            )
+        with pytest.raises(CheckpointMismatchError, match="configuration"):
+            RaceEngine(EngineConfig()).resume(
+                TraceSource(trace), directory,
+                detectors=[WCPDetector(clock_backend="dict"), HBDetector()],
+            )
+
+    def test_checkpoint_refused_for_unsupported_detectors(self, tmp_path):
+        trace = random_trace(0, n_events=40)
+        with pytest.raises(CheckpointError, match="CP"):
+            run_engine(
+                trace, detectors=["cp"], checkpoint=tmp_path / "ckpts"
+            )
+        with pytest.raises(CheckpointError, match="WCP-legacy"):
+            run_engine(
+                trace, detectors=[LegacyWCPDetector()],
+                checkpoint=tmp_path / "ckpts",
+            )
+        with pytest.raises(CheckpointError, match="do not support"):
+            run_engine(
+                trace, detectors=[WindowedDetector(WCPDetector(), 50)],
+                checkpoint=tmp_path / "ckpts",
+            )
+
+    def test_validator_state_rides_checkpoints(self, tmp_path):
+        # A critical section spans the checkpoint boundary: without the
+        # restored validator state, the release in the suffix would be
+        # rejected as unmatched.
+        events = [Event(0, "t1", EventType.ACQUIRE, "l")]
+        for index in range(1, 60):
+            events.append(Event(index, "t1", EventType.WRITE, "x"))
+        events.append(Event(60, "t1", EventType.RELEASE, "l"))
+        events.append(Event(61, "t2", EventType.WRITE, "x"))
+        trace = Trace(events, name="spanning")
+        path = tmp_path / "span.std"
+        dump_trace(trace, path)
+
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp")
+            .with_checkpoints(directory, every=20).stop_after_events(40)
+        )
+        RaceEngine(config).run(ValidatingSource(FileSource(path)))
+        loaded = Checkpointer(directory).load()
+        assert loaded.source_state is not None
+
+        result = RaceEngine(EngineConfig()).resume(
+            ValidatingSource(FileSource(path)), directory
+        )
+        reference = run_engine(trace, detectors=["wcp"])
+        assert _fingerprint(result["WCP"]) == _fingerprint(reference["WCP"])
+
+    def test_unseekable_source_is_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(CheckpointError, match="seek"):
+            seek_source(Opaque(), 10)
+
+    def test_single_engine_refuses_sharded_checkpoint(self, tmp_path):
+        trace = random_trace(9, n_events=200)
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp")
+            .with_shards(2, mode="serial")
+            .with_checkpoints(directory, every=40).stop_after_events(100)
+        )
+        ShardedEngine(config).run(TraceSource(trace))
+        with pytest.raises(CheckpointMismatchError, match="sharded"):
+            RaceEngine(EngineConfig()).resume(TraceSource(trace), directory)
+
+
+class TestIterableSeek:
+    def test_iterable_source_seek(self):
+        trace = random_trace(0, n_events=30)
+        source = IterableSource(list(trace.events))
+        source.seek_events(10)
+        assert [event.index for event in source][:3] == [10, 11, 12]
+
+
+# --------------------------------------------------------------------- #
+# Async engine + push-source resume handshake
+# --------------------------------------------------------------------- #
+
+class TestAsyncResume:
+    def test_queue_source_resume_handshake(self, tmp_path):
+        trace = random_trace(8, n_events=160, n_threads=4)
+        reference = run_engine(trace, detectors=["wcp"])
+        directory = tmp_path / "ckpts"
+
+        async def interrupted():
+            source = QueueSource(name="push", maxsize=10_000)
+            for event in trace.events:
+                source.put(event)
+            source.close()
+            config = (
+                EngineConfig().with_detectors("wcp")
+                .with_checkpoints(directory, every=20).stop_after_events(80)
+            )
+            return await AsyncRaceEngine(config).run(source)
+
+        asyncio.run(interrupted())
+        offsets = Checkpointer(directory).offsets()
+        assert offsets and max(offsets) <= 80
+
+        async def resumed():
+            source = QueueSource(name="push", maxsize=10_000)
+            engine = AsyncRaceEngine(EngineConfig())
+            task = asyncio.ensure_future(
+                engine.resume(source, directory)
+            )
+            await asyncio.sleep(0)
+            # The handshake: the source advertises the last durable
+            # offset; the producer replays from exactly there.
+            offset = source.resume_offset
+            assert offset == max(offsets)
+            for event in trace.events[offset:]:
+                source.put(event)
+            source.close()
+            return await task
+
+        result = asyncio.run(resumed())
+        assert _fingerprint(result["WCP"]) == _fingerprint(reference["WCP"])
+        assert result.events == reference.events
+
+
+# --------------------------------------------------------------------- #
+# Sharded checkpoint/resume
+# --------------------------------------------------------------------- #
+
+class TestShardedResume:
+    def _checkpointed_sharded_run(self, tmp_path, trace, mode, policy="hash",
+                                  shards=3, stop_at=None):
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp", "hb")
+            .with_shards(shards, mode=mode, policy=policy, batch_size=16)
+            .with_checkpoints(directory, every=40)
+            .stop_after_events(stop_at or len(trace) // 2)
+        )
+        ShardedEngine(config).run(TraceSource(trace))
+        assert Checkpointer(directory).offsets()
+        return directory
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_sharded_resume_matches_single_engine(self, tmp_path, mode, seed):
+        trace = random_trace(seed, n_events=220, n_threads=4, n_vars=6)
+        reference = run_engine(trace, detectors=["wcp", "hb"])
+        directory = self._checkpointed_sharded_run(tmp_path, trace, mode)
+        resumed = ShardedEngine(
+            EngineConfig().with_shards(3, mode=mode, batch_size=16)
+        ).resume(TraceSource(trace), directory)
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+
+    def test_sharded_resume_across_transports(self, tmp_path):
+        # Worker state is transport-agnostic: a serial-mode checkpoint
+        # restores into thread-mode workers.
+        trace = fork_join_trace(3)
+        reference = run_engine(trace, detectors=["wcp", "hb"])
+        directory = self._checkpointed_sharded_run(tmp_path, trace, "serial")
+        resumed = ShardedEngine(
+            EngineConfig().with_shards(3, mode="thread", batch_size=16)
+        ).resume(TraceSource(trace), directory)
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+
+    def test_round_robin_policy_state_is_restored(self, tmp_path):
+        trace = random_trace(7, n_events=220, n_threads=4, n_vars=6)
+        reference = run_engine(trace, detectors=["wcp", "hb"])
+        directory = self._checkpointed_sharded_run(
+            tmp_path, trace, "serial", policy="rr"
+        )
+        resumed = ShardedEngine(
+            EngineConfig().with_shards(3, mode="serial", policy="rr",
+                                       batch_size=16)
+        ).resume(TraceSource(trace), directory)
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+
+    def test_shard_count_mismatch_fails_fast(self, tmp_path):
+        trace = random_trace(0, n_events=200)
+        directory = self._checkpointed_sharded_run(tmp_path, trace, "serial")
+        with pytest.raises(CheckpointMismatchError, match="shard"):
+            ShardedEngine(
+                EngineConfig().with_shards(2, mode="serial")
+            ).resume(TraceSource(trace), directory)
+
+    def test_policy_mismatch_fails_fast(self, tmp_path):
+        trace = random_trace(0, n_events=200)
+        directory = self._checkpointed_sharded_run(tmp_path, trace, "serial")
+        with pytest.raises(CheckpointMismatchError, match="policy"):
+            ShardedEngine(
+                EngineConfig().with_shards(3, mode="serial", policy="rr")
+            ).resume(TraceSource(trace), directory)
+
+    def test_sharded_engine_refuses_unsharded_checkpoint(self, tmp_path):
+        trace = random_trace(0, n_events=120)
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp")
+            .with_checkpoints(directory, every=20).stop_after_events(60)
+        )
+        RaceEngine(config).run(TraceSource(trace))
+        with pytest.raises(CheckpointMismatchError, match="unsharded"):
+            ShardedEngine(
+                EngineConfig().with_shards(3, mode="serial")
+            ).resume(TraceSource(trace), directory)
+
+    def test_resume_engine_dispatches_sharded_automatically(self, tmp_path):
+        trace = random_trace(5, n_events=220, n_threads=4, n_vars=6)
+        reference = run_engine(trace, detectors=["wcp", "hb"])
+        directory = self._checkpointed_sharded_run(tmp_path, trace, "serial")
+        resumed = resume_engine(
+            TraceSource(trace), directory,
+            config=EngineConfig().with_shards(3, mode="serial"),
+        )
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+
+
+    def test_instance_policy_checkpoint_requires_instance_on_resume(
+        self, tmp_path
+    ):
+        from repro.engine.partition import RoundRobinPartition
+
+        trace = random_trace(3, n_events=220, n_threads=4, n_vars=6)
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp")
+            .with_shards(3, mode="serial", policy=RoundRobinPartition(3),
+                         batch_size=16)
+            .with_checkpoints(directory, every=40).stop_after_events(100)
+        )
+        ShardedEngine(config).run(TraceSource(trace))
+        # The default (hash) policy must be refused, not silently adopted:
+        # routing the suffix differently would split variable histories.
+        with pytest.raises(CheckpointMismatchError, match="instance"):
+            ShardedEngine(
+                EngineConfig().with_shards(3, mode="serial")
+            ).resume(TraceSource(trace), directory)
+        # An equivalent instance resumes exactly (its state is restored).
+        resumed = ShardedEngine(
+            EngineConfig().with_shards(3, mode="serial",
+                                       policy=RoundRobinPartition(3),
+                                       batch_size=16)
+        ).resume(TraceSource(trace), directory)
+        reference = run_engine(trace, detectors=["wcp"])
+        assert _fingerprint(resumed["WCP"]) == _fingerprint(reference["WCP"])
+
+    def test_policy_alias_names_are_equivalent(self, tmp_path):
+        trace = random_trace(4, n_events=200, n_threads=4, n_vars=6)
+        directory = self._checkpointed_sharded_run(
+            tmp_path, trace, "serial", policy="rr"
+        )
+        resumed = ShardedEngine(
+            EngineConfig().with_shards(3, mode="serial",
+                                       policy="round-robin", batch_size=16)
+        ).resume(TraceSource(trace), directory)
+        reference = run_engine(trace, detectors=["wcp", "hb"])
+        for key in reference.keys():
+            assert _fingerprint(resumed[key]) == _fingerprint(reference[key])
+
+
+class TestRestorePendingHint:
+    def test_restore_pending_skips_wcp_prescan(self):
+        trace = random_trace(0, n_events=80)
+        normal = WCPDetector()
+        normal.reset(trace)
+        assert normal._effective_prune is True
+        hinted = WCPDetector()
+        hinted.restore_pending = True
+        hinted.reset(trace)
+        # The releaser census is skipped (it would be overwritten by the
+        # restore); pruning is conservatively off until the restore
+        # re-establishes the snapshot's modes.
+        assert hinted._effective_prune is False
+
+    def test_engine_resume_clears_the_hint(self, tmp_path):
+        trace = random_trace(1, n_events=120)
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp")
+            .with_checkpoints(directory, every=20).stop_after_events(60)
+        )
+        RaceEngine(config).run(TraceSource(trace))
+        detector = WCPDetector()
+        RaceEngine(EngineConfig()).resume(
+            TraceSource(trace), directory, detectors=[detector]
+        )
+        assert detector.restore_pending is False
+        # The restored modes come from the snapshot (pruned batch run).
+        assert detector._effective_prune is True
+
+
+class TestStreamResumeValidation:
+    def test_batch_checkpoint_refused_by_stream_resume(self, tmp_path):
+        # A non-streaming checkpoint carries no validator state; resuming
+        # it through a fresh validator would spuriously reject releases of
+        # prefix-opened sections -- it must fail with guidance instead.
+        events = [Event(0, "t1", EventType.ACQUIRE, "l")]
+        for index in range(1, 50):
+            events.append(Event(index, "t1", EventType.WRITE, "x"))
+        events.append(Event(50, "t1", EventType.RELEASE, "l"))
+        trace = Trace(events, name="spanning")
+        path = tmp_path / "span.std"
+        dump_trace(trace, path)
+
+        directory = tmp_path / "ckpts"
+        config = (
+            EngineConfig().with_detectors("wcp")
+            .with_checkpoints(directory, every=20).stop_after_events(40)
+        )
+        RaceEngine(config).run(TraceSource(trace))  # batch: no validator
+        with pytest.raises(ValueError, match="validator state"):
+            RaceEngine(EngineConfig()).resume(
+                ValidatingSource(FileSource(path)), directory
+            )
+        # The same checkpoint resumes fine without stream validation.
+        result = RaceEngine(EngineConfig()).resume(FileSource(path), directory)
+        reference = run_engine(trace, detectors=["wcp"])
+        assert _fingerprint(result["WCP"]) == _fingerprint(reference["WCP"])
+
+
+class TestCustomDetectorReconstruction:
+    def test_parameterized_detector_without_config_stamp_is_refused(self):
+        from repro.core.detector import Detector
+        from repro.engine.checkpoint import check_reconstructible
+
+        class Custom(Detector):
+            # A parameterized shardable detector that does NOT override
+            # snapshot_config(): workers would be rebuilt with defaults,
+            # silently dropping ``threshold`` -- refuse it loudly.
+            name = "custom"
+            shardable = True
+
+            def __init__(self, threshold=5):
+                super().__init__()
+                self.threshold = threshold
+
+            def reset(self, trace):
+                self._new_report(trace)
+
+            def process(self, event):
+                pass
+
+        with pytest.raises(CheckpointError, match="snapshot_config"):
+            check_reconstructible([Custom(threshold=9)])
+        # Built-ins (which override snapshot_config) pass.
+        check_reconstructible([WCPDetector(), HBDetector()])
+
+
+class TestBackgroundCheckpointer:
+    def test_background_writes_land_after_drain(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path, every=10, background=True)
+        for offset in (10, 20):
+            checkpointer.save(Checkpoint(
+                events=offset, source_name="s",
+                stamps=[detector_stamp(WCPDetector())],
+                states=[b"blob"], every=10,
+            ))
+        checkpointer.drain()
+        assert checkpointer.offsets() == [10, 20]
+        assert checkpointer.load().events == 20
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_async_run_drains_before_returning(self, tmp_path):
+        trace = random_trace(2, n_events=120)
+        directory = tmp_path / "ckpts"
+
+        async def scenario():
+            config = (
+                EngineConfig().with_detectors("wcp")
+                .with_checkpoints(directory, every=20).stop_after_events(60)
+            )
+            return await AsyncRaceEngine(config).run(TraceSource(trace))
+
+        asyncio.run(scenario())
+        assert Checkpointer(directory).offsets()
+        assert not list(directory.glob("*.tmp"))
+
+
+class TestServeHandshakeErrors:
+    def test_over_limit_first_line_is_answered_on_the_wire(self, tmp_path):
+        from repro.engine.async_engine import serve_connection
+
+        class FakeWriter:
+            def __init__(self):
+                self.data = b""
+
+            def write(self, chunk):
+                self.data += chunk
+
+            async def drain(self):
+                pass
+
+        async def scenario():
+            reader = asyncio.StreamReader(limit=16)
+            reader.feed_data(b"x" * 100)  # no newline within the limit
+            writer = FakeWriter()
+            result = await serve_connection(
+                reader, writer, ["wcp"], checkpoint_dir=str(tmp_path)
+            )
+            return result, writer.data
+
+        result, answered = asyncio.run(scenario())
+        assert result is None
+        assert answered.startswith(b"error ValueError:")
+
+
+class TestServeStreamIdSafety:
+    def test_path_special_ids_are_rejected(self):
+        from repro.engine.async_engine import _safe_stream_id
+
+        assert _safe_stream_id(b"# stream-id: job42\n") == "job42"
+        assert _safe_stream_id(b"# stream-id= a.b-c_9\n") == "a.b-c_9"
+        # "." and ".." would escape (or collide with) --checkpoint-dir.
+        assert _safe_stream_id(b"# stream-id: ..\n") is None
+        assert _safe_stream_id(b"# stream-id: .\n") is None
+        # Separators are outside the character class entirely.
+        assert _safe_stream_id(b"# stream-id: ../x\n") is None
+        assert _safe_stream_id(b"# stream-id: a/b\n") is None
+        assert _safe_stream_id(b"t1|w(x)\n") is None
+
+
+class TestConfigIsNotMutated:
+    def test_run_engine_checkpoint_kwarg_leaves_config_alone(self, tmp_path):
+        trace = random_trace(0, n_events=60)
+        config = EngineConfig().with_detectors("wcp")
+        run_engine(
+            trace, config=config,
+            checkpoint=tmp_path / "ckpts", checkpoint_every=20,
+        )
+        assert config.checkpoint_dir is None
+
+    def test_resume_engine_leaves_config_shards_alone(self, tmp_path):
+        trace = random_trace(5, n_events=220, n_threads=4, n_vars=6)
+        directory = tmp_path / "ckpts"
+        sharded_config = (
+            EngineConfig().with_detectors("wcp")
+            .with_shards(3, mode="serial", batch_size=16)
+            .with_checkpoints(directory, every=40).stop_after_events(100)
+        )
+        ShardedEngine(sharded_config).run(TraceSource(trace))
+        config = EngineConfig().with_shards(3, mode="serial")
+        resume_engine(TraceSource(trace), directory, config=config)
+        assert config.checkpoint_dir is None
+
+
+# --------------------------------------------------------------------- #
+# QueueSource edge semantics exercised by resume (satellite)
+# --------------------------------------------------------------------- #
+
+class TestQueueSourceEdges:
+    def test_close_twice_is_idempotent(self):
+        source = QueueSource()
+        source.close()
+        source.close()
+        assert source.closed
+        assert list(source) == []
+
+    def test_push_after_close_raises(self):
+        source = QueueSource()
+        source.push("t1", EventType.WRITE, "x")
+        source.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            source.push("t1", EventType.WRITE, "y")
+        with pytest.raises(RuntimeError, match="closed"):
+            source.put(Event(-1, "t1", EventType.WRITE, "y"))
+
+    def test_draining_closed_nonempty_queue_sees_every_event(self):
+        source = QueueSource(maxsize=64)
+        for position in range(10):
+            source.push("t1", EventType.WRITE, "x%d" % position)
+        source.close()
+        drained = list(source)
+        assert [event.target for event in drained] == [
+            "x%d" % position for position in range(10)
+        ]
+        # And a second iteration terminates immediately instead of
+        # blocking on the re-armed close marker.
+        assert list(source) == []
+
+    def test_async_drain_of_closed_nonempty_queue(self):
+        source = QueueSource(maxsize=64)
+        for position in range(7):
+            source.push("t1", EventType.READ, "v%d" % position)
+        source.close()
+
+        async def drain():
+            return [event.target async for event in source]
+
+        assert asyncio.run(drain()) == ["v%d" % i for i in range(7)]
+
+
+# --------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------- #
+
+class TestCheckpointCLI:
+    def _write_trace(self, tmp_path, seed=12, n_events=300):
+        trace = random_trace(seed, n_events=n_events, n_threads=4, n_vars=5)
+        path = tmp_path / "trace.std"
+        dump_trace(trace, path)
+        return path
+
+    def test_checkpoint_then_resume_matches_full_run(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        directory = str(tmp_path / "ckpts")
+        main(["analyze", str(path), "--detector", "wcp,hb"])
+        full = capsys.readouterr().out
+
+        main(["analyze", str(path), "--detector", "wcp,hb",
+              "--checkpoint", directory, "--checkpoint-every", "50",
+              "--max-events", "150"])
+        capsys.readouterr()
+        code = main(["analyze", str(path), "--resume", directory])
+        resumed = capsys.readouterr().out
+        assert code in (0, 1)
+
+        def races(text):
+            return [
+                line for line in text.splitlines()
+                if not line.strip().startswith("stat ")
+            ]
+
+        assert races(resumed) == races(full)
+
+    def test_checkpoint_with_unsupported_detector_exits_2(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path, n_events=60)
+        code = main(["analyze", str(path), "--detector", "cp",
+                     "--checkpoint", str(tmp_path / "ckpts")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "do not support state snapshots" in err
+        assert "Traceback" not in err
+
+    def test_window_plus_checkpoint_exits_2(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path, n_events=60)
+        code = main(["analyze", str(path), "--window", "20",
+                     "--checkpoint", str(tmp_path / "ckpts")])
+        assert code == 2
+        assert "snapshots" in capsys.readouterr().err
+
+    def test_resume_without_checkpoints_exits_2(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path, n_events=60)
+        code = main(["analyze", str(path), "--resume", str(tmp_path / "none")])
+        assert code == 2
+        assert "no checkpoints" in capsys.readouterr().err
+
+    def test_fresh_process_resume(self, tmp_path):
+        """The acceptance property: resume in a *fresh process*."""
+        path = self._write_trace(tmp_path, seed=21, n_events=400)
+        directory = str(tmp_path / "ckpts")
+
+        def run_cli(*argv):
+            return subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv],
+                capture_output=True, text=True,
+            )
+
+        full = run_cli("analyze", str(path), "--detector", "wcp,hb")
+        partial = run_cli(
+            "analyze", str(path), "--detector", "wcp,hb",
+            "--checkpoint", directory, "--checkpoint-every", "50",
+            "--max-events", "200",
+        )
+        assert partial.returncode in (0, 1), partial.stderr
+        resumed = run_cli("analyze", str(path), "--resume", directory)
+        assert resumed.returncode == full.returncode, resumed.stderr
+
+        def races(text):
+            return [
+                line for line in text.splitlines()
+                if not line.strip().startswith("stat ")
+            ]
+
+        assert races(resumed.stdout) == races(full.stdout)
