@@ -74,6 +74,17 @@ from repro.api import (
     resume_engine,
     run_engine,
     run_engine_async,
+    start_race_server,
+)
+from repro.serve import (
+    Overloaded,
+    QuotaManager,
+    RaceServer,
+    ServeMetrics,
+    ServeSettings,
+    SessionManager,
+    StreamSession,
+    TenantQuota,
 )
 
 __version__ = "1.0.0"
@@ -132,5 +143,14 @@ __all__ = [
     "resume_engine",
     "run_engine",
     "run_engine_async",
+    "start_race_server",
+    "Overloaded",
+    "QuotaManager",
+    "RaceServer",
+    "ServeMetrics",
+    "ServeSettings",
+    "SessionManager",
+    "StreamSession",
+    "TenantQuota",
     "__version__",
 ]

@@ -246,6 +246,48 @@ async def detect_races_async(
     return next(iter(result.values()))
 
 
+async def start_race_server(
+    detectors: Optional[Sequence[Union[str, Detector]]] = None,
+    config: Optional[EngineConfig] = None,
+    settings=None,
+    validate: bool = True,
+    on_session_end=None,
+):
+    """Start a multi-tenant race-analysis server and return it.
+
+    The embedded counterpart of the ``repro-race serve`` CLI subcommand:
+    a :class:`~repro.serve.RaceServer` listening per ``settings`` (a
+    :class:`~repro.serve.ServeSettings`; default: an ephemeral TCP port
+    on localhost), analysing each accepted STD line-protocol stream with
+    ``detectors`` (names or a zero-argument factory returning fresh
+    instances; default WCP + HB) under per-tenant quotas, idle-stream
+    eviction and graceful drain::
+
+        server = await start_race_server(["wcp"])
+        print("listening on", server.where)
+        ...
+        server.request_drain()
+        await server.wait_closed()
+
+    The caller owns the server's lifetime: call
+    :meth:`~repro.serve.RaceServer.request_drain` (or send SIGTERM when
+    ``settings.install_signal_handlers`` is set) to stop accepting and
+    checkpoint in-flight sessions, then await
+    :meth:`~repro.serve.RaceServer.wait_closed`.
+    """
+    from repro.serve import RaceServer
+
+    server = RaceServer(
+        detectors if detectors is not None else ["wcp", "hb"],
+        config=config,
+        settings=settings,
+        validate=validate,
+        on_session_end=on_session_end,
+    )
+    await server.start()
+    return server
+
+
 def compare_detectors(
     source,
     detectors: Optional[Iterable[Union[str, Detector]]] = None,

@@ -54,7 +54,6 @@ from repro.engine import (
     EngineConfig,
     FileSource,
     ValidatingSource,
-    serve_connection,
 )
 from repro.reordering.witness import find_race_witness
 from repro.trace.parsers import load_trace
@@ -214,6 +213,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="handle exactly one connection, then exit with analyze-style "
              "status (1 when races were found, 2 on a rejected stream)",
     )
+    serve.add_argument(
+        "--max-connections", type=_positive_int, default=None, metavar="N",
+        help="global ceiling on concurrent connections; extras are shed "
+             "with 'error Overloaded: ...' instead of queueing",
+    )
+    serve.add_argument(
+        "--max-streams-per-tenant", type=_positive_int, default=None,
+        metavar="N",
+        help="per-tenant ceiling on concurrent streams (tenant = the part "
+             "of the stream id before the first '.'; anonymous "
+             "connections share one tenant)",
+    )
+    serve.add_argument(
+        "--max-events-per-sec", type=float, default=None, metavar="RATE",
+        help="per-tenant token-bucket event rate shared across the "
+             "tenant's streams; small deficits throttle (backpressure), "
+             "large ones shed with a retry-after",
+    )
+    serve.add_argument(
+        "--burst-events", type=float, default=None, metavar="N",
+        help="token-bucket burst capacity for --max-events-per-sec "
+             "(default: 2x the rate)",
+    )
+    serve.add_argument(
+        "--throttle-budget", type=float, default=2.0, metavar="SECONDS",
+        help="largest per-event rate deficit absorbed by sleeping (TCP "
+             "backpressure) before a stream is shed instead "
+             "(default 2.0)",
+    )
+    serve.add_argument(
+        "--max-detector-bytes", type=_positive_int, default=None,
+        metavar="N",
+        help="shed a stream whose serialized detector state grows past N "
+             "bytes (estimated from checkpoint blobs)",
+    )
+    serve.add_argument(
+        "--idle-evict-after", type=float, default=None, metavar="SECONDS",
+        help="checkpoint a stream idle for SECONDS to disk and release "
+             "its detector memory; the next event restores it "
+             "transparently (requires --checkpoint-dir and a "
+             "'# stream-id:' handshake)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="N",
+        help="additionally serve the metrics JSON over HTTP on this port "
+             "(0 picks a free port); the in-band '/stats' first-line "
+             "query works regardless",
+    )
+    serve.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured one-line-per-event logging "
+             "(accept/complete/shed/evict/restore/drain) at LEVEL on "
+             "stderr",
+    )
     # serve is inherently streaming: detector construction follows the
     # --stream conventions (WCP log reclamation unless opted out).
     serve.set_defaults(stream=True)
@@ -242,6 +296,13 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--no-validate", action="store_true",
         help="skip trace well-formedness validation",
+    )
+    stats.add_argument(
+        "--detectors", default=None, metavar="NAMES",
+        help="additionally run these comma-separated detectors over the "
+             "trace in one engine pass and print the per-detector cost "
+             "accounting table (races, attributed time, events/s, "
+             "serialized state size)",
     )
 
     witness = subparsers.add_parser(
@@ -446,6 +507,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 2
     for key, value in sorted(trace_summary(trace).items()):
         print("%-10s %d" % (key, value))
+    if args.detectors:
+        try:
+            names = _split_detector_names(args.detectors)
+            detectors = [make_detector(name) for name in names]
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        # Force per-event attribution even for a single detector so the
+        # table's time column is the detector's own cost, not the pass's.
+        config = EngineConfig().with_cost_accounting(True)
+        result = run_engine(trace, detectors=detectors, config=config)
+        headers = ["detector", "races", "raw", "time(s)", "events/s",
+                   "state(B)"]
+        rows = []
+        for (name, report), detector in zip(result.items(), detectors):
+            state_bytes = (
+                "%d" % len(detector.state_snapshot())
+                if detector.supports_snapshot else "-"
+            )
+            rows.append([
+                name,
+                report.count(),
+                report.raw_race_count,
+                "%.3f" % float(report.stats.get("time_s", 0.0)),
+                "%.0f" % float(report.stats.get("events_per_s", 0.0)),
+                state_bytes,
+            ])
+        print()
+        print("per-detector cost over %d event(s), one pass:" % result.events)
+        print(format_table(headers, rows))
     return 0
 
 
@@ -476,45 +567,82 @@ def _cmd_witness(args: argparse.Namespace) -> int:
     return 0
 
 
-async def _serve_async(args: argparse.Namespace, ready=None) -> int:
-    """The serve event loop: one engine pass per accepted connection.
+def _configure_serve_logging(level_name: str) -> None:
+    """Route the serve tier's structured event log to stderr at LEVEL."""
+    import logging
 
-    ``ready`` (tests) is called with the listening server once the
-    socket is bound.  With ``--once`` the loop exits after the first
+    logger = logging.getLogger("repro.serve")
+    logger.setLevel(getattr(logging, level_name.upper()))
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s %(message)s"
+        ))
+        logger.addHandler(handler)
+    logger.propagate = False
+
+
+def _make_serve_server(args: argparse.Namespace, on_session_end=None):
+    """Build the (unstarted) :class:`~repro.serve.RaceServer` from flags."""
+    from repro.serve import QuotaManager, RaceServer, ServeSettings, TenantQuota
+
+    names = _split_detector_names(args.detector)
+
+    def factory():
+        # Fresh detector instances per connection: streams are
+        # independent passes, state never leaks between clients.
+        return _make_detectors(names, args)
+
+    config = EngineConfig()
+    if args.max_events:
+        config.stop_after_events(args.max_events)
+    if args.checkpoint_dir:
+        config.checkpoint_every = args.checkpoint_every
+    quotas = QuotaManager(TenantQuota(
+        max_streams=args.max_streams_per_tenant,
+        events_per_sec=args.max_events_per_sec,
+        burst_events=args.burst_events,
+        max_detector_bytes=args.max_detector_bytes,
+    ), throttle_budget_s=args.throttle_budget)
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        socket_path=args.unix_socket,
+        max_connections=args.max_connections,
+        quotas=quotas,
+        checkpoint_dir=args.checkpoint_dir,
+        idle_evict_after_s=args.idle_evict_after,
+        metrics_port=args.metrics_port,
+        install_signal_handlers=True,
+    )
+    return RaceServer(
+        factory, config=config, settings=settings,
+        validate=not args.no_validate, on_session_end=on_session_end,
+    )
+
+
+async def _serve_async(args: argparse.Namespace, ready=None) -> int:
+    """The serve event loop: one governed engine pass per connection.
+
+    ``ready`` (tests) is called with the listening asyncio server once
+    the socket is bound.  With ``--once`` the loop exits after the first
     connection and the exit status follows analyze's convention; without
-    it the server runs until interrupted.
+    it the server runs until interrupted or drained (SIGTERM: stop
+    accepting, checkpoint live sessions, reply ``resume <offset>``).
     """
     import asyncio
 
-    names = _split_detector_names(args.detector)
+    if args.log_level:
+        _configure_serve_logging(args.log_level)
     outcomes: List = []
     done = asyncio.Event()
 
-    async def handle(reader, writer) -> None:
-        # Fresh detector instances per connection: streams are
-        # independent passes, state never leaks between clients.
-        detectors = _make_detectors(names, args)
-        config = EngineConfig()
-        if args.max_events:
-            config.stop_after_events(args.max_events)
-        if args.checkpoint_dir:
-            config.checkpoint_every = args.checkpoint_every
-        label = "client-%d" % (len(outcomes) + 1)
-        try:
-            result = await serve_connection(
-                reader, writer, detectors, config=config,
-                validate=not args.no_validate, name=label,
-                checkpoint_dir=args.checkpoint_dir,
-            )
-        except (ConnectionError, asyncio.IncompleteReadError):
-            result = None
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover - teardown
-                pass
-        if result is None:
+    def on_session_end(session, result) -> None:
+        label = "client-%d" % session.session_id
+        if session.state == "draining":
+            print("%s: drained at event %d" % (label, session.events),
+                  file=sys.stderr)
+        elif result is None:
             print("%s: stream rejected (malformed or interrupted)" % label,
                   file=sys.stderr)
         else:
@@ -523,26 +651,28 @@ async def _serve_async(args: argparse.Namespace, ready=None) -> int:
         if args.once:
             done.set()
 
-    if args.unix_socket:
-        server = await asyncio.start_unix_server(handle, path=args.unix_socket)
-        where = args.unix_socket
-    else:
-        server = await asyncio.start_server(
-            handle, host=args.host, port=args.port
-        )
-        where = "%s:%d" % server.sockets[0].getsockname()[:2]
-    print("serving on %s" % where, flush=True)
+    server = await _make_serve_server(args, on_session_end).start()
+    print("serving on %s" % server.where, flush=True)
+    if server.metrics_address is not None:
+        print("metrics on %s:%d" % server.metrics_address, flush=True)
     if ready is not None:
-        ready(server)
+        ready(server.listener)
+    done_wait = asyncio.ensure_future(done.wait())
+    drain_wait = asyncio.ensure_future(server.drain_event.wait())
     try:
-        async with server:
-            await done.wait()
+        await asyncio.wait(
+            {done_wait, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+        )
+        drained = server.drain_event.is_set()
+        if drained:
+            # SIGTERM: sessions are checkpointing out; wait for them.
+            await server.wait_closed()
     finally:
-        if args.unix_socket:
-            try:
-                os.unlink(args.unix_socket)
-            except OSError:  # pragma: no cover - already removed
-                pass
+        done_wait.cancel()
+        drain_wait.cancel()
+        await server.close()
+    if drained and not args.once:
+        return 0
     result = outcomes[0] if outcomes else None
     if result is None:
         return 2

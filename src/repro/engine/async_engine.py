@@ -29,15 +29,12 @@ the core of the ``repro-race serve`` CLI subcommand.
 
 from __future__ import annotations
 
-import copy
-import os
 import re
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.engine.config import DetectorSpec, EngineConfig
 from repro.engine.engine import EnginePass, EngineResult, prepare_resume_pass
-from repro.engine.sources import LineProtocolSource, as_async_source
-from repro.engine.validate import ValidatingSource
+from repro.engine.sources import as_async_source
 
 __all__ = ["AsyncRaceEngine", "serve_connection"]
 
@@ -173,6 +170,7 @@ async def serve_connection(
     validate: bool = True,
     name: str = "client",
     checkpoint_dir=None,
+    session=None,
 ) -> Optional[EngineResult]:
     """Analyse one pushed STD event stream and answer on the same stream.
 
@@ -196,87 +194,28 @@ async def serve_connection(
     checkpointed under ``checkpoint_dir/<id>`` at the configured cadence
     and deleted once the stream completes cleanly.
 
+    The implementation is the serve tier's
+    :class:`~repro.serve.server.SessionDriver` with governance off: no
+    quotas, no eviction, no drain -- one protocol implementation serves
+    both this compatibility surface and the multi-tenant
+    :class:`~repro.serve.server.RaceServer`.  An optional
+    :class:`~repro.serve.sessions.StreamSession` hooks per-stream
+    bookkeeping (counters, lifecycle state) into the pass.
+
     Returns the :class:`~repro.engine.engine.EngineResult`, or None when
     the stream was rejected.  The writer is drained but left open;
     closing is the caller's (the server's) responsibility.
     """
-    initial_lines: List[bytes] = []
-    resume_checkpoint = None
-    stream_dir = None
-    if checkpoint_dir is not None:
-        try:
-            first = await reader.readline()
-        except ValueError as error:
-            # An over-limit first line raises here, before the engine's
-            # own handler could answer it; reply on the wire exactly like
-            # a rejection during the pass would.
-            writer.write(
-                ("error %s: %s\n" % (type(error).__name__, error))
-                .encode("utf-8")
-            )
-            await writer.drain()
-            return None
-        stream_id = _safe_stream_id(first) if first else None
-        if stream_id is not None:
-            from repro.engine.checkpoint import Checkpointer
+    # Imported lazily: repro.serve.server imports this module at load.
+    from repro.serve.server import SessionDriver
 
-            stream_dir = os.path.join(str(checkpoint_dir), stream_id)
-            try:
-                resume_checkpoint = Checkpointer(stream_dir).load_latest()
-            except ValueError as error:
-                # A corrupt or version-drifted checkpoint must reject the
-                # stream on the wire, not kill the connection handler.
-                writer.write(
-                    ("error %s: %s\n" % (type(error).__name__, error))
-                    .encode("utf-8")
-                )
-                await writer.drain()
-                return None
-            offset = resume_checkpoint.events if resume_checkpoint else 0
-            writer.write(("resume %d\n" % offset).encode("utf-8"))
-            await writer.drain()
-        elif first:
-            # Not a directive: hand the peeked line to the source.
-            initial_lines.append(first)
-
-    source = LineProtocolSource(reader, name=name, initial_lines=initial_lines)
-    if validate:
-        source = ValidatingSource(source)
-    engine_config = config if config is not None else EngineConfig()
-    if stream_dir is not None:
-        engine_config = copy.copy(engine_config)
-        engine_config.checkpoint_dir = stream_dir
-    engine = AsyncRaceEngine(engine_config)
-    try:
-        if resume_checkpoint is not None:
-            result = await engine.resume(
-                source, resume_checkpoint, detectors=detectors
-            )
-        else:
-            result = await engine.run(source, detectors=detectors)
-    except ValueError as error:
-        # TraceError (validation), TraceParseError (grammar), checkpoint
-        # mismatches and the stream reader's over-limit-line error are
-        # all ValueErrors.
-        writer.write(
-            ("error %s: %s\n" % (type(error).__name__, error)).encode("utf-8")
-        )
-        await writer.drain()
-        return None
-    lines: List[str] = [
-        "%s %d %d" % (key, report.count(), report.raw_race_count)
-        for key, report in result.items()
-    ]
-    lines.append("done %d" % result.events)
-    writer.write(("\n".join(lines) + "\n").encode("utf-8"))
-    await writer.drain()
-    if stream_dir is not None:
-        # The stream completed cleanly; its recovery state is obsolete.
-        from repro.engine.checkpoint import Checkpointer
-
-        Checkpointer(stream_dir).clear()
-        try:
-            os.rmdir(stream_dir)
-        except OSError:  # pragma: no cover - non-empty or already gone
-            pass
-    return result
+    driver = SessionDriver(
+        reader, writer,
+        detectors=detectors,
+        config=config,
+        validate=validate,
+        name=name,
+        checkpoint_dir=checkpoint_dir,
+        session=session,
+    )
+    return await driver.run()

@@ -296,9 +296,13 @@ class QueueSource(EventSource):
     :class:`IterableSource`.
     """
 
-    def __init__(self, name: str = "queue", maxsize: int = 1024) -> None:
+    def __init__(self, name: str = "queue", maxsize: int = 1024,
+                 registry: Optional[ThreadRegistry] = None) -> None:
         self.name = name
-        self.registry = ThreadRegistry()
+        # An injected registry lets a session own the interning table
+        # across several source incarnations (the serve tier's
+        # evict/restore cycle); by default each source brings its own.
+        self.registry = registry if registry is not None else ThreadRegistry()
         self._queue: "queue_module.Queue" = queue_module.Queue(maxsize)
         self._closed = False
         #: The resume handshake (checkpoint/resume protocol): the last
@@ -436,7 +440,8 @@ class LineProtocolSource(AsyncEventSource):
 
     def __init__(self, reader, name: str = "socket",
                  registry: Optional[ThreadRegistry] = None,
-                 initial_lines: Optional[list] = None) -> None:
+                 initial_lines: Optional[list] = None,
+                 on_line=None) -> None:
         self.reader = reader
         self.name = name
         self.registry = registry if registry is not None else ThreadRegistry()
@@ -444,6 +449,10 @@ class LineProtocolSource(AsyncEventSource):
         #: peeked at the stream head (the resume handshake) pushes the
         #: peeked line back through here.
         self.initial_lines = list(initial_lines or [])
+        #: Optional callback invoked with every raw line (bytes) as it is
+        #: consumed -- comments and blanks included -- so a server can
+        #: account wire bytes without re-reading the stream.
+        self.on_line = on_line
         #: The resume handshake: the last durable event offset, advertised
         #: to the peer as a ``resume <offset>`` response line by the serve
         #: protocol; the peer replays its events from that offset on.
@@ -459,10 +468,13 @@ class LineProtocolSource(AsyncEventSource):
     async def _decode(self) -> AsyncIterator[Event]:
         readline = self.reader.readline
         registry = self.registry
+        on_line = self.on_line
         index = 0
         line_number = 0
         for raw in self.initial_lines:
             line_number += 1
+            if on_line is not None:
+                on_line(raw if isinstance(raw, bytes) else raw.encode("utf-8"))
             event = parse_std_line(
                 raw.decode("utf-8", "replace") if isinstance(raw, bytes)
                 else raw,
@@ -476,6 +488,8 @@ class LineProtocolSource(AsyncEventSource):
             if not raw:
                 return
             line_number += 1
+            if on_line is not None:
+                on_line(raw)
             event = parse_std_line(
                 raw.decode("utf-8", "replace"), index, line_number,
                 registry=registry,

@@ -1,0 +1,34 @@
+"""The multi-tenant serve tier.
+
+Grows ``repro-race serve`` from one engine pass per connection into a
+governed service: per-connection :class:`StreamSession` bookkeeping,
+per-tenant quotas with explicit load shedding
+(:class:`~repro.serve.quotas.Overloaded`), idle-stream eviction through
+the checkpoint subsystem, graceful SIGTERM drain, and a metrics surface
+(in-band ``/stats`` + an HTTP JSON endpoint).  See
+:mod:`repro.serve.server` for the architecture overview.
+"""
+
+from repro.serve.metrics import ServeMetrics
+from repro.serve.quotas import (
+    Overloaded,
+    QuotaManager,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.serve.server import RaceServer, ServeSettings, SessionDriver
+from repro.serve.sessions import SessionManager, StreamSession, tenant_of
+
+__all__ = [
+    "Overloaded",
+    "QuotaManager",
+    "RaceServer",
+    "ServeMetrics",
+    "ServeSettings",
+    "SessionDriver",
+    "SessionManager",
+    "StreamSession",
+    "TenantQuota",
+    "TokenBucket",
+    "tenant_of",
+]

@@ -1,0 +1,196 @@
+"""Per-tenant quotas and admission control for the serve tier.
+
+A production race-prediction service cannot let one tenant starve the
+rest: the paper's linear-time guarantee makes *per-event* cost constant,
+but the number of concurrent streams, the event arrival rate and the
+detector state each stream accumulates are all client-controlled.  This
+module bounds the three of them independently:
+
+* **max concurrent streams** -- admission control at connection time;
+* **max events/sec** -- a classic token bucket per tenant, shared by all
+  of the tenant's streams.  Small deficits are *throttled* (the driver
+  sleeps, which propagates as TCP backpressure to the client); deficits
+  beyond the throttle budget are *shed*;
+* **max detector memory** -- an estimate of the serialized detector
+  state (the snapshot-protocol blob size), refreshed periodically by the
+  session driver; streams growing past the bound are shed.
+
+Shedding is always *explicit*: the client receives one
+``error Overloaded: <reason>; retry after <n>s`` line on the wire (the
+:class:`Overloaded` exception is a :class:`ValueError`, so it travels
+the same rejection path as validation and parse errors) instead of a
+silent stall or a dropped connection.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+__all__ = ["Overloaded", "TokenBucket", "TenantQuota", "QuotaManager"]
+
+
+class Overloaded(ValueError):
+    """A stream was shed by admission control or a quota.
+
+    The exception *type name* is part of the wire protocol: the serve
+    tier answers ``error Overloaded: <message>`` exactly like it answers
+    ``error LockSemanticsError: ...`` for malformed streams, so clients
+    dispatch on the first token after ``error``.  :attr:`retry_after`
+    (seconds, int) tells a well-behaved client when trying again has a
+    chance of being admitted; it is embedded in the message so it
+    survives the wire.
+    """
+
+    def __init__(self, reason: str, retry_after: int = 1) -> None:
+        self.retry_after = max(1, int(retry_after))
+        super().__init__("%s; retry after %ds" % (reason, self.retry_after))
+
+
+class TokenBucket:
+    """The standard token bucket: ``rate`` tokens/sec, ``burst`` capacity.
+
+    :meth:`consume` never blocks -- it either grants the tokens and
+    returns ``0.0``, or returns the number of seconds until the bucket
+    will have refilled enough, leaving the caller to decide between
+    sleeping (throttle) and shedding.  Time is injected so tests are
+    deterministic.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None) -> None:
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2 * rate)
+        self._tokens = self.burst
+        self._last = time.monotonic()
+
+    def consume(self, tokens: float = 1.0, now: Optional[float] = None) -> float:
+        """Take ``tokens``; return 0.0 if granted, else seconds to wait."""
+        now = time.monotonic() if now is None else now
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        # Rebase unconditionally: an injected clock behind the
+        # construction-time monotonic() must start counting from its own
+        # epoch, not wait to catch up.
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last :meth:`consume` (inspection)."""
+        return self._tokens
+
+    def __repr__(self) -> str:
+        return "TokenBucket(rate=%g, burst=%g)" % (self.rate, self.burst)
+
+
+class TenantQuota:
+    """The three per-tenant limits; ``None`` means unlimited."""
+
+    def __init__(
+        self,
+        max_streams: Optional[int] = None,
+        events_per_sec: Optional[float] = None,
+        burst_events: Optional[float] = None,
+        max_detector_bytes: Optional[int] = None,
+    ) -> None:
+        self.max_streams = max_streams
+        self.events_per_sec = events_per_sec
+        self.burst_events = burst_events
+        self.max_detector_bytes = max_detector_bytes
+
+    def __repr__(self) -> str:
+        return (
+            "TenantQuota(max_streams=%r, events_per_sec=%r, "
+            "max_detector_bytes=%r)"
+            % (self.max_streams, self.events_per_sec, self.max_detector_bytes)
+        )
+
+
+class QuotaManager:
+    """Applies a default :class:`TenantQuota` (overridable per tenant).
+
+    One shared token bucket per tenant: a tenant opening ten streams
+    still gets one event-rate budget, which is the point of tenant-level
+    (rather than connection-level) quotas.
+    """
+
+    def __init__(
+        self,
+        default: Optional[TenantQuota] = None,
+        throttle_budget_s: float = 2.0,
+    ) -> None:
+        self.default = default or TenantQuota()
+        #: Largest per-event deficit the driver absorbs by sleeping
+        #: (TCP backpressure); anything beyond is shed with retry-after.
+        self.throttle_budget_s = throttle_budget_s
+        self._overrides: Dict[str, TenantQuota] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Override the default quota for ``tenant``."""
+        self._overrides[tenant] = quota
+        self._buckets.pop(tenant, None)
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self._overrides.get(tenant, self.default)
+
+    def admit_stream(self, tenant: str, active_streams: int) -> None:
+        """Admission check at connection time; raises :class:`Overloaded`.
+
+        ``active_streams`` is the tenant's *current* live-stream count
+        (this one excluded).
+        """
+        quota = self.quota_for(tenant)
+        if quota.max_streams is not None and active_streams >= quota.max_streams:
+            raise Overloaded(
+                "tenant %r already has %d concurrent stream(s) "
+                "(max %d)" % (tenant, active_streams, quota.max_streams)
+            )
+
+    def throttle(self, tenant: str, events: int = 1) -> float:
+        """Charge ``events`` to the tenant's rate budget.
+
+        Returns the seconds the caller should sleep (0.0 when within
+        budget); raises :class:`Overloaded` when the deficit exceeds the
+        throttle budget -- the shed case.
+        """
+        quota = self.quota_for(tenant)
+        if quota.events_per_sec is None:
+            return 0.0
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                quota.events_per_sec, quota.burst_events
+            )
+        wait = bucket.consume(events)
+        if wait > self.throttle_budget_s:
+            raise Overloaded(
+                "tenant %r exceeded %g events/sec" % (
+                    tenant, quota.events_per_sec,
+                ),
+                retry_after=math.ceil(wait),
+            )
+        return wait
+
+    def check_memory(self, tenant: str, estimate_bytes: int) -> None:
+        """Shed when the stream's detector-state estimate is over quota."""
+        quota = self.quota_for(tenant)
+        limit = quota.max_detector_bytes
+        if limit is not None and estimate_bytes > limit:
+            raise Overloaded(
+                "detector state grew to ~%d bytes (tenant %r max %d)"
+                % (estimate_bytes, tenant, limit),
+                retry_after=5,
+            )
+
+    def __repr__(self) -> str:
+        return "QuotaManager(default=%r, overrides=%d)" % (
+            self.default, len(self._overrides),
+        )
