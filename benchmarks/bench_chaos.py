@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Chaos benchmark: report parity and recovery cost under injected faults.
+
+Runs the sharded engine over the partitionable hot-path workload while
+the deterministic fault harness (:mod:`repro.engine.faults`) kills
+workers, severs pipes and corrupts snapshot blobs mid-run, and checks
+the tentpole property end to end at benchmark scale:
+
+* **parity** -- every faulted run's merged WCP report must be identical
+  (location pairs, raw race count, max distance) to the fault-free
+  reference; a single dropped or double-counted event after failover
+  shows up here;
+* **coverage** -- every planned fault must actually fire (a fault plan
+  that never triggers tests nothing);
+* **recovery cost** -- wall-clock overhead of each faulted run versus
+  the fault-free sharded baseline, reported per scenario (informational:
+  restart + replay time is machine-dependent, so only parity and
+  coverage gate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py            # full run, write BENCH_chaos.json
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick    # smaller trace, print only
+    PYTHONPATH=src python benchmarks/bench_chaos.py --check    # exit non-zero on parity/coverage failure
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.wcp import WCPDetector
+from repro.engine import EngineConfig, RaceEngine, ShardedEngine
+from repro.engine.faults import Fault, FaultPlan
+
+from bench_hotpath import partitionable_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_chaos.json"
+
+FULL_EVENTS = 40000
+QUICK_EVENTS = 12000
+SHARDS = 4
+
+
+def _scenarios():
+    """Name -> fault-plan factory (fresh plan per run: faults are one-shot)."""
+    return {
+        "fault_free": lambda: None,
+        "kill_one_worker": lambda: FaultPlan.kill(1, at_event=500),
+        "kill_two_workers": lambda: FaultPlan([
+            Fault.kill_worker(0, 400),
+            Fault.kill_worker(2, 900),
+        ]),
+        "pipe_eof": lambda: FaultPlan([Fault.pipe_eof(3, 2)]),
+        "corrupt_snapshot_then_kill": lambda: FaultPlan([
+            Fault.corrupt_snapshot(1, 0),
+            # Past the first snapshot (8 batches x 128 events) but
+            # before the second: the corrupted blob is the only
+            # snapshot when the worker dies, so failover must fall
+            # back past it and replay from the stream start.
+            Fault.kill_worker(1, 1400),
+        ]),
+    }
+
+
+def _signature(report):
+    return (
+        frozenset(report.location_pairs()),
+        report.raw_race_count,
+        report.count(),
+        report.max_distance(),
+    )
+
+
+def run_chaos(quick: bool, mode: str) -> dict:
+    n_events = QUICK_EVENTS if quick else FULL_EVENTS
+    trace = partitionable_trace(n_events)
+    reference = _signature(
+        RaceEngine().run(trace, detectors=[WCPDetector()])["WCP"]
+    )
+    scenarios = {}
+    failures = []
+    baseline_s = None
+    for name, make_plan in _scenarios().items():
+        plan = make_plan()
+        # Small batches so every shard sees enough of them for the
+        # snapshot cadence to land well before the injected kills.
+        config = EngineConfig().with_shards(SHARDS, mode=mode, batch_size=128)
+        config.with_shard_supervision(
+            retries=2, snapshot_every=8, backoff_s=0.0
+        )
+        if plan is not None:
+            config.with_fault_plan(plan)
+        began = time.perf_counter()
+        result = ShardedEngine(config).run(trace, detectors=[WCPDetector()])
+        elapsed = time.perf_counter() - began
+        if baseline_s is None:
+            baseline_s = elapsed
+        if _signature(result["WCP"]) != reference:
+            failures.append("%s: merged report differs from the "
+                            "fault-free run" % name)
+        if plan is not None and plan.unfired():
+            failures.append("%s: %d planned fault(s) never fired: %r"
+                            % (name, len(plan.unfired()), plan.unfired()))
+        supervision = result.supervision
+        scenarios[name] = {
+            "elapsed_s": round(elapsed, 4),
+            "overhead_vs_fault_free": round(elapsed / baseline_s, 3),
+            "worker_restarts": supervision["worker_restarts"],
+            "snapshot_fallbacks": supervision["snapshot_fallbacks"],
+        }
+        print("%-26s %7.3fs  x%-5.2f  restarts=%d fallbacks=%d"
+              % (name, elapsed, elapsed / baseline_s,
+                 supervision["worker_restarts"],
+                 supervision["snapshot_fallbacks"]))
+    return {
+        "benchmark": "chaos",
+        "python": platform.python_version(),
+        "quick": quick,
+        "mode": mode,
+        "events": len(trace),
+        "shards": SHARDS,
+        "scenarios": scenarios,
+        "failures": failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller trace (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on parity or coverage failure")
+    parser.add_argument("--mode", default="process",
+                        choices=("process", "thread", "serial"),
+                        help="transport under chaos (default: process)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="result path (default: %s)" % DEFAULT_OUTPUT.name)
+    args = parser.parse_args(argv)
+
+    result = run_chaos(quick=args.quick, mode=args.mode)
+
+    if result["failures"]:
+        print("\nCHAOS FAILURES:")
+        for failure in result["failures"]:
+            print("  - %s" % failure)
+        if args.check:
+            return 1
+    elif args.check:
+        print("\nchaos gate OK: every fault fired, every report identical")
+
+    if not args.quick and not args.check:
+        args.output.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print("wrote %s" % args.output)
+    return 1 if (args.check and result["failures"]) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

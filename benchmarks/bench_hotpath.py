@@ -57,7 +57,11 @@ on two criteria:
 * **wall-clock**: 4-shard events/sec must be >= 1.5x single-shard,
   enforced only when the machine exposes >= 4 usable cores (on smaller
   runners real parallel speedup is physically impossible and the check
-  is skipped with a notice).
+  is skipped with a notice);
+* **supervision overhead**: a 4-shard run with failover disabled
+  (``retries=0``) may be at most 5% faster than the default supervised
+  run -- the health tracking and replay buffering must stay off the hot
+  path when no faults fire.
 """
 
 from __future__ import annotations
@@ -72,7 +76,7 @@ from pathlib import Path
 
 from repro.core.wcp import WCPDetector
 from repro.core.wcp_legacy import LegacyWCPDetector
-from repro.engine import RaceEngine, ShardedEngine
+from repro.engine import EngineConfig, RaceEngine, ShardedEngine
 from repro.hb import FastTrackDetector, HBDetector
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
@@ -84,6 +88,10 @@ DEFAULT_SHARD_BASELINE = REPO_ROOT / "BENCH_shard.json"
 #: Required 4-shard speedup (work-bound always; wall-clock with >=4 cores).
 SHARD_SPEEDUP_FLOOR = 1.5
 SHARD_COUNTS = (1, 2, 4)
+
+#: Max allowed fault-free supervision cost: unsupervised throughput may
+#: be at most 5% above the supervised run's (both measured best-of-N).
+SUPERVISION_OVERHEAD_CEILING = 1.05
 
 #: Allowed relative drop of the dense-vs-legacy speedup before CI fails.
 TOLERANCE = 0.30
@@ -379,6 +387,18 @@ def run_shard_benchmark(quick: bool) -> dict:
     wall_speedup = round(rates["4"] / rates["1"], 3) if rates["1"] else 0.0
     print("%16s 4-shard vs 1-shard: x%.2f wall, x%.2f work-bound"
           % ("", wall_speedup, work_bounds.get(4, 0.0)))
+    # Supervision overhead: the same 4-shard run with failover disabled
+    # (no replay buffering, no liveness bookkeeping payoff).  When no
+    # faults fire, the supervised run must stay within 5% of this.
+    bare = EngineConfig().with_shards(4, mode="process", batch_size=2048)
+    bare.with_shard_supervision(retries=0, snapshot_every=0)
+    bare_best = 0.0
+    for _ in range(repeats):
+        result = ShardedEngine(bare).run(trace, detectors=[WCPDetector()])
+        bare_best = max(bare_best, result.events / result.elapsed_s)
+    overhead = round(bare_best / rates["4"], 3) if rates["4"] else 0.0
+    print("%16s supervision overhead at 4 shards: x%.3f "
+          "(unsupervised %.0f events/s)" % ("", overhead, bare_best))
     return {
         "benchmark": "sharded",
         "python": platform.python_version(),
@@ -391,6 +411,8 @@ def run_shard_benchmark(quick: bool) -> dict:
         "wall_speedup_4x": wall_speedup,
         "work_speedup_bound": work_bounds,
         "floor": SHARD_SPEEDUP_FLOOR,
+        "supervision_overhead": overhead,
+        "supervision_ceiling": SUPERVISION_OVERHEAD_CEILING,
     }
 
 
@@ -420,6 +442,15 @@ def check_shard_gate(result: dict) -> int:
         print("wall-clock gate skipped: only %d usable core(s), parallel "
               "speedup is physically impossible here (measured x%.2f)"
               % (cores, wall))
+    overhead = result.get("supervision_overhead", 0.0)
+    print("supervision overhead: x%.3f (ceiling x%.2f)"
+          % (overhead, SUPERVISION_OVERHEAD_CEILING))
+    if overhead > SUPERVISION_OVERHEAD_CEILING:
+        failures.append(
+            "fault-free supervision overhead x%.3f above the x%.2f "
+            "ceiling (health tracking/replay buffering got expensive)"
+            % (overhead, SUPERVISION_OVERHEAD_CEILING)
+        )
     if failures:
         print("\nSHARD PERF REGRESSION:")
         for failure in failures:

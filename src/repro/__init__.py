@@ -51,6 +51,8 @@ from repro.engine import (
     EngineConfig,
     EngineResult,
     EventSource,
+    Fault,
+    FaultPlan,
     FileSource,
     IterableSource,
     LineProtocolSource,
@@ -60,8 +62,11 @@ from repro.engine import (
     ShardedEngine,
     ShardedResult,
     SimulatorSource,
+    SupervisionSettings,
     TraceSource,
     ValidatingSource,
+    WorkerDied,
+    WorkerFailure,
     as_async_source,
     as_source,
 )
@@ -122,6 +127,11 @@ __all__ = [
     "CheckpointMismatchError",
     "EngineConfig",
     "EngineResult",
+    "Fault",
+    "FaultPlan",
+    "SupervisionSettings",
+    "WorkerDied",
+    "WorkerFailure",
     "EventSource",
     "AsyncEventSource",
     "TraceSource",

@@ -112,7 +112,13 @@ def run_engine(
     across that many worker engines
     (:class:`~repro.engine.sharding.ShardedEngine`); transport mode and
     partition policy come from the configuration
-    (:meth:`~repro.engine.EngineConfig.with_shards`).
+    (:meth:`~repro.engine.EngineConfig.with_shards`).  Sharded passes are
+    supervised: a shard worker that dies mid-run is restarted from its
+    last in-memory snapshot and the lost batches are replayed, so the
+    merged report matches an uninterrupted run exactly -- tune the retry
+    budget, heartbeat and snapshot cadence with
+    :meth:`~repro.engine.EngineConfig.with_shard_supervision`, or raise
+    :class:`~repro.engine.WorkerFailure` immediately with ``fail_fast``.
 
     ``checkpoint`` names a directory to persist periodic detector-state
     checkpoints into (every ``checkpoint_every`` events, default 10,000);

@@ -54,6 +54,7 @@ from repro.engine import (
     EngineConfig,
     FileSource,
     ValidatingSource,
+    WorkerFailure,
 )
 from repro.reordering.witness import find_race_witness
 from repro.trace.parsers import load_trace
@@ -330,6 +331,15 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0, got %s" % value
+        )
+    return parsed
+
+
 def _add_shard_arguments(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--shards", type=_positive_int, default=1, metavar="N",
@@ -347,6 +357,25 @@ def _add_shard_arguments(subparser: argparse.ArgumentParser) -> None:
         "--shard-policy", default="hash", choices=("hash", "rr"),
         help="variable partition policy: stable hashing (default) or "
              "round-robin by first appearance",
+    )
+    subparser.add_argument(
+        "--shard-retries", type=_nonnegative_int, default=2, metavar="N",
+        help="worker restarts allowed per shard before the run fails; on "
+             "a death the coordinator restores the shard from its newest "
+             "periodic snapshot and replays the buffered batches, so the "
+             "report is identical to an uninterrupted run (default 2; 0 "
+             "disables failover)",
+    )
+    subparser.add_argument(
+        "--shard-heartbeat", type=float, default=30.0, metavar="SECONDS",
+        help="liveness timeout: a shard worker with batches outstanding "
+             "and no acknowledgement progress for this long is declared "
+             "dead and failed over (default 30)",
+    )
+    subparser.add_argument(
+        "--fail-fast", action="store_true",
+        help="fail the run on the first shard worker death (one "
+             "actionable error) instead of restoring and replaying",
     )
 
 
@@ -377,6 +406,11 @@ def _make_engine_config(args: argparse.Namespace) -> EngineConfig:
     if shards > 1:
         config.with_shards(
             shards, mode=args.shard_mode, policy=args.shard_policy
+        )
+        config.with_shard_supervision(
+            retries=getattr(args, "shard_retries", None),
+            heartbeat_s=getattr(args, "shard_heartbeat", None),
+            fail_fast=getattr(args, "fail_fast", False) or None,
         )
     return config
 
@@ -434,7 +468,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
         else:
             result = run_engine(_make_source(args), config=config)
-    except ValueError as error:
+    except (ValueError, WorkerFailure) as error:
         print(str(error), file=sys.stderr)
         return 2
     for position, report in enumerate(result.values()):
@@ -474,7 +508,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             detectors=detectors,
             config=_make_engine_config(args),
         )
-    except ValueError as error:
+    except (ValueError, WorkerFailure) as error:
         print(str(error), file=sys.stderr)
         return 2
     headers = ["detector", "races", "raw races", "time(s)", "events/s"]
@@ -493,6 +527,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print("%d shard(s) [%s]: events per shard %s, replication x%.2f"
               % (result.shards, result.mode, result.shard_events,
                  result.replication_factor()))
+        supervision = getattr(result, "supervision", None) or {}
+        if supervision.get("worker_restarts"):
+            print("supervision: %d worker restart(s) %r recovered with an "
+                  "identical report"
+                  % (supervision["worker_restarts"],
+                     supervision.get("restarts_by_shard", {})))
     return 1 if result.has_race() else 0
 
 

@@ -24,6 +24,7 @@ from repro.engine.checkpoint import (
     CheckpointMismatchError,
 )
 from repro.engine.config import EngineConfig
+from repro.engine.faults import Fault, FaultPlan, WorkerDied
 from repro.engine.engine import (
     EnginePass,
     EngineResult,
@@ -42,6 +43,7 @@ from repro.engine.partition import (
     make_policy,
 )
 from repro.engine.sharding import ShardedEngine, ShardedResult
+from repro.engine.supervision import SupervisionSettings, WorkerFailure
 from repro.engine.sources import (
     AsyncEventSource,
     CountingSource,
@@ -67,6 +69,11 @@ __all__ = [
     "CheckpointError",
     "CheckpointMismatchError",
     "EngineConfig",
+    "Fault",
+    "FaultPlan",
+    "SupervisionSettings",
+    "WorkerDied",
+    "WorkerFailure",
     "EnginePass",
     "EngineResult",
     "ReportSnapshot",

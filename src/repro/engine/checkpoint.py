@@ -45,7 +45,10 @@ HB and FastTrack, sharded and unsharded.
 from __future__ import annotations
 
 import importlib
+import logging
 import os
+import struct
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -60,11 +63,58 @@ __all__ = [
     "build_detector",
     "check_snapshot_support",
     "detector_stamp",
+    "frame_blob",
     "seek_source",
+    "unframe_blob",
 ]
 
+logger = logging.getLogger("repro.engine.checkpoint")
+
+#: Legacy (pre-CRC) file magic; still readable, never written.
 CHECKPOINT_MAGIC = b"RCKP"
+#: Current file magic: payload framed with an explicit length + CRC32, so
+#: truncation and bit flips are detected *as corruption* instead of
+#: surfacing as a raw codec error deep in the payload.
+CHECKPOINT_MAGIC_FRAMED = b"RCK2"
 CHECKPOINT_VERSION = 1
+
+_FRAME_HEADER = struct.Struct(">II")
+
+
+def frame_blob(data: bytes) -> bytes:
+    """Wrap ``data`` in the length + CRC32 integrity frame.
+
+    The same frame guards checkpoint files and the supervision layer's
+    in-memory shard snapshots: 4-byte big-endian payload length, 4-byte
+    CRC32 of the payload, then the payload itself.
+    """
+    return _FRAME_HEADER.pack(len(data), zlib.crc32(data)) + data
+
+
+def unframe_blob(framed: bytes, what: str = "checkpoint") -> bytes:
+    """Verify and strip the :func:`frame_blob` frame.
+
+    Raises :class:`CheckpointError` naming the failure mode (truncated
+    vs bit-flipped), so callers can report corruption actionably.
+    """
+    if len(framed) < _FRAME_HEADER.size:
+        raise CheckpointError(
+            "corrupt %s: truncated frame header (%d byte(s))"
+            % (what, len(framed))
+        )
+    length, checksum = _FRAME_HEADER.unpack_from(framed)
+    payload = framed[_FRAME_HEADER.size:]
+    if len(payload) != length:
+        raise CheckpointError(
+            "corrupt %s: truncated payload (%d of %d byte(s))"
+            % (what, len(payload), length)
+        )
+    if zlib.crc32(payload) != checksum:
+        raise CheckpointError(
+            "corrupt %s: CRC mismatch (payload bit-flipped on disk or in "
+            "transit)" % what
+        )
+    return payload
 
 #: Default events between checkpoints.
 DEFAULT_EVERY = 10_000
@@ -246,7 +296,7 @@ class Checkpoint:
     # -- persistence ---------------------------------------------------- #
 
     def to_bytes(self) -> bytes:
-        """Serialize through the shared codec (magic + version envelope)."""
+        """Serialize through the shared codec (magic + CRC frame + version)."""
         payload = {
             "events": self.events,
             "source_name": self.source_name,
@@ -256,17 +306,27 @@ class Checkpoint:
             "source_state": self.source_state,
             "sharded": self.sharded,
         }
-        return CHECKPOINT_MAGIC + encode((CHECKPOINT_VERSION, payload))
+        return CHECKPOINT_MAGIC_FRAMED + frame_blob(
+            encode((CHECKPOINT_VERSION, payload))
+        )
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "Checkpoint":
-        """Inverse of :meth:`to_bytes`; fails fast on version drift."""
-        if blob[:4] != CHECKPOINT_MAGIC:
+        """Inverse of :meth:`to_bytes`; fails fast on corruption and drift.
+
+        Reads both the current CRC-framed format and the legacy unframed
+        one (files written by older builds).
+        """
+        if blob[:4] == CHECKPOINT_MAGIC_FRAMED:
+            body = unframe_blob(bytes(blob[4:]))
+        elif blob[:4] == CHECKPOINT_MAGIC:
+            body = bytes(blob[4:])
+        else:
             raise CheckpointError(
                 "not a checkpoint file (missing %r header)" % (CHECKPOINT_MAGIC,)
             )
         try:
-            parsed = decode(bytes(blob[4:]))
+            parsed = decode(body)
         except CodecError as error:
             raise CheckpointError("corrupt checkpoint: %s" % error) from None
         if not isinstance(parsed, tuple) or len(parsed) != 2:
@@ -502,7 +562,16 @@ class Checkpointer:
             raise CheckpointError(
                 "cannot read checkpoint %s: %s" % (path, error)
             ) from None
-        return Checkpoint.from_bytes(blob)
+        try:
+            return Checkpoint.from_bytes(blob)
+        except CheckpointMismatchError:
+            raise
+        except CheckpointError as error:
+            # Name the file: "corrupt checkpoint" alone is not actionable
+            # when several offsets are retained.
+            raise CheckpointError(
+                "checkpoint file %s is corrupt: %s" % (path, error)
+            ) from None
 
     def load_latest(self) -> Optional[Checkpoint]:
         """Load the newest checkpoint, or None when the directory is empty."""
@@ -510,6 +579,47 @@ class Checkpointer:
         if not offsets:
             return None
         return self.load(offsets[-1])
+
+    def load_resumable(self) -> Checkpoint:
+        """Load the newest *intact* checkpoint, skipping corrupt files.
+
+        The resume path's loader: a truncated or bit-flipped newest file
+        (e.g. the machine died mid-write before the atomic rename, or the
+        disk bit-rotted) falls back to the next-newest retained
+        checkpoint with a warning -- losing one checkpoint interval of
+        work instead of the whole run.  Version-mismatch errors are not
+        skipped (every retained file speaks the same format) and an
+        empty or fully-corrupt directory raises an actionable
+        :class:`CheckpointError` listing what was tried.
+        """
+        offsets = self.offsets()
+        if not offsets:
+            raise CheckpointError(
+                "no checkpoints found in %s" % self.directory
+            )
+        corrupt: List[str] = []
+        for events in reversed(offsets):
+            try:
+                loaded = self.load(events)
+            except CheckpointMismatchError:
+                raise
+            except CheckpointError as error:
+                corrupt.append(str(error))
+                logger.warning(
+                    "skipping corrupt checkpoint at offset %d, falling "
+                    "back to the next-newest: %s", events, error,
+                )
+                continue
+            if corrupt:
+                logger.warning(
+                    "resuming from offset %d after skipping %d corrupt "
+                    "checkpoint(s)", loaded.events, len(corrupt),
+                )
+            return loaded
+        raise CheckpointError(
+            "every checkpoint in %s is corrupt; re-run the analysis from "
+            "the start (%s)" % (self.directory, "; ".join(corrupt))
+        )
 
     def clear(self) -> None:
         """Delete every checkpoint (e.g. after a cleanly completed pass)."""
@@ -562,7 +672,10 @@ def open_for_resume(checkpoint, config):
             )
     else:
         checkpointer = as_checkpointer(checkpoint)
-        loaded = checkpointer.load()
+        # Resume survives a corrupt newest file: fall back to the
+        # next-newest retained checkpoint (with a warning) instead of
+        # dying on a codec error.
+        loaded = checkpointer.load_resumable()
         if loaded.every:
             checkpointer.every = loaded.every
     return loaded, checkpointer

@@ -60,6 +60,26 @@ class EngineConfig:
         #: surface (collected on ``ShardedResult.clock_deltas``) and not
         #: worth their serialization cost unless asked for.
         self.shard_clock_sync_every: int = 0
+        #: Worker restarts allowed per shard before the run fails with a
+        #: :class:`~repro.engine.supervision.WorkerFailure` (0 disables
+        #: failover entirely).
+        self.shard_retries: int = 2
+        #: Liveness timeout: a shard with batches outstanding and no ack
+        #: progress for this long is declared dead and failed over.
+        self.shard_heartbeat_s: float = 30.0
+        #: Batches between periodic per-shard supervision snapshots (the
+        #: failover restore points; 0 buffers the whole substream).
+        self.shard_snapshot_every: int = 64
+        #: Exponential restart backoff base (doubles per attempt).
+        self.shard_backoff_s: float = 0.05
+        #: Per-stage worker shutdown patience before escalating
+        #: (join -> terminate -> kill).
+        self.shard_shutdown_timeout_s: float = 30.0
+        #: Fail the run on the first worker death instead of recovering.
+        self.fail_fast: bool = False
+        #: Deterministic fault injection plan
+        #: (:class:`~repro.engine.faults.FaultPlan`; None = no faults).
+        self.fault_plan = None
         #: Directory for periodic detector-state checkpoints (None
         #: disables checkpointing; see :mod:`repro.engine.checkpoint`).
         self.checkpoint_dir = None
@@ -178,6 +198,60 @@ class EngineConfig:
             self.shard_clock_sync_every = clock_sync_every
         return self
 
+    def with_shard_supervision(
+        self,
+        retries: Optional[int] = None,
+        heartbeat_s: Optional[float] = None,
+        snapshot_every: Optional[int] = None,
+        backoff_s: Optional[float] = None,
+        shutdown_timeout_s: Optional[float] = None,
+        fail_fast: Optional[bool] = None,
+    ) -> "EngineConfig":
+        """Tune the sharded engine's supervision/failover layer.
+
+        On worker death the coordinator restarts the worker (up to
+        ``retries`` times, exponential backoff from ``backoff_s``),
+        restores it from the shard's newest periodic snapshot (taken
+        every ``snapshot_every`` batches) and replays the buffered
+        batches -- the merged report is byte-identical to the
+        uninterrupted run.  ``heartbeat_s`` bounds how long a silent
+        worker with work outstanding is trusted; ``fail_fast`` turns the
+        first death into an immediate, actionable error instead.
+        """
+        if retries is not None:
+            if retries < 0:
+                raise ValueError("shard retries must be >= 0")
+            self.shard_retries = retries
+        if heartbeat_s is not None:
+            if heartbeat_s <= 0:
+                raise ValueError("heartbeat timeout must be positive")
+            self.shard_heartbeat_s = heartbeat_s
+        if snapshot_every is not None:
+            if snapshot_every < 0:
+                raise ValueError("snapshot cadence must be >= 0")
+            self.shard_snapshot_every = snapshot_every
+        if backoff_s is not None:
+            if backoff_s < 0:
+                raise ValueError("backoff must be >= 0")
+            self.shard_backoff_s = backoff_s
+        if shutdown_timeout_s is not None:
+            if shutdown_timeout_s <= 0:
+                raise ValueError("shutdown timeout must be positive")
+            self.shard_shutdown_timeout_s = shutdown_timeout_s
+        if fail_fast is not None:
+            self.fail_fast = fail_fast
+        return self
+
+    def with_fault_plan(self, plan) -> "EngineConfig":
+        """Attach a deterministic fault-injection plan to the run.
+
+        ``plan`` is a :class:`~repro.engine.faults.FaultPlan`; the
+        sharded engine's injection points consult it at fixed positions,
+        so the same plan reproduces the same failure every run.
+        """
+        self.fault_plan = plan
+        return self
+
     # ------------------------------------------------------------------ #
     # Resolution helpers (used by the engine)
     # ------------------------------------------------------------------ #
@@ -221,6 +295,12 @@ class EngineConfig:
             parts.append("cost_accounting=False")
         if self.shards != 1:
             parts.append("shards=%d[%s]" % (self.shards, self.shard_mode))
+            if self.shard_retries != 2:
+                parts.append("shard_retries=%d" % self.shard_retries)
+            if self.fail_fast:
+                parts.append("fail_fast")
+        if self.fault_plan is not None:
+            parts.append("fault_plan=%r" % (self.fault_plan,))
         if self.checkpoint_dir is not None:
             parts.append(
                 "checkpoint=%r/%d" % (str(self.checkpoint_dir), self.checkpoint_every)

@@ -75,6 +75,7 @@ uninterrupted run's exactly.
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import threading
 import time
@@ -103,6 +104,12 @@ from repro.engine.engine import (
     EnginePass,
     EngineResult,
     RaceEngine,
+)
+from repro.engine.faults import InjectedDeath, WorkerDied
+from repro.engine.supervision import (
+    SupervisedTransport,
+    SupervisionSettings,
+    new_supervision_stats,
 )
 from repro.engine.partition import (
     POLICIES,
@@ -170,9 +177,14 @@ class ShardedResult(EngineResult):
         shard_clock_states: List[List[Optional[Dict[object, bytes]]]],
         shard_names: List[List[object]],
         clock_deltas: Optional[List[Optional[dict]]] = None,
+        supervision: Optional[dict] = None,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
+        #: Run-level supervision counters (worker_restarts,
+        #: heartbeat_timeouts, snapshot_fallbacks, shutdown_escalations,
+        #: restarts_by_shard) -- all zero on a fault-free run.
+        self.supervision = supervision or new_supervision_stats()
         #: Last mid-run clock/registry delta seen per shard (None entries
         #: when the exchange is disabled -- `shard_clock_sync_every` 0 --
         #: or a shard never reached the cadence).
@@ -237,6 +249,17 @@ class ShardedResult(EngineResult):
                 self.replication_factor(), self.work_speedup_bound(),
             )
         )
+        restarts = self.supervision.get("worker_restarts", 0)
+        if restarts:
+            lines.append(
+                "  supervision: %d worker restart(s) %r, %d heartbeat "
+                "timeout(s), %d snapshot fallback(s)" % (
+                    restarts,
+                    self.supervision.get("restarts_by_shard", {}),
+                    self.supervision.get("heartbeat_timeouts", 0),
+                    self.supervision.get("snapshot_fallbacks", 0),
+                )
+            )
         return "\n".join(lines)
 
 
@@ -253,11 +276,21 @@ class _ShardWorker:
     """
 
     def __init__(
-        self, shard_id: int, detectors: List[Detector], source_name: str
+        self,
+        shard_id: int,
+        detectors: List[Detector],
+        source_name: str,
+        kill_at: Optional[int] = None,
+        hard_exit: bool = False,
     ) -> None:
         self.shard_id = shard_id
         self.detectors = detectors
         self.source_name = source_name
+        #: Fault injection: die once the worker has processed this many
+        #: events (process workers hard-exit so the coordinator sees a
+        #: genuine pipe EOF; thread/serial workers raise InjectedDeath).
+        self.kill_at = kill_at
+        self.hard_exit = hard_exit
         self.registry = ThreadRegistry()
         # Workers never attribute per-event cost: busy time is measured
         # per batch and shipped in the finish payload.
@@ -295,6 +328,21 @@ class _ShardWorker:
         }
 
     def process_batch(self, batch: List[tuple]) -> None:
+        if self.kill_at is not None and self.events + len(batch) >= self.kill_at:
+            # Injected abrupt death: process the prefix up to the
+            # threshold (the realistic mid-batch crash), then die without
+            # acking -- the supervisor's snapshot + replay must absorb
+            # the partial work.
+            prefix = self.kill_at - self.events
+            self.kill_at = None
+            if prefix > 0:
+                self.process_batch(batch[:prefix])
+            if self.hard_exit:
+                os._exit(17)
+            raise InjectedDeath(
+                "injected kill of shard %d at event %d"
+                % (self.shard_id, self.events)
+            )
         started = time.perf_counter()
         detectors = self.detectors
         dispatch = self.pass_.dispatch
@@ -359,29 +407,98 @@ class _ShardWorker:
 # Transports
 # --------------------------------------------------------------------- #
 
+class _AckCounter:
+    """Batch-ack bookkeeping shared by the transports.
+
+    Tracks the acknowledgements the coordinator *observed* (the
+    supervisor's liveness signal), applying the fault plan's drop /
+    duplicate triggers at the deterministic ack ordinal.
+    """
+
+    def __init__(self, shard_id: int, plan=None) -> None:
+        self.shard_id = shard_id
+        self.plan = plan
+        self.seen = 0
+        self.observed = 0
+
+    def record(self) -> bool:
+        """Count one worker ack; False when the plan swallowed it."""
+        index = self.seen
+        self.seen += 1
+        plan = self.plan
+        if plan is not None and plan.drop_ack(self.shard_id, index):
+            return False
+        self.observed += 1
+        if plan is not None and plan.duplicate_ack(self.shard_id, index):
+            self.observed += 1
+        return True
+
+
 class _SerialTransport:
     """Run the worker inline; the deterministic reference transport."""
 
-    def __init__(self, worker: _ShardWorker, restore: Optional[dict] = None) -> None:
+    def __init__(
+        self,
+        worker: _ShardWorker,
+        restore: Optional[dict] = None,
+        plan=None,
+    ) -> None:
         self.worker = worker
+        self.dead: Optional[str] = None
+        self.acks = _AckCounter(worker.shard_id, plan)
         worker.start()
         if restore is not None:
             worker.restore(restore)
 
+    def _check_dead(self) -> None:
+        if self.dead is not None:
+            raise WorkerDied(self.worker.shard_id, self.dead)
+
     def send(self, batch: List[tuple]) -> None:
-        self.worker.process_batch(batch)
+        self._check_dead()
+        try:
+            self.worker.process_batch(batch)
+        except InjectedDeath as death:
+            self.dead = str(death)
+            raise WorkerDied(self.worker.shard_id, self.dead)
+        self.acks.record()
 
     def poll_progress(self):
+        self._check_dead()
         return self.worker.progress()
 
     def poll_delta(self):
+        self._check_dead()
         return self.worker.clock_delta()
 
+    def snapshot_begin(self):
+        return self.snapshot()
+
+    def snapshot_end(self, token) -> dict:
+        return token
+
     def snapshot(self) -> dict:
+        self._check_dead()
         return self.worker.snapshot_state()
 
     def finish(self) -> dict:
+        self._check_dead()
         return self.worker.finish()
+
+    def acked(self) -> int:
+        return self.acks.observed
+
+    def alive(self) -> bool:
+        return self.dead is None
+
+    def break_pipe(self) -> None:
+        self.dead = "injected pipe EOF"
+
+    def abort(self) -> None:
+        self.dead = self.dead or "aborted by coordinator"
+
+    def take_escalations(self) -> int:
+        return 0
 
 
 class _ThreadTransport:
@@ -394,12 +511,19 @@ class _ThreadTransport:
     before joining.
     """
 
-    def __init__(self, worker: _ShardWorker, restore: Optional[dict] = None) -> None:
+    def __init__(
+        self,
+        worker: _ShardWorker,
+        restore: Optional[dict] = None,
+        plan=None,
+    ) -> None:
         self.worker = worker
         self._restore = restore
         self.queue: "queue_module.Queue" = queue_module.Queue(maxsize=8)
         self.error: Optional[str] = None
         self.result: Optional[dict] = None
+        self.dead: Optional[str] = None
+        self.acks = _AckCounter(worker.shard_id, plan)
         self.thread = threading.Thread(
             target=self._loop, name="shard-%d" % worker.shard_id, daemon=True
         )
@@ -420,6 +544,13 @@ class _ThreadTransport:
                     batch[2].set()
                     continue
                 self.worker.process_batch(batch)
+                self.acks.record()
+        except InjectedDeath as death:
+            # Simulated abrupt death: no ack, no error report, no further
+            # draining -- exactly what a vanished worker looks like.  The
+            # coordinator notices through the bounded put()/wait() paths.
+            self.dead = str(death) or "injected worker death"
+            return
         except Exception:
             self.error = traceback.format_exc()
             # Keep draining so the coordinator's put() never deadlocks
@@ -432,10 +563,37 @@ class _ThreadTransport:
                 if isinstance(item, tuple) and item[0] == "snapshot":
                     item[2].set()
 
+    def _death_cause(self) -> Optional[str]:
+        """The reason this transport is unusable, or None while healthy."""
+        if self.dead is not None:
+            return self.dead
+        if (
+            not self.thread.is_alive()
+            and self.result is None
+            and self.error is None
+        ):
+            return "worker thread exited without a result"
+        return None
+
+    def _put(self, item) -> None:
+        """Bounded put that notices worker death instead of deadlocking."""
+        while True:
+            cause = self._death_cause()
+            if cause is not None:
+                raise WorkerDied(self.worker.shard_id, cause)
+            try:
+                self.queue.put(item, timeout=0.05)
+                return
+            except queue_module.Full:
+                continue
+
     def send(self, batch: List[tuple]) -> None:
-        self.queue.put(batch)
+        self._put(batch)
 
     def poll_progress(self):
+        cause = self._death_cause()
+        if cause is not None:
+            raise WorkerDied(self.worker.shard_id, cause)
         return self.worker.progress()
 
     def poll_delta(self):
@@ -444,15 +602,22 @@ class _ThreadTransport:
     def snapshot_begin(self):
         holder: List[dict] = []
         done = threading.Event()
-        self.queue.put(("snapshot", holder, done))
+        self._put(("snapshot", holder, done))
         return holder, done
 
     def snapshot_end(self, token) -> dict:
         holder, done = token
-        done.wait()
+        while not done.wait(0.05):
+            cause = self._death_cause()
+            if cause is not None:
+                raise WorkerDied(self.worker.shard_id, cause)
         if self.error is not None:
             raise RuntimeError(
                 "shard %d worker failed:\n%s" % (self.worker.shard_id, self.error)
+            )
+        if not holder:  # pragma: no cover - defensive
+            raise WorkerDied(
+                self.worker.shard_id, "worker died answering a snapshot"
             )
         return holder[0]
 
@@ -460,8 +625,11 @@ class _ThreadTransport:
         return self.snapshot_end(self.snapshot_begin())
 
     def finish(self) -> dict:
-        self.queue.put(None)
+        self._put(None)
         self.thread.join()
+        cause = self._death_cause()
+        if cause is not None:
+            raise WorkerDied(self.worker.shard_id, cause)
         if self.error is not None:
             raise RuntimeError(
                 "shard %d worker failed:\n%s" % (self.worker.shard_id, self.error)
@@ -469,10 +637,35 @@ class _ThreadTransport:
         assert self.result is not None
         return self.result
 
+    def acked(self) -> int:
+        return self.acks.observed
+
+    def alive(self) -> bool:
+        return self._death_cause() is None
+
+    def break_pipe(self) -> None:
+        # Sever the channel: the worker thread may keep running but the
+        # coordinator treats it as unreachable (it idles on the queue and
+        # dies with the daemon).
+        self.dead = "injected pipe EOF"
+
+    def abort(self) -> None:
+        if self.dead is None:
+            self.dead = "aborted by coordinator"
+        try:
+            # Wake a healthy worker so the daemon thread can exit.
+            self.queue.put_nowait(None)
+        except queue_module.Full:  # pragma: no cover - worker is stuck
+            pass
+
+    def take_escalations(self) -> int:
+        return 0
+
 
 def _process_worker_main(
     conn, shard_id: int, specs: List[dict], source_name: str,
     clock_sync_every: int, restore: Optional[dict] = None,
+    kill_at: Optional[int] = None,
 ) -> None:
     """Entry point of a shard worker process (pipe protocol).
 
@@ -489,7 +682,10 @@ def _process_worker_main(
     """
     try:
         detectors: List[Detector] = [build_detector(spec) for spec in specs]
-        worker = _ShardWorker(shard_id, detectors, source_name)
+        worker = _ShardWorker(
+            shard_id, detectors, source_name,
+            kill_at=kill_at, hard_exit=True,
+        )
         worker.start()
         if restore is not None:
             worker.restore(restore)
@@ -521,13 +717,23 @@ def _process_worker_main(
         conn.close()
 
 
+#: Transport-level failures: the worker side of the pipe is simply gone.
+#: Everything else a worker sends is an explicit protocol message (its
+#: deterministic failures arrive as ``("error", ...)`` reports).
+_PIPE_FAILURES = (EOFError, ConnectionResetError, BrokenPipeError, OSError)
+
+
 class _ProcessTransport:
     """One persistent worker process per shard over a duplex pipe."""
 
     def __init__(
-        self, worker_args: tuple, shard_id: int, mp_context
+        self, worker_args: tuple, shard_id: int, mp_context,
+        plan=None, shutdown_timeout_s: float = 30.0,
     ) -> None:
         self.shard_id = shard_id
+        self.shutdown_timeout_s = shutdown_timeout_s
+        self.escalations = 0
+        self.acks = _AckCounter(shard_id, plan)
         self.conn, child_conn = mp_context.Pipe(duplex=True)
         self.process = mp_context.Process(
             target=_process_worker_main,
@@ -542,29 +748,46 @@ class _ProcessTransport:
         self._result = None
         self._state = None
 
+    def _died(self, error: Exception) -> WorkerDied:
+        code = self.process.exitcode
+        cause = "%s: %s" % (type(error).__name__, error) if str(error) else (
+            type(error).__name__
+        )
+        if code is not None:
+            cause += " [worker exit code %s]" % code
+        return WorkerDied(self.shard_id, cause)
+
     def _drain(self, block: bool = False) -> None:
         """Absorb pending worker messages (progress / deltas / errors)."""
-        while self._result is None and (block or self.conn.poll()):
-            message = self.conn.recv()
-            kind = message[0]
-            if kind == "progress":
-                self._progress = message[3]
-            elif kind == "delta":
-                self._delta = message[2]
-            elif kind == "state":
-                self._state = message[2]
-                return
-            elif kind == "result":
-                self._result = message[2]
-                return
-            elif kind == "error":
-                raise RuntimeError(
-                    "shard %d worker failed:\n%s" % (self.shard_id, message[2])
-                )
-            block = False
+        try:
+            while self._result is None and (block or self.conn.poll()):
+                message = self.conn.recv()
+                kind = message[0]
+                if kind == "progress":
+                    if self.acks.record():
+                        self._progress = message[3]
+                elif kind == "delta":
+                    self._delta = message[2]
+                elif kind == "state":
+                    self._state = message[2]
+                    return
+                elif kind == "result":
+                    self._result = message[2]
+                    return
+                elif kind == "error":
+                    raise RuntimeError(
+                        "shard %d worker failed:\n%s"
+                        % (self.shard_id, message[2])
+                    )
+                block = False
+        except _PIPE_FAILURES as error:
+            raise self._died(error) from error
 
     def send(self, batch: List[tuple]) -> None:
-        self.conn.send(("batch", batch))
+        try:
+            self.conn.send(("batch", batch))
+        except _PIPE_FAILURES as error:
+            raise self._died(error) from error
         self._drain()
 
     def poll_progress(self):
@@ -577,7 +800,10 @@ class _ProcessTransport:
         return delta
 
     def snapshot_begin(self):
-        self.conn.send(("snapshot",))
+        try:
+            self.conn.send(("snapshot",))
+        except _PIPE_FAILURES as error:
+            raise self._died(error) from error
         return None
 
     def snapshot_end(self, token) -> dict:
@@ -595,11 +821,69 @@ class _ProcessTransport:
             while self._result is None:
                 self._drain(block=True)
             return self._result
+        except _PIPE_FAILURES as error:
+            raise self._died(error) from error
         finally:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        """Escalating worker shutdown: close -> join -> terminate -> kill.
+
+        A healthy worker exits on pipe EOF, so the first join is the
+        graceful path; each escalation is counted (a worker that needed
+        SIGTERM or SIGKILL to go away is a bug signal worth surfacing).
+        """
+        timeout = self.shutdown_timeout_s
+        try:
             self.conn.close()
-            self.process.join(timeout=30)
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.escalations += 1
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.escalations += 1
+                self.process.kill()
+                self.process.join(timeout=5)
+
+    def acked(self) -> int:
+        return self.acks.observed
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def break_pipe(self) -> None:
+        # Sever the coordinator end; every later pipe operation raises,
+        # which the supervisor normalizes into failover.
+        self.conn.close()
+
+    def abort(self) -> None:
+        """Hard teardown of a dead or discarded worker (no finish drain).
+
+        Unlike :meth:`_shutdown` there is no reason to wait the full
+        graceful timeout first: the worker is already presumed gone, so
+        escalate to SIGTERM immediately and only count an escalation if
+        it survives that.
+        """
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=self.shutdown_timeout_s)
             if self.process.is_alive():  # pragma: no cover - defensive
-                self.process.terminate()
+                self.escalations += 1
+                self.process.kill()
+                self.process.join(timeout=5)
+        else:
+            self.process.join(timeout=5)
+
+    def take_escalations(self) -> int:
+        taken, self.escalations = self.escalations, 0
+        return taken
 
 
 _TRANSPORT_MODES = ("process", "thread", "serial")
@@ -793,7 +1077,19 @@ class ShardedEngine:
             checkpointer.source = event_source
         policy_spec = self.policy if isinstance(self.policy, str) else None
 
-        transports = self._start_transports(specs, source_name, restore_states)
+        # Failover needs snapshot-capable detectors; without them the
+        # supervisor still normalizes errors but never buffers batches
+        # (an unbounded replay buffer with nothing to trim it against).
+        try:
+            check_snapshot_support(resolved)
+            recoverable = True
+        except ValueError:
+            recoverable = False
+        supervision_stats = new_supervision_stats()
+        transports = self._start_transports(
+            specs, source_name, restore_states,
+            stats=supervision_stats, recoverable=recoverable,
+        )
 
         batch_size = self.batch_size
         clock_sync_every = config.shard_clock_sync_every
@@ -956,7 +1252,7 @@ class ShardedEngine:
         elapsed = time.perf_counter() - started
         result = self._merge(
             resolved, payloads, source_name, events, elapsed, stop_reason,
-            snapshots, partitioner, latest_deltas,
+            snapshots, partitioner, latest_deltas, supervision_stats,
         )
         if interval is not None and (events == 0 or events % interval != 0):
             # Final snapshot from the exact merged reports.
@@ -982,33 +1278,63 @@ class ShardedEngine:
         specs: List[dict],
         source_name: str,
         restore_states: Optional[List[dict]] = None,
+        stats: Optional[dict] = None,
+        recoverable: bool = True,
     ):
+        """One :class:`SupervisedTransport` per shard.
+
+        Each wrapper owns a factory closure that (re)builds the raw
+        transport for its shard -- used once at startup and again on
+        every failover restart, so a restarted worker is constructed
+        exactly like a fresh one (stamps, restore blobs) and differs only
+        in the state it is restored from.
+        """
+        config = self.config
+        settings = SupervisionSettings.from_config(config)
+        plan = config.fault_plan
+        stats = stats if stats is not None else new_supervision_stats()
         mode = self.mode
-        transports = []
+        mp_context = None
         if mode == "process":
             import multiprocessing
 
             mp_context = multiprocessing.get_context()
-            for shard in range(self.shards):
-                restore = restore_states[shard] if restore_states else None
-                transports.append(_ProcessTransport(
-                    (
-                        shard, specs, source_name,
-                        self.config.shard_clock_sync_every, restore,
-                    ),
-                    shard, mp_context,
-                ))
-            return transports
-        for shard in range(self.shards):
-            worker = _ShardWorker(
-                shard, [build_detector(spec) for spec in specs], source_name
+
+        def make_factory(shard: int):
+            initial = restore_states[shard] if restore_states else None
+
+            def factory(restore: Optional[dict]):
+                state = restore if restore is not None else initial
+                # One-shot: only the incarnation that arms the kill dies.
+                kill_at = (
+                    plan.take_kill_event(shard) if plan is not None else None
+                )
+                if mode == "process":
+                    return _ProcessTransport(
+                        (
+                            shard, specs, source_name,
+                            config.shard_clock_sync_every, state, kill_at,
+                        ),
+                        shard, mp_context, plan=plan,
+                        shutdown_timeout_s=settings.shutdown_timeout_s,
+                    )
+                worker = _ShardWorker(
+                    shard, [build_detector(spec) for spec in specs],
+                    source_name, kill_at=kill_at,
+                )
+                if mode == "thread":
+                    return _ThreadTransport(worker, state, plan=plan)
+                return _SerialTransport(worker, state, plan=plan)
+
+            return factory
+
+        return [
+            SupervisedTransport(
+                shard, make_factory(shard), settings, stats,
+                plan=plan, recoverable=recoverable,
             )
-            restore = restore_states[shard] if restore_states else None
-            if mode == "thread":
-                transports.append(_ThreadTransport(worker, restore))
-            else:
-                transports.append(_SerialTransport(worker, restore))
-        return transports
+            for shard in range(self.shards)
+        ]
 
     @staticmethod
     def _collect_snapshots(transports) -> List[dict]:
@@ -1034,14 +1360,10 @@ class ShardedEngine:
     @staticmethod
     def _abort_transports(transports) -> None:
         for transport in transports:
-            process = getattr(transport, "process", None)
-            if process is not None:
-                try:
-                    transport.conn.close()
-                except OSError:  # pragma: no cover - defensive
-                    pass
-                process.terminate()
-                process.join(timeout=5)
+            try:
+                transport.abort()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
 
     # ------------------------------------------------------------------ #
     # Shard-boundary merging
@@ -1058,6 +1380,7 @@ class ShardedEngine:
         snapshots: List[ReportSnapshot],
         partitioner: StreamPartitioner,
         clock_deltas: Optional[List[Optional[dict]]] = None,
+        supervision: Optional[dict] = None,
     ) -> ShardedResult:
         payloads = sorted(payloads, key=lambda payload: payload["shard"])
         registry = ThreadRegistry()
@@ -1122,6 +1445,7 @@ class ShardedEngine:
             shard_clock_states=[payload["clocks"] for payload in payloads],
             shard_names=[payload["names"] for payload in payloads],
             clock_deltas=clock_deltas,
+            supervision=supervision,
         )
 
     @staticmethod

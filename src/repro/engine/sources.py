@@ -269,6 +269,9 @@ class CountingSource(EventSource):
 #: End-of-stream marker used by the push sources.
 _CLOSED = object()
 
+#: Broken-stream marker: the producer died or aborted; consuming raises.
+_ABORTED = object()
+
 
 class QueueSource(EventSource):
     """A thread-safe push source for callback producers.
@@ -305,6 +308,11 @@ class QueueSource(EventSource):
         self.registry = registry if registry is not None else ThreadRegistry()
         self._queue: "queue_module.Queue" = queue_module.Queue(maxsize)
         self._closed = False
+        self._abort_reason: Optional[str] = None
+        #: Optional producer handle (anything with ``is_alive()``, e.g. a
+        #: ``threading.Thread``): lets the consumer notice abrupt
+        #: producer death instead of blocking on the queue forever.
+        self._producer = None
         #: The resume handshake (checkpoint/resume protocol): the last
         #: durable event offset of a resumed pass.  A producer re-attached
         #: after a crash reads this and replays its events from that
@@ -349,6 +357,50 @@ class QueueSource(EventSource):
             self._closed = True
             self._queue.put(_CLOSED)
 
+    def abort(self, reason: str = "producer aborted the stream") -> None:
+        """Mark the stream broken; the consumer raises instead of hanging.
+
+        The governed counterpart of a producer crash: whatever is
+        already queued is still drained (those events are real), then
+        iteration raises ``RuntimeError(reason)`` -- never a silent
+        truncation, never a consumer blocked on :meth:`put` that will
+        not come.  Idempotent; :meth:`put` raises afterwards exactly as
+        after :meth:`close`.
+        """
+        if not self._closed:
+            self._closed = True
+            self._abort_reason = reason
+            self._queue.put(_ABORTED)
+
+    def attach_producer(self, producer) -> None:
+        """Register the producing thread for liveness supervision.
+
+        ``producer`` is anything with ``is_alive()`` (typically a
+        ``threading.Thread``).  If it dies without calling
+        :meth:`close` or :meth:`abort`, the consumer -- instead of
+        blocking forever on a queue that will never be fed -- drains
+        what was delivered and raises a ``RuntimeError`` naming the
+        producer.
+        """
+        self._producer = producer
+
+    def _producer_died(self) -> bool:
+        return (
+            self._producer is not None
+            and not self._closed
+            and not self._producer.is_alive()
+        )
+
+    def _raise_broken(self) -> None:
+        raise RuntimeError(
+            "QueueSource %r: %s" % (
+                self.name,
+                self._abort_reason
+                or "producer %r died without closing the stream"
+                % (getattr(self._producer, "name", self._producer),),
+            )
+        )
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -361,12 +413,22 @@ class QueueSource(EventSource):
         intern = self.registry.intern
         get = self._queue.get
         while True:
-            item = get()
+            try:
+                # Bounded waits: an abandoned queue (producer crashed
+                # without close()) must surface as an error, not a hang.
+                item = get(timeout=0.25)
+            except queue_module.Empty:
+                if self._producer_died():
+                    self._raise_broken()
+                continue
             if item is _CLOSED:
                 # Re-arm the marker so a second (empty) iteration
                 # terminates instead of blocking forever.
                 self._queue.put(_CLOSED)
                 return
+            if item is _ABORTED:
+                self._queue.put(_ABORTED)
+                self._raise_broken()
             yield _stamp(item, intern)
 
     def __aiter__(self) -> AsyncIterator[Event]:
@@ -392,10 +454,15 @@ class QueueSource(EventSource):
                 try:
                     item = await loop.run_in_executor(None, get, True, 0.25)
                 except queue_module.Empty:
+                    if self._producer_died():
+                        self._raise_broken()
                     continue
             if item is _CLOSED:
                 self._queue.put(_CLOSED)
                 return
+            if item is _ABORTED:
+                self._queue.put(_ABORTED)
+                self._raise_broken()
             yield _stamp(item, intern)
 
 
@@ -487,6 +554,16 @@ class LineProtocolSource(AsyncEventSource):
             raw = await readline()
             if not raw:
                 return
+            if not raw.endswith(b"\n"):
+                # readline() only returns a non-terminated tail at EOF:
+                # the peer vanished mid-line.  Surface it as the
+                # disconnect it is (the serve tier counts it in
+                # ``disconnected``) instead of parsing half a record or
+                # raising a grammar error for bytes the client never
+                # finished sending.
+                import asyncio
+
+                raise asyncio.IncompleteReadError(raw, None)
             line_number += 1
             if on_line is not None:
                 on_line(raw)

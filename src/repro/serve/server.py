@@ -122,6 +122,7 @@ class ServeSettings:
         mem_check_every: int = 4096,
         metrics_port: Optional[int] = None,
         install_signal_handlers: bool = False,
+        fault_plan=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -139,6 +140,12 @@ class ServeSettings:
         self.mem_check_every = mem_check_every
         self.metrics_port = metrics_port
         self.install_signal_handlers = install_signal_handlers
+        #: Deterministic fault injection
+        #: (:class:`~repro.engine.faults.FaultPlan`): ``disconnect``
+        #: faults drop the client connection at an exact event offset,
+        #: so the disconnect governance below is testable without timing
+        #: games.
+        self.fault_plan = fault_plan
 
     def __repr__(self) -> str:
         return "ServeSettings(host=%r, port=%r, socket=%r)" % (
@@ -523,6 +530,15 @@ class SessionDriver:
                 if self.validator is not None:
                     self.validator.check(payload)
                 stop = pass_.step(payload)
+                if (
+                    settings.fault_plan is not None
+                    and settings.fault_plan.disconnect_at(pass_.events)
+                ):
+                    # Injected mid-stream client disconnect: surfaces
+                    # through the same governed path as a real peer reset.
+                    raise ConnectionResetError(
+                        "injected disconnect at event %d" % pass_.events
+                    )
                 if sampled:
                     self.metrics.observe_latency(clock() - began)
                 self._note_event()

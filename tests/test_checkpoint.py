@@ -59,7 +59,9 @@ from repro.engine.checkpoint import (
     build_detector,
     check_snapshot_support,
     detector_stamp,
+    frame_blob,
     seek_source,
+    unframe_blob,
 )
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
@@ -1077,3 +1079,140 @@ class TestCheckpointCLI:
             ]
 
         assert races(resumed.stdout) == races(full.stdout)
+
+
+# --------------------------------------------------------------------- #
+# CRC framing + corrupt-checkpoint resume fallback (satellite)
+# --------------------------------------------------------------------- #
+
+
+class TestCrcFraming:
+    def test_frame_round_trip(self):
+        payload = b"detector state bytes"
+        framed = frame_blob(payload)
+        assert unframe_blob(framed) == payload
+        assert len(framed) == len(payload) + 8  # length + crc32 header
+
+    def test_truncated_header_is_actionable(self):
+        with pytest.raises(CheckpointError, match="truncated frame header"):
+            unframe_blob(b"\x00\x01", what="shard 3 snapshot")
+
+    def test_truncated_payload_is_actionable(self):
+        framed = frame_blob(b"0123456789")
+        with pytest.raises(CheckpointError, match="truncated payload"):
+            unframe_blob(framed[:-3])
+
+    def test_bit_flip_is_caught_by_crc(self):
+        from repro.engine.faults import corrupt_blob
+
+        framed = frame_blob(b"0123456789abcdef")
+        with pytest.raises(CheckpointError, match="CRC mismatch"):
+            unframe_blob(corrupt_blob(framed))
+
+    def test_error_names_the_what(self):
+        with pytest.raises(CheckpointError, match="shard 7 snapshot"):
+            unframe_blob(b"", what="shard 7 snapshot")
+
+    def test_checkpoint_file_magic_is_framed(self):
+        checkpoint = Checkpoint(
+            events=10, source_name="s",
+            stamps=[detector_stamp(WCPDetector())],
+            states=[b"state"], every=10,
+        )
+        blob = checkpoint.to_bytes()
+        assert blob[:4] == b"RCK2"
+        assert Checkpoint.from_bytes(blob).events == 10
+
+    def test_corrupt_checkpoint_payload_is_caught(self):
+        from repro.engine.faults import corrupt_blob
+
+        checkpoint = Checkpoint(
+            events=10, source_name="s",
+            stamps=[detector_stamp(WCPDetector())],
+            states=[b"state"], every=10,
+        )
+        blob = checkpoint.to_bytes()
+        with pytest.raises(CheckpointError, match="CRC mismatch"):
+            Checkpoint.from_bytes(blob[:4] + corrupt_blob(blob[4:]))
+
+
+class TestResumableLoad:
+    def _save(self, tmp_path, offsets):
+        checkpointer = Checkpointer(tmp_path, every=10, keep=10)
+        for events in offsets:
+            checkpointer.save(Checkpoint(
+                events=events, source_name="s",
+                stamps=[detector_stamp(WCPDetector())],
+                states=[b"blob-%d" % events], every=10,
+            ))
+        return checkpointer
+
+    def _corrupt(self, tmp_path, events):
+        path = tmp_path / ("ckpt-%012d.rckp" % events)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x55
+        path.write_bytes(bytes(blob))
+
+    def test_corrupt_newest_falls_back_with_warning(self, tmp_path, caplog):
+        import logging
+
+        checkpointer = self._save(tmp_path, [10, 20, 30])
+        self._corrupt(tmp_path, 30)
+        with caplog.at_level(logging.WARNING, logger="repro.engine.checkpoint"):
+            loaded = checkpointer.load_resumable()
+        assert loaded.events == 20
+        assert any("skipping corrupt checkpoint" in record.getMessage()
+                   for record in caplog.records)
+
+    def test_all_corrupt_names_the_directory(self, tmp_path):
+        checkpointer = self._save(tmp_path, [10, 20])
+        self._corrupt(tmp_path, 10)
+        self._corrupt(tmp_path, 20)
+        with pytest.raises(CheckpointError) as exc:
+            checkpointer.load_resumable()
+        message = str(exc.value)
+        assert "every checkpoint in" in message
+        assert str(tmp_path) in message
+        assert "re-run the analysis" in message
+
+    def test_corrupt_error_names_the_file(self, tmp_path):
+        checkpointer = self._save(tmp_path, [10])
+        self._corrupt(tmp_path, 10)
+        with pytest.raises(CheckpointError, match="ckpt-000000000010"):
+            checkpointer.load()
+
+    def test_empty_directory_still_errors(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            Checkpointer(tmp_path / "empty").load_resumable()
+
+    def test_cli_resume_survives_corrupt_newest(self, tmp_path, capsys):
+        trace = random_trace(67, n_events=300, n_threads=4, n_vars=5)
+        path = tmp_path / "trace.std"
+        dump_trace(trace, path)
+        directory = tmp_path / "ckpts"
+
+        main(["analyze", str(path), "--detector", "wcp"])
+        full = capsys.readouterr().out
+        main(["analyze", str(path), "--detector", "wcp",
+              "--checkpoint", str(directory), "--checkpoint-every", "50",
+              "--max-events", "150"])
+        capsys.readouterr()
+        # Bit-flip the newest retained checkpoint: resume must fall back
+        # to the next-newest instead of dying.
+        newest = max(
+            directory.glob("ckpt-*.rckp"),
+            key=lambda p: int(p.stem[len("ckpt-"):]),
+        )
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0x55
+        newest.write_bytes(bytes(blob))
+
+        code = main(["analyze", str(path), "--resume", str(directory)])
+        resumed = capsys.readouterr().out
+        assert code in (0, 1)
+
+        def races(text):
+            return [line for line in text.splitlines()
+                    if not line.strip().startswith("stat ")]
+
+        assert races(resumed) == races(full)

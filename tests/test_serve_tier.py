@@ -887,3 +887,107 @@ class TestServeCli:
         path = tmp_path / "t.std"
         path.write_text(write_std(trace))
         assert main(["stats", str(path), "--detectors", "quantum"]) == 2
+
+
+# --------------------------------------------------------------------- #
+# Fault injection: client disconnects and supervision observability
+# --------------------------------------------------------------------- #
+
+
+class TestServeFaultInjection:
+    def test_injected_midstream_disconnect_is_governed(self):
+        """A connection dropped mid-stream (injected deterministically)
+        must finish with the governed `disconnected` counter -- never a
+        hang or a traceback-shaped reply."""
+        from repro import Fault, FaultPlan
+
+        trace = random_trace(seed=71, n_events=60, n_threads=3)
+        plan = FaultPlan([Fault.disconnect(20)])
+
+        async def run():
+            server = await _start_server(
+                settings=ServeSettings(port=0, fault_plan=plan)
+            )
+            try:
+                await _roundtrip(server, write_std(trace))
+                await _until(
+                    lambda: server.metrics.counters["disconnected"] >= 1
+                )
+            finally:
+                await server.close()
+            return server.metrics.counters
+
+        counters = asyncio.run(run())
+        assert counters["disconnected"] == 1
+        assert counters["completed"] == 0
+        assert counters["errored"] == 0
+        assert not plan.unfired()
+
+    def test_midline_client_close_counts_as_disconnect(self):
+        """A client that dies mid-line (no trailing newline before EOF)
+        is a disconnect, not a parse error."""
+
+        async def run():
+            server = await _start_server()
+            try:
+                reader, writer = await _connect(server)
+                # Two whole events, then a partial line and EOF.
+                writer.write(b"t1|w(x)|a:1\nt1|w(x)|a:2\nt2|w(")
+                await writer.drain()
+                writer.write_eof()
+                await _until(
+                    lambda: server.metrics.counters["disconnected"] >= 1
+                )
+                writer.close()
+            finally:
+                await server.close()
+            return server.metrics.counters
+
+        counters = asyncio.run(run())
+        assert counters["disconnected"] == 1
+        assert counters["completed"] == 0
+        assert counters["errored"] == 0
+
+    def test_stats_surface_supervision_counters(self):
+        trace = random_trace(seed=73, n_events=30)
+
+        async def run():
+            server = await _start_server()
+            try:
+                await _roundtrip(server, write_std(trace))
+                stats = await _roundtrip(server, "/stats\n")
+                data = server.metrics.to_dict(server.manager)
+            finally:
+                await server.close()
+            return stats, data
+
+        stats, data = asyncio.run(run())
+        assert "worker_restarts 0" in stats.splitlines()
+        assert "shutdown_escalations 0" in stats.splitlines()
+        assert data["supervision"] == {
+            "worker_restarts": 0, "heartbeat_timeouts": 0,
+            "snapshot_fallbacks": 0, "shutdown_escalations": 0,
+        }
+
+    def test_metrics_fold_supervision_off_results(self):
+        metrics = ServeMetrics()
+
+        class _Result:
+            events = 10
+            supervision = {
+                "worker_restarts": 2, "heartbeat_timeouts": 1,
+                "snapshot_fallbacks": 0, "shutdown_escalations": 3,
+                "restarts_by_shard": {0: 2},
+            }
+
+            def items(self):
+                return []
+
+        metrics.record_result(_Result())
+        metrics.record_result(_Result())
+        assert metrics.supervision["worker_restarts"] == 4
+        assert metrics.supervision["heartbeat_timeouts"] == 2
+        assert metrics.supervision["shutdown_escalations"] == 6
+        lines = metrics.render_lines()
+        assert "worker_restarts 4" in lines
+        assert metrics.to_dict()["supervision"]["worker_restarts"] == 4
