@@ -47,6 +47,7 @@ from repro.engine import (
     Checkpointer,
     CheckpointError,
     CheckpointMismatchError,
+    CoordinatorFailure,
     CountingSource,
     EngineConfig,
     EngineResult,
@@ -59,6 +60,7 @@ from repro.engine import (
     OnlineValidator,
     QueueSource,
     RaceEngine,
+    RunSupervisor,
     ShardedEngine,
     ShardedResult,
     SimulatorSource,
@@ -80,6 +82,13 @@ from repro.api import (
     run_engine,
     run_engine_async,
     start_race_server,
+)
+from repro.client import (
+    PushError,
+    PushOutcome,
+    RaceClient,
+    RetriesExhausted,
+    push_trace,
 )
 from repro.serve import (
     Overloaded,
@@ -125,6 +134,8 @@ __all__ = [
     "Checkpointer",
     "CheckpointError",
     "CheckpointMismatchError",
+    "CoordinatorFailure",
+    "RunSupervisor",
     "EngineConfig",
     "EngineResult",
     "Fault",
@@ -155,6 +166,11 @@ __all__ = [
     "run_engine_async",
     "start_race_server",
     "Overloaded",
+    "PushError",
+    "PushOutcome",
+    "RaceClient",
+    "RetriesExhausted",
+    "push_trace",
     "QuotaManager",
     "RaceServer",
     "ServeMetrics",

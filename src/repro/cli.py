@@ -1,18 +1,25 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     repro-race analyze TRACE_FILE [--detector wcp,hb] [--stream] [--window N]
                        [--first-race] [--max-events N] [--json OUT]
                        [--checkpoint DIR [--checkpoint-every N] | --resume DIR]
+                       [--auto-resume N]
     repro-race compare TRACE_FILE [--detectors wcp,hb] [--stream]
     repro-race serve (--port N | --socket PATH) [--detector wcp] [--once]
-                     [--checkpoint-dir DIR]
+                     [--checkpoint-dir DIR] [--handshake-timeout S]
+    repro-race push TRACE_FILE (--port N | --socket PATH) [--stream-id ID]
+                    [--retries N]
     repro-race bench [--benchmark NAME ...] [--scale 0.1] [--detectors wcp,hb]
     repro-race generate BENCHMARK -o trace.std [--scale 0.1] [--seed 0]
     repro-race stats TRACE_FILE
     repro-race witness TRACE_FILE [--detector wcp] [--max-states N]
 
+``analyze --auto-resume N`` executes the run in a supervised child
+process that survives up to N coordinator crashes by resuming from the
+newest checkpoint; ``push`` streams a trace file to a ``serve`` instance
+with automatic retry, backoff and mid-stream reconnect.
 ``analyze`` runs one or more detectors (comma-separated) on a logged trace
 file (STD or CSV format) in a single engine pass; with ``--stream`` the
 file is parsed lazily and analysed without ever materialising a full
@@ -51,8 +58,10 @@ from repro.api import (
 )
 from repro.bench.suite import BENCHMARKS, get_benchmark
 from repro.engine import (
+    CoordinatorFailure,
     EngineConfig,
     FileSource,
+    RunSupervisor,
     ValidatingSource,
     WorkerFailure,
 )
@@ -95,6 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--checkpoint-every", type=_positive_int, default=10_000, metavar="N",
         help="events between checkpoints under --checkpoint (default 10000)",
+    )
+    analyze.add_argument(
+        "--auto-resume", type=_nonnegative_int, default=None, metavar="N",
+        help="run the analysis in a supervised child process that "
+             "survives up to N coordinator crashes (SIGKILL, OOM): each "
+             "crash resumes from the newest checkpoint with reports "
+             "identical to an uninterrupted run.  Checkpoints go to "
+             "--checkpoint/--resume DIR when given, else to a private "
+             "temporary directory",
     )
     analyze.add_argument(
         "--stream", action="store_true",
@@ -210,6 +228,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="events between per-connection checkpoints (default 10000)",
     )
     serve.add_argument(
+        "--handshake-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="drop a connection that has not sent its first line within "
+             "SECONDS so silent peers cannot pin admission slots (counted "
+             "as handshake_timeout in /stats; 0 disables; default 30)",
+    )
+    serve.add_argument(
         "--once", action="store_true",
         help="handle exactly one connection, then exit with analyze-style "
              "status (1 when races were found, 2 on a rejected stream)",
@@ -272,6 +296,50 @@ def _build_parser() -> argparse.ArgumentParser:
     # serve is inherently streaming: detector construction follows the
     # --stream conventions (WCP log reclamation unless opted out).
     serve.set_defaults(stream=True)
+
+    push = subparsers.add_parser(
+        "push",
+        help="stream a trace file to a serve instance with automatic "
+             "retry, backoff and mid-stream reconnect",
+    )
+    push.add_argument("trace", help="path to a .std trace file to stream")
+    push_target = push.add_mutually_exclusive_group(required=True)
+    push_target.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="connect to TCP port N",
+    )
+    push_target.add_argument(
+        "--socket", dest="unix_socket", default=None, metavar="PATH",
+        help="connect to a unix domain socket at PATH",
+    )
+    push.add_argument(
+        "--host", default="127.0.0.1",
+        help="server address for --port (default: 127.0.0.1)",
+    )
+    push.add_argument(
+        "--stream-id", default=None, metavar="ID",
+        help="stable stream identity: against a server running with "
+             "--checkpoint-dir, a severed connection reconnects and "
+             "replays exactly from the server's 'resume <offset>' reply "
+             "instead of restarting the stream",
+    )
+    push.add_argument(
+        "--retries", type=_nonnegative_int, default=5, metavar="N",
+        help="reconnect attempts after the first failure (default 5); "
+             "Overloaded replies honor the server's retry-after hint",
+    )
+    push.add_argument(
+        "--backoff", type=float, default=0.1, metavar="SECONDS",
+        help="base of the exponential reconnect backoff (default 0.1)",
+    )
+    push.add_argument(
+        "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-attempt connection timeout (default 5)",
+    )
+    push.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print retry/reconnect counters to stderr after the push",
+    )
 
     bench = subparsers.add_parser("bench", help="run the Table 1 benchmark suite")
     bench.add_argument(
@@ -430,6 +498,55 @@ def _make_source(args: argparse.Namespace):
     return load_trace(args.trace, validate=validate)
 
 
+def _print_resume_provenance(directory: str) -> None:
+    """One stderr line naming what --resume actually restored.
+
+    Best-effort: an unreadable directory stays silent here and surfaces
+    through ``resume_engine``'s own actionable error instead.
+    """
+    from repro.engine.checkpoint import Checkpointer
+
+    checkpointer = Checkpointer(directory)
+    try:
+        loaded = checkpointer.load_resumable()
+    except ValueError:
+        return
+    path = os.path.join(
+        str(directory), Checkpointer._PATTERN % loaded.events
+    )
+    stamps = ", ".join(
+        "%s[snapshot v%s]" % (
+            stamp.get("name", "?"), stamp.get("snapshot_version", "?")
+        )
+        for stamp in loaded.stamps or []
+    ) or "from checkpoint"
+    print(
+        "resuming from %s: event offset %d, detectors %s"
+        % (path, loaded.events, stamps),
+        file=sys.stderr,
+    )
+
+
+def _run_supervised(args: argparse.Namespace, config: EngineConfig):
+    """Run analyze under the crash-surviving coordinator supervisor."""
+    supervisor = RunSupervisor(
+        lambda: _make_source(args),
+        config=config,
+        checkpoint_dir=args.checkpoint or args.resume,
+        checkpoint_every=args.checkpoint_every,
+        retries=args.auto_resume,
+    )
+    result = supervisor.run()
+    if supervisor.restarts:
+        print(
+            "auto-resume: engine process restarted %d time(s); the run "
+            "completed from checkpoints in %s"
+            % (supervisor.restarts, supervisor.checkpoint_dir),
+            file=sys.stderr,
+        )
+    return result
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     detectors = None
     try:
@@ -444,9 +561,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print("--window cannot be combined with --shards (windowed "
                   "detectors are not shardable)", file=sys.stderr)
             return 2
-        if args.checkpoint or args.resume:
-            print("--window cannot be combined with --checkpoint/--resume "
-                  "(windowed detectors do not support state snapshots)",
+        if args.checkpoint or args.resume or args.auto_resume is not None:
+            print("--window cannot be combined with --checkpoint/--resume/"
+                  "--auto-resume (windowed detectors do not support state "
+                  "snapshots)",
                   file=sys.stderr)
             return 2
         detectors = [WindowedDetector(inner, args.window) for inner in detectors]
@@ -462,13 +580,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         config.with_checkpoints(args.checkpoint, every=args.checkpoint_every)
 
     try:
-        if args.resume:
+        if args.auto_resume is not None:
+            result = _run_supervised(args, config)
+        elif args.resume:
+            _print_resume_provenance(args.resume)
             result = resume_engine(
                 _make_source(args), args.resume, config=config
             )
         else:
             result = run_engine(_make_source(args), config=config)
-    except (ValueError, WorkerFailure) as error:
+    except (ValueError, WorkerFailure, CoordinatorFailure) as error:
         print(str(error), file=sys.stderr)
         return 2
     for position, report in enumerate(result.values()):
@@ -654,6 +775,9 @@ def _make_serve_server(args: argparse.Namespace, on_session_end=None):
         idle_evict_after_s=args.idle_evict_after,
         metrics_port=args.metrics_port,
         install_signal_handlers=True,
+        handshake_timeout_s=(
+            args.handshake_timeout if args.handshake_timeout > 0 else None
+        ),
     )
     return RaceServer(
         factory, config=config, settings=settings,
@@ -734,6 +858,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_push(args: argparse.Namespace) -> int:
+    from repro.client import PushError, RaceClient, RetriesExhausted
+
+    client = RaceClient(
+        host=args.host,
+        port=args.port if args.port is not None else 8787,
+        socket_path=args.unix_socket,
+        stream_id=args.stream_id,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        connect_timeout_s=args.connect_timeout,
+    )
+    try:
+        outcome = client.push(args.trace)
+    except RetriesExhausted as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except PushError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except OSError as error:
+        print("push failed: %s" % error, file=sys.stderr)
+        return 2
+    for line in outcome.lines:
+        print(line)
+    if args.verbose:
+        counters = ", ".join(
+            "%s=%s" % (name, value)
+            for name, value in sorted(client.stats.items()) if value
+        )
+        print("push stats: %s" % (counters or "clean first-try push"),
+              file=sys.stderr)
+    return 1 if outcome.has_race() else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     names = args.benchmark or sorted(BENCHMARKS)
     unknown = [name for name in names if name not in BENCHMARKS]
@@ -770,6 +929,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "push":
+        return _cmd_push(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "generate":

@@ -42,6 +42,7 @@ from repro.engine.partition import (
     StreamPartitioner,
     make_policy,
 )
+from repro.engine.runner import CoordinatorFailure, RunSupervisor
 from repro.engine.sharding import ShardedEngine, ShardedResult
 from repro.engine.supervision import SupervisionSettings, WorkerFailure
 from repro.engine.sources import (
@@ -68,9 +69,11 @@ __all__ = [
     "Checkpointer",
     "CheckpointError",
     "CheckpointMismatchError",
+    "CoordinatorFailure",
     "EngineConfig",
     "Fault",
     "FaultPlan",
+    "RunSupervisor",
     "SupervisionSettings",
     "WorkerDied",
     "WorkerFailure",

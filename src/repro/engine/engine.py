@@ -96,6 +96,7 @@ class EngineResult:
         elapsed_s: float,
         stop_reason: str,
         snapshots: List[ReportSnapshot],
+        supervision: Optional[Dict[str, int]] = None,
     ) -> None:
         self.source_name = source_name
         self.reports = reports
@@ -103,6 +104,10 @@ class EngineResult:
         self.elapsed_s = elapsed_s
         self.stop_reason = stop_reason
         self.snapshots = snapshots
+        #: Recovery counters (sharded worker supervision and/or the run
+        #: supervisor's ``coordinator_restarts``); None for a plain
+        #: unsupervised pass.
+        self.supervision = supervision
 
     # Mapping-style access -------------------------------------------------
 

@@ -70,10 +70,15 @@ DUPLICATE_ACK = "duplicate_ack"
 CORRUPT_SNAPSHOT = "corrupt_snapshot"
 PIPE_EOF = "pipe_eof"
 DISCONNECT = "disconnect"
+KILL_COORDINATOR = "kill_coordinator"
+CONNECT_REFUSE = "connect_refuse"
+CONNECTION_RESET = "connection_reset"
+CONNECTION_STALL = "connection_stall"
 
 _KINDS = (
     KILL_WORKER, DROP_ACK, DUPLICATE_ACK, CORRUPT_SNAPSHOT, PIPE_EOF,
-    DISCONNECT,
+    DISCONNECT, KILL_COORDINATOR, CONNECT_REFUSE, CONNECTION_RESET,
+    CONNECTION_STALL,
 )
 
 
@@ -137,6 +142,35 @@ class Fault:
     def disconnect(cls, at_event: int) -> "Fault":
         """Serve tier: drop the client connection at event ``at_event``."""
         return cls(DISCONNECT, None, at_event)
+
+    @classmethod
+    def kill_coordinator(cls, at_event: int) -> "Fault":
+        """Hard-kill the supervised engine process at event ``at_event``.
+
+        Consumed by the run supervisor
+        (:class:`~repro.engine.runner.RunSupervisor`): the next child
+        process it spawns ``os._exit``\\ s once its source has emitted
+        ``at_event`` events (an absolute stream offset, resumes
+        included) -- indistinguishable from a SIGKILL/OOM from the
+        supervisor's side.  One-shot per fault: plan N kills to crash N
+        successive children.
+        """
+        return cls(KILL_COORDINATOR, None, at_event)
+
+    @classmethod
+    def refuse_connect(cls, attempt: int) -> "Fault":
+        """Client: refuse the ``attempt``-th connection attempt (0-based)."""
+        return cls(CONNECT_REFUSE, None, attempt)
+
+    @classmethod
+    def reset_connection(cls, at_event: int) -> "Fault":
+        """Client: reset the connection mid-line at sent event ``at_event``."""
+        return cls(CONNECTION_RESET, None, at_event)
+
+    @classmethod
+    def stall_connection(cls, read: int) -> "Fault":
+        """Client: time out the ``read``-th response read (0-based)."""
+        return cls(CONNECTION_STALL, None, read)
 
     def __repr__(self) -> str:
         return "Fault(%s, shard=%r, at=%d%s)" % (
@@ -214,6 +248,26 @@ class FaultPlan:
     def disconnect_at(self, events: int) -> bool:
         """Serve tier: True when the client connection drops at ``events``."""
         return self._fire(DISCONNECT, None, events)
+
+    def take_coordinator_kill(self) -> Optional[int]:
+        """Consume and return the coordinator-kill event threshold."""
+        for fault in self.faults:
+            if not fault.fired and fault.kind == KILL_COORDINATOR:
+                fault.fired = True
+                return fault.at
+        return None
+
+    def refuse_connect(self, attempt: int) -> bool:
+        """Client: True when connection attempt ``attempt`` must be refused."""
+        return self._fire(CONNECT_REFUSE, None, attempt)
+
+    def reset_connection_at(self, events: int) -> bool:
+        """Client: True when the connection resets at sent event ``events``."""
+        return self._fire(CONNECTION_RESET, None, events)
+
+    def stall_read_at(self, read: int) -> bool:
+        """Client: True when response read ``read`` must time out."""
+        return self._fire(CONNECTION_STALL, None, read)
 
     # -- bookkeeping ----------------------------------------------------- #
 

@@ -516,9 +516,15 @@ class _ThreadTransport:
         worker: _ShardWorker,
         restore: Optional[dict] = None,
         plan=None,
+        stall_timeout_s: Optional[float] = None,
     ) -> None:
         self.worker = worker
         self._restore = restore
+        #: Longest the coordinator will block on a full queue (or an
+        #: unanswered snapshot) before declaring a hung-but-alive worker
+        #: thread dead.  None keeps the pre-supervision spin-forever
+        #: behaviour (serial paths and direct construction in tests).
+        self.stall_timeout_s = stall_timeout_s
         self.queue: "queue_module.Queue" = queue_module.Queue(maxsize=8)
         self.error: Optional[str] = None
         self.result: Optional[dict] = None
@@ -575,8 +581,27 @@ class _ThreadTransport:
             return "worker thread exited without a result"
         return None
 
+    def _declare_stalled(self, what: str) -> None:
+        """A live-but-hung worker thread is dead for supervision purposes.
+
+        Python cannot kill a thread, so the transport is condemned
+        instead: the zombie keeps idling on its (abandoned) queue and
+        exits with the daemon, while the supervisor restarts the shard
+        on a fresh transport.  The raised death is tagged ``stalled`` so
+        it is counted as a heartbeat timeout, not a crash.
+        """
+        cause = (
+            "%s for %.1fs; worker thread is alive but stalled, "
+            "declaring it dead" % (what, self.stall_timeout_s)
+        )
+        self.dead = cause
+        death = WorkerDied(self.worker.shard_id, cause)
+        death.stalled = True
+        raise death
+
     def _put(self, item) -> None:
         """Bounded put that notices worker death instead of deadlocking."""
+        deadline = None
         while True:
             cause = self._death_cause()
             if cause is not None:
@@ -585,7 +610,13 @@ class _ThreadTransport:
                 self.queue.put(item, timeout=0.05)
                 return
             except queue_module.Full:
-                continue
+                if self.stall_timeout_s is None:
+                    continue
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + self.stall_timeout_s
+                elif now >= deadline:
+                    self._declare_stalled("no batch consumed")
 
     def send(self, batch: List[tuple]) -> None:
         self._put(batch)
@@ -607,10 +638,16 @@ class _ThreadTransport:
 
     def snapshot_end(self, token) -> dict:
         holder, done = token
+        deadline = (
+            None if self.stall_timeout_s is None
+            else time.monotonic() + self.stall_timeout_s
+        )
         while not done.wait(0.05):
             cause = self._death_cause()
             if cause is not None:
                 raise WorkerDied(self.worker.shard_id, cause)
+            if deadline is not None and time.monotonic() >= deadline:
+                self._declare_stalled("snapshot request unanswered")
         if self.error is not None:
             raise RuntimeError(
                 "shard %d worker failed:\n%s" % (self.worker.shard_id, self.error)
@@ -626,7 +663,9 @@ class _ThreadTransport:
 
     def finish(self) -> dict:
         self._put(None)
-        self.thread.join()
+        self.thread.join(self.stall_timeout_s)
+        if self.stall_timeout_s is not None and self.thread.is_alive():
+            self._declare_stalled("finish unacknowledged")
         cause = self._death_cause()
         if cause is not None:
             raise WorkerDied(self.worker.shard_id, cause)
@@ -1323,7 +1362,13 @@ class ShardedEngine:
                     source_name, kill_at=kill_at,
                 )
                 if mode == "thread":
-                    return _ThreadTransport(worker, state, plan=plan)
+                    return _ThreadTransport(
+                        worker, state, plan=plan,
+                        # Proactive restart: a hung-but-alive thread
+                        # worker is declared dead on heartbeat expiry
+                        # even when nothing is in flight to ack.
+                        stall_timeout_s=settings.heartbeat_s,
+                    )
                 return _SerialTransport(worker, state, plan=plan)
 
             return factory

@@ -207,7 +207,7 @@ class SupervisedTransport:
         try:
             self._raw_send(batch)
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
         settings = self.settings
         if (
             self.recoverable
@@ -220,21 +220,21 @@ class SupervisedTransport:
         try:
             return self.transport.poll_progress()
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
             return self.transport.poll_progress()
 
     def poll_delta(self):
         try:
             return self.transport.poll_delta()
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
             return None
 
     def snapshot_begin(self):
         try:
             return ("ok", self.transport.snapshot_begin())
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
             return ("failed", None)
 
     def snapshot_end(self, token) -> dict:
@@ -245,7 +245,7 @@ class SupervisedTransport:
                 self._store_snapshot(state)
                 return state
             except WorkerDied as death:
-                self._failover(death.cause)
+                self._handle_death(death)
         # The worker died mid-request (or before it): the restarted
         # worker has replayed everything sent, so its state is the state
         # the dead one would have reported.
@@ -256,7 +256,7 @@ class SupervisedTransport:
         try:
             state = self.transport.snapshot()
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
             state = self.transport.snapshot()
         self._store_snapshot(state)
         return state
@@ -265,7 +265,7 @@ class SupervisedTransport:
         try:
             payload = self.transport.finish()
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
             payload = self.transport.finish()
         self._finished = True
         self._buffer = []
@@ -290,7 +290,7 @@ class SupervisedTransport:
         try:
             self.transport.poll_progress()
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
             return
         now = time.monotonic()
         acked = self.transport.acked()
@@ -309,6 +309,18 @@ class SupervisedTransport:
                 % (now - self._last_ack_change, self.outstanding())
             )
 
+    def _handle_death(self, death: WorkerDied) -> None:
+        """Classify a transport-raised death, then fail over.
+
+        A death tagged ``stalled`` (hung-but-alive thread worker
+        condemned on heartbeat expiry by the transport itself) is a
+        heartbeat timeout, not a crash -- counted as such so operators
+        can tell wedged workers from dying ones.
+        """
+        if getattr(death, "stalled", False):
+            self.stats["heartbeat_timeouts"] += 1
+        self._failover(death.cause)
+
     # ------------------------------------------------------------------ #
     # Snapshots and the replay buffer
     # ------------------------------------------------------------------ #
@@ -318,7 +330,7 @@ class SupervisedTransport:
         try:
             state = self.transport.snapshot()
         except WorkerDied as death:
-            self._failover(death.cause)
+            self._handle_death(death)
             return
         self._store_snapshot(state)
 
@@ -431,7 +443,7 @@ class SupervisedTransport:
                     self._raw_send(batch)
                 except WorkerDied as death:
                     # Died again mid-replay: recurse (budget-bounded).
-                    self._failover(death.cause)
+                    self._handle_death(death)
                     return
 
     def _raw_send(self, batch: List[tuple]) -> None:

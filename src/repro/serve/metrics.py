@@ -39,6 +39,7 @@ _COUNTERS = (
     "drained",
     "disconnected",
     "errored",
+    "handshake_timeout",
 )
 
 #: Sharded-engine supervision counters folded off completed results, in
@@ -48,6 +49,7 @@ _SUPERVISION_COUNTERS = (
     "heartbeat_timeouts",
     "snapshot_fallbacks",
     "shutdown_escalations",
+    "coordinator_restarts",
 )
 
 

@@ -104,6 +104,15 @@ class _Draining(Exception):
     """Internal control flow: drain fired while a session was mid-handshake."""
 
 
+class _HandshakeTimeout(Exception):
+    """Internal control flow: the first line never arrived in time.
+
+    A connection that never says anything would otherwise pin an
+    admission slot forever; it is dropped, counted under the
+    ``handshake_timeout`` metric, and never a traceback.
+    """
+
+
 class ServeSettings:
     """Every serve-tier knob in one bag (the CLI maps flags onto this)."""
 
@@ -123,6 +132,7 @@ class ServeSettings:
         metrics_port: Optional[int] = None,
         install_signal_handlers: bool = False,
         fault_plan=None,
+        handshake_timeout_s: Optional[float] = 30.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -146,6 +156,9 @@ class ServeSettings:
         #: so the disconnect governance below is testable without timing
         #: games.
         self.fault_plan = fault_plan
+        #: Longest a connection may stay silent before its first line;
+        #: None disables the bound (the pre-PR-8 behaviour).
+        self.handshake_timeout_s = handshake_timeout_s
 
     def __repr__(self) -> str:
         return "ServeSettings(host=%r, port=%r, socket=%r)" % (
@@ -257,6 +270,19 @@ class SessionDriver:
         except _Draining:
             await self._reply(_DRAIN_REFUSAL)
             return None
+        except _HandshakeTimeout:
+            self._count("handshake_timeout")
+            if self.session is not None:
+                self.session.error = "no handshake line (timed out)"
+            logger.info(
+                "handshake timeout session=%s after %.0fs",
+                self._label(), self.settings.handshake_timeout_s,
+            )
+            await self._reply(
+                "error Timeout: no handshake line within %.0fs; closing\n"
+                % self.settings.handshake_timeout_s
+            )
+            return None
         except _DISCONNECTS:
             self._note_disconnect("handshake")
             return None
@@ -304,13 +330,20 @@ class SessionDriver:
         return self.server is not None or self.checkpoint_dir is not None
 
     async def _readline_first(self) -> bytes:
-        """Read the handshake line, racing it against the drain signal."""
+        """Read the handshake line, racing it against drain and the clock."""
+        timeout = self.settings.handshake_timeout_s
         if self.drain_event is None:
-            return await self.reader.readline()
+            if timeout is None:
+                return await self.reader.readline()
+            try:
+                return await asyncio.wait_for(self.reader.readline(), timeout)
+            except asyncio.TimeoutError:
+                raise _HandshakeTimeout() from None
         read = asyncio.ensure_future(self.reader.readline())
         drain = asyncio.ensure_future(self.drain_event.wait())
         done, _ = await asyncio.wait(
-            {read, drain}, return_when=asyncio.FIRST_COMPLETED
+            {read, drain}, timeout=timeout,
+            return_when=asyncio.FIRST_COMPLETED,
         )
         if read in done:
             drain.cancel()
@@ -320,7 +353,10 @@ class SessionDriver:
             await read
         except (asyncio.CancelledError, *_DISCONNECTS, ValueError):
             pass
-        raise _Draining()
+        if drain in done:
+            raise _Draining()
+        drain.cancel()
+        raise _HandshakeTimeout()
 
     async def _handshake(self) -> bool:
         if not self._peeks:

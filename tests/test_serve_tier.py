@@ -967,6 +967,7 @@ class TestServeFaultInjection:
         assert data["supervision"] == {
             "worker_restarts": 0, "heartbeat_timeouts": 0,
             "snapshot_fallbacks": 0, "shutdown_escalations": 0,
+            "coordinator_restarts": 0,
         }
 
     def test_metrics_fold_supervision_off_results(self):
@@ -991,3 +992,43 @@ class TestServeFaultInjection:
         lines = metrics.render_lines()
         assert "worker_restarts 4" in lines
         assert metrics.to_dict()["supervision"]["worker_restarts"] == 4
+
+
+# --------------------------------------------------------------------- #
+# Handshake timeout (serve --handshake-timeout)
+# --------------------------------------------------------------------- #
+
+
+class TestHandshakeTimeout:
+    def test_silent_connection_is_bounded_and_counted(self):
+        """A connection that never sends its first line is answered with
+        one actionable error line (no traceback) and counted."""
+
+        async def run():
+            server = await _start_server(
+                settings=ServeSettings(port=0, handshake_timeout_s=0.2),
+            )
+            reader, writer = await _connect(server)
+            response = (await reader.read()).decode("utf-8")
+            writer.close()
+            assert response.startswith("error Timeout: no handshake line")
+            await _until(
+                lambda: server.metrics.counters["handshake_timeout"] == 1
+            )
+            assert "handshake_timeout 1" in server.metrics.render_lines()
+            await server.close()
+
+        asyncio.run(run())
+
+    def test_prompt_first_line_is_unaffected(self):
+        async def run():
+            server = await _start_server(
+                settings=ServeSettings(port=0, handshake_timeout_s=5.0),
+            )
+            trace = random_trace(seed=3, n_events=40, n_threads=3, n_vars=3)
+            response = await _roundtrip(server, write_std(trace))
+            assert "done" in response
+            assert server.metrics.counters["handshake_timeout"] == 0
+            await server.close()
+
+        asyncio.run(run())

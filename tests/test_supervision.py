@@ -27,7 +27,8 @@ from repro import (
 )
 from repro.cli import main
 from repro.engine.faults import corrupt_blob
-from repro.engine.sharding import _ProcessTransport
+from repro.engine.faults import WorkerDied
+from repro.engine.sharding import _ProcessTransport, _ShardWorker, _ThreadTransport
 from repro.engine.supervision import SupervisedTransport, new_supervision_stats
 from repro.trace.event import EventType
 from repro.trace.writers import dump_trace
@@ -636,3 +637,111 @@ class TestQueueSourceGovernance:
         producer.start()
         assert len(list(source)) == 1
         producer.join()
+
+
+# --------------------------------------------------------------------- #
+# Hung-but-alive thread workers (heartbeat-expiry stall detection)
+# --------------------------------------------------------------------- #
+
+
+class _HungThreadWorker:
+    """A worker whose thread stays alive but never makes progress."""
+
+    def __init__(self, shard_id=0, hang_on_batch=0):
+        self.shard_id = shard_id
+        self.hang_on_batch = hang_on_batch
+        self.batches = 0
+        self.block = threading.Event()  # never set: alive but stalled
+
+    def start(self):
+        pass
+
+    def process_batch(self, batch):
+        if self.batches == self.hang_on_batch:
+            self.block.wait()
+        self.batches += 1
+
+    def progress(self):
+        return self.batches
+
+    def snapshot_state(self):
+        return {"events": 0, "blobs": []}
+
+    def finish(self):
+        return {"events": 0, "busy_s": 0.0, "blobs": []}
+
+
+class TestThreadStallDetection:
+    """Python cannot kill a thread, so a hung-but-alive thread worker
+    must be *declared* dead once the heartbeat expires -- tagged as a
+    stall so supervision counts it as a heartbeat timeout, not a crash."""
+
+    def test_full_queue_stall_is_declared_dead(self):
+        worker = _HungThreadWorker()
+        transport = _ThreadTransport(worker, stall_timeout_s=0.2)
+        try:
+            with pytest.raises(WorkerDied) as excinfo:
+                for _ in range(32):  # 1 consumed + 8 queued, then blocked
+                    transport.send([("event",)])
+            assert getattr(excinfo.value, "stalled", False)
+            assert "alive but stalled" in str(excinfo.value)
+            assert not transport.alive()
+        finally:
+            worker.block.set()
+
+    def test_unanswered_snapshot_is_declared_dead(self):
+        worker = _HungThreadWorker()
+        transport = _ThreadTransport(worker, stall_timeout_s=0.2)
+        try:
+            transport.send([("event",)])
+            token = transport.snapshot_begin()
+            with pytest.raises(WorkerDied) as excinfo:
+                transport.snapshot_end(token)
+            assert getattr(excinfo.value, "stalled", False)
+        finally:
+            worker.block.set()
+
+    def test_hung_finish_is_declared_dead(self):
+        worker = _HungThreadWorker()
+        transport = _ThreadTransport(worker, stall_timeout_s=0.2)
+        try:
+            transport.send([("event",)])
+            with pytest.raises(WorkerDied) as excinfo:
+                transport.finish()
+            assert getattr(excinfo.value, "stalled", False)
+        finally:
+            worker.block.set()
+
+    def test_no_timeout_preserves_direct_construction(self):
+        # Serial paths and direct construction keep the pre-supervision
+        # behaviour: no deadline, a healthy worker finishes normally.
+        worker = _HungThreadWorker(hang_on_batch=10 ** 9)
+        transport = _ThreadTransport(worker)
+        assert transport.stall_timeout_s is None
+        transport.send([("event",)])
+        assert transport.finish()["events"] == 0
+
+    def test_hung_thread_worker_is_proactively_restarted(self, monkeypatch):
+        """End to end: one shard's worker thread hangs mid-run; the
+        heartbeat declares it dead, the supervisor restarts the shard
+        from snapshot+replay, and the merged report keeps parity."""
+        block = threading.Event()
+        state = {"hung": False}
+        original = _ShardWorker.process_batch
+
+        def hang_once(self, batch):
+            if not state["hung"]:
+                state["hung"] = True
+                block.wait()  # this thread never progresses again
+            return original(self, batch)
+
+        monkeypatch.setattr(_ShardWorker, "process_batch", hang_once)
+        trace = fork_join_trace(5, workers=3, steps=120)
+        try:
+            result = _sharded(trace, None, "thread", heartbeat_s=0.3)
+        finally:
+            block.set()  # release the zombie daemon thread
+        assert state["hung"]
+        _assert_parity(trace, result)
+        assert result.supervision["heartbeat_timeouts"] >= 1
+        assert result.supervision["worker_restarts"] >= 1
