@@ -20,6 +20,7 @@ from repro.analysis.metrics import (
     long_distance_races,
     queue_statistics,
     trace_summary,
+    event_census,
 )
 from repro.analysis.compare import BenchmarkRow, compare_on_trace, run_table
 from repro.analysis.tables import format_table
@@ -43,6 +44,7 @@ __all__ = [
     "long_distance_races",
     "queue_statistics",
     "trace_summary",
+    "event_census",
     "BenchmarkRow",
     "compare_on_trace",
     "run_table",

@@ -65,3 +65,12 @@ def trace_summary(trace: Trace) -> Dict[str, int]:
         "locks": stats["locks"],
         "variables": stats["variables"],
     }
+
+
+def event_census(trace: Trace) -> Dict[str, int]:
+    """Per-event-type census (canonical wire token -> count).
+
+    Only event kinds that actually occur in the trace appear; the CLI's
+    ``stats`` subcommand prints this as its census column.
+    """
+    return trace.census()

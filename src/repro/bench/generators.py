@@ -177,3 +177,176 @@ class FillerMill:
         """Append roughly ``approximate_events`` filler events."""
         blocks = max(0, approximate_events // 4)
         self.emit(blocks)
+
+
+def mixed_vocabulary_events(
+    events: List[Event],
+    rng: random.Random,
+    threads: List[str],
+    steps: int,
+    mutexes: int = 2,
+    rwlocks: int = 2,
+    monitors: int = 1,
+    barriers: int = 1,
+    variables: int = 4,
+    loc_prefix: str = "mix",
+) -> None:
+    """Append a random, well-formed workload over the full event vocabulary.
+
+    The generator only ever emits *legal moves* against the same lock
+    discipline :class:`~repro.trace.semantics.LockDiscipline` enforces
+    (mutexes and rwlock write sections are exclusive, read sections are
+    not re-entrant, releases close the innermost open section with the
+    matching release kind, ``wait`` only fires on a free monitor), so the
+    result always passes ``Trace(validate=True)`` -- the fuzz tests rely
+    on that to compare serial, sharded and async runs on arbitrary seeds.
+
+    A deterministic preamble touches every event kind once (fork/join,
+    begin, both rwlock modes, barrier, wait/notify), so even tiny ``steps``
+    values exercise the whole registry; the random tail then interleaves
+    the vocabulary freely.  Namespaces (``mx*``/``rw*``/``mon*``/``b*``)
+    are disjoint so a name is never used as two different lock kinds.
+    """
+    mutex_names = ["%s_mx%d" % (loc_prefix, i) for i in range(max(1, mutexes))]
+    rw_names = ["%s_rw%d" % (loc_prefix, i) for i in range(max(1, rwlocks))]
+    monitor_names = ["%s_mon%d" % (loc_prefix, i) for i in range(max(1, monitors))]
+    barrier_names = ["%s_b%d" % (loc_prefix, i) for i in range(max(1, barriers))]
+    variable_names = ["%s_x%d" % (loc_prefix, i) for i in range(max(1, variables))]
+
+    #: lock -> exclusively holding thread (mutexes, monitors, write mode).
+    holder: dict = {}
+    #: rwlock -> set of read-holding threads.
+    read_holders: dict = {rw: set() for rw in rw_names}
+    #: thread -> innermost-last stack of (lock, closing EventType, mode).
+    stacks: dict = {thread: [] for thread in threads}
+
+    def loc() -> str:
+        return "%s.%d" % (loc_prefix, len(events))
+
+    def emit(thread: str, etype: EventType, target: Optional[str]) -> None:
+        _append(events, thread, etype, target, loc())
+
+    def open_excl(thread: str, etype: EventType, lock: str,
+                  closer: EventType) -> None:
+        emit(thread, etype, lock)
+        holder[lock] = thread
+        stacks[thread].append((lock, closer, "excl"))
+
+    def close_innermost(thread: str) -> None:
+        lock, closer, mode = stacks[thread].pop()
+        emit(thread, closer, lock)
+        if mode == "read":
+            read_holders[lock].discard(thread)
+        else:
+            holder.pop(lock, None)
+
+    # ---- deterministic coverage preamble ----------------------------- #
+    t0, t1 = threads[0], threads[1 % len(threads)]
+    child = "%s_child" % loc_prefix
+    for thread in threads:
+        emit(thread, EventType.BEGIN, None)
+    emit(t0, EventType.FORK, child)
+    emit(child, EventType.BEGIN, None)
+    emit(child, EventType.WRITE, "%s_xfork" % loc_prefix)
+    emit(child, EventType.END, None)
+    emit(t0, EventType.JOIN, child)
+    open_excl(t0, EventType.RACQ_W, rw_names[0], EventType.RREL)
+    emit(t0, EventType.WRITE, variable_names[0])
+    close_innermost(t0)
+    emit(t1, EventType.RACQ_R, rw_names[0])
+    read_holders[rw_names[0]].add(t1)
+    stacks[t1].append((rw_names[0], EventType.RREL, "read"))
+    emit(t1, EventType.READ, variable_names[0])
+    close_innermost(t1)
+    for thread in (t0, t1):
+        emit(thread, EventType.BARRIER, barrier_names[0])
+    open_excl(t0, EventType.ACQUIRE, monitor_names[0], EventType.RELEASE)
+    emit(t0, EventType.WRITE, variable_names[-1])
+    emit(t0, EventType.NOTIFY, monitor_names[0])
+    close_innermost(t0)
+    open_excl(t1, EventType.WAIT, monitor_names[0], EventType.RELEASE)
+    emit(t1, EventType.READ, variable_names[-1])
+    close_innermost(t1)
+
+    # ---- random tail ------------------------------------------------- #
+    for _ in range(max(0, steps)):
+        thread = rng.choice(threads)
+        stack = stacks[thread]
+        moves = ["access", "access", "barrier", "notify"]
+        if stack:
+            moves.extend(["close", "close"])
+        if len(stack) < 3:
+            free_mutexes = [m for m in mutex_names if m not in holder]
+            if free_mutexes:
+                moves.append("acq")
+            if any(
+                rw not in holder and thread not in read_holders[rw]
+                for rw in rw_names
+            ):
+                moves.append("racq_r")
+            if any(
+                rw not in holder and not read_holders[rw] for rw in rw_names
+            ):
+                moves.append("racq_w")
+            if any(mon not in holder for mon in monitor_names):
+                moves.append("wait")
+        move = rng.choice(moves)
+        if move == "access":
+            etype = EventType.WRITE if rng.random() < 0.5 else EventType.READ
+            emit(thread, etype, rng.choice(variable_names))
+        elif move == "close":
+            close_innermost(thread)
+        elif move == "barrier":
+            emit(thread, EventType.BARRIER, rng.choice(barrier_names))
+        elif move == "notify":
+            emit(thread, EventType.NOTIFY, rng.choice(monitor_names))
+        elif move == "acq":
+            open_excl(
+                thread, EventType.ACQUIRE, rng.choice(free_mutexes),
+                EventType.RELEASE,
+            )
+        elif move == "racq_r":
+            rw = rng.choice([
+                r for r in rw_names
+                if r not in holder and thread not in read_holders[r]
+            ])
+            emit(thread, EventType.RACQ_R, rw)
+            read_holders[rw].add(thread)
+            stack.append((rw, EventType.RREL, "read"))
+        elif move == "racq_w":
+            rw = rng.choice([
+                r for r in rw_names if r not in holder and not read_holders[r]
+            ])
+            open_excl(thread, EventType.RACQ_W, rw, EventType.RREL)
+        elif move == "wait":
+            mon = rng.choice([m for m in monitor_names if m not in holder])
+            open_excl(thread, EventType.WAIT, mon, EventType.RELEASE)
+
+    # ---- epilogue: close every open section, innermost first --------- #
+    for thread in threads:
+        while stacks[thread]:
+            close_innermost(thread)
+        emit(thread, EventType.END, None)
+
+
+def mixed_vocabulary_trace(
+    seed: int = 0,
+    threads: int = 3,
+    steps: int = 200,
+    name: Optional[str] = None,
+):
+    """Build a validated random mixed-vocabulary :class:`Trace`.
+
+    Validation is deliberately on: it is the generator's own discipline
+    self-check, so a fuzz failure always means a detector/engine bug, not
+    a malformed input.
+    """
+    from repro.trace.trace import Trace
+
+    rng = random.Random(seed)
+    events: List[Event] = []
+    thread_names = ["t%d" % i for i in range(max(2, threads))]
+    mixed_vocabulary_events(events, rng, thread_names, steps)
+    return Trace(
+        events, validate=True, name=name or ("mixed-vocab-%d" % seed)
+    )

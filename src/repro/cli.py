@@ -47,7 +47,7 @@ from typing import List, Optional
 
 from repro.analysis.compare import run_table
 from repro.analysis.export import save_report
-from repro.analysis.metrics import trace_summary
+from repro.analysis.metrics import event_census, trace_summary
 from repro.analysis.tables import format_table
 from repro.analysis.windowing import WindowedDetector
 from repro.api import (
@@ -66,7 +66,7 @@ from repro.engine import (
     WorkerFailure,
 )
 from repro.reordering.witness import find_race_witness
-from repro.trace.parsers import load_trace
+from repro.trace.parsers import FORMAT_NAMES, load_trace
 from repro.trace.writers import dump_trace
 
 
@@ -78,7 +78,8 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     analyze = subparsers.add_parser("analyze", help="analyze a trace file")
-    analyze.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+    analyze.add_argument("trace", help="path to a trace file (see --format)")
+    _add_format_argument(analyze)
     analyze.add_argument(
         "--detector", default=None, metavar="NAMES",
         help="comma-separated detector list run in one pass "
@@ -156,7 +157,8 @@ def _build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser(
         "compare", help="run several detectors over one trace in a single pass"
     )
-    compare.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+    compare.add_argument("trace", help="path to a trace file (see --format)")
+    _add_format_argument(compare)
     compare.add_argument(
         "--detectors", default="wcp,hb", metavar="NAMES",
         help="comma-separated detector names (default: wcp,hb)",
@@ -361,7 +363,8 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
 
     stats = subparsers.add_parser("stats", help="print trace summary statistics")
-    stats.add_argument("trace", help="path to a .std/.txt/.csv trace file")
+    stats.add_argument("trace", help="path to a trace file (see --format)")
+    _add_format_argument(stats)
     stats.add_argument(
         "--no-validate", action="store_true",
         help="skip trace well-formedness validation",
@@ -406,6 +409,16 @@ def _nonnegative_int(value: str) -> int:
             "must be >= 0, got %s" % value
         )
     return parsed
+
+
+def _add_format_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--format", default=None, choices=FORMAT_NAMES,
+        help="trace file format: the native std/csv formats or an ingest "
+             "adapter (mtrace kernel lock logs, tsan-like logs); default "
+             "dispatches on the file extension (.csv/.mtrace/.tsan, "
+             "anything else is std)",
+    )
 
 
 def _add_shard_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -492,10 +505,11 @@ def _make_source(args: argparse.Namespace):
     messages).  ``--no-validate`` disables either.
     """
     validate = not getattr(args, "no_validate", False)
+    format = getattr(args, "format", None)
     if args.stream:
-        source = FileSource(args.trace)
+        source = FileSource(args.trace, format=format)
         return ValidatingSource(source) if validate else source
-    return load_trace(args.trace, validate=validate)
+    return load_trace(args.trace, validate=validate, format=format)
 
 
 def _print_resume_provenance(directory: str) -> None:
@@ -662,12 +676,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     # analyze/compare, so a malformed trace errors consistently across
     # subcommands instead of being silently summarised.
     try:
-        trace = load_trace(args.trace, validate=not args.no_validate)
+        trace = load_trace(
+            args.trace,
+            validate=not args.no_validate,
+            format=getattr(args, "format", None),
+        )
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
     for key, value in sorted(trace_summary(trace).items()):
         print("%-10s %d" % (key, value))
+    census = event_census(trace)
+    if census:
+        print()
+        print("event census:")
+        for token, count in sorted(census.items()):
+            print("  %-10s %d" % (token, count))
     if args.detectors:
         try:
             names = _split_detector_names(args.detectors)

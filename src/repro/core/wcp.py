@@ -181,6 +181,8 @@ class _LockState:
         "log", "base", "cursor", "open_entry", "pl", "hl",
         "holder", "tainted", "releasers", "lr", "lw",
         "evicted_acq", "evicted_rel",
+        "read_lr", "read_lw",
+        "read_pl", "read_hl", "notify_p", "notify_h",
     )
 
     def __init__(self) -> None:
@@ -211,6 +213,24 @@ class _LockState:
         #: Rule (a) tables: variable -> cell.
         self.lr: Dict[str, _RuleACell] = {}
         self.lw: Dict[str, _RuleACell] = {}
+        #: Rule (a) cells published by *read-mode* releases (variable ->
+        #: cell).  Kept apart from ``lr``/``lw`` because only accesses
+        #: inside exclusive sections may consume them (read sections do
+        #: not exclude each other), and because read releases are not
+        #: totally ordered -- consumers must always take the full
+        #: ``by_tid`` walk, never the chain fast path.
+        self.read_lr: Dict[str, _RuleACell] = {}
+        self.read_lw: Dict[str, _RuleACell] = {}
+        #: Joined P / H clocks of read-mode rwlock releases since the last
+        #: write-acquire (None = no published read sections).  A
+        #: write-acquire consumes and clears them; read sections do not
+        #: order each other, so read-acquires never look at them.
+        self.read_pl = None
+        self.read_hl = None
+        #: Joined C / H clocks of every notify on this monitor (never
+        #: cleared: notifies wake all present and future waiters).
+        self.notify_p = None
+        self.notify_h = None
 
 
 class WCPDetector(Detector):
@@ -269,7 +289,7 @@ class WCPDetector(Detector):
     #: paper's central property), so a mid-run snapshot is compact and the
     #: checkpoint/resume protocol is supported in full.
     supports_snapshot = True
-    snapshot_version = 1
+    snapshot_version = 2
 
     #: Stream-reclaim only bothers scanning once a lock's log is this long.
     _QUIESCE_LOG_THRESHOLD = 64
@@ -320,8 +340,24 @@ class WCPDetector(Detector):
         # Per-thread stack of open critical sections:
         # (lock, variables read, variables written).
         self._open_sections: List[Optional[list]] = []
+        # Per-thread map of rwlocks currently held in read mode:
+        # lock -> [variables read, variables written] inside the section
+        # (their ``rrel`` must publish into the lock's read accumulators
+        # and read cells, not run the full mutex-release procedure).
+        self._read_held: List[Optional[Dict[str, list]]] = []
         #: Thread names in initialisation order (audience statistics).
         self._thread_names: List[str] = []
+        #: Per-barrier generation state: [acc_p, acc_h, participant tids].
+        self._barriers: Dict[str, list] = {}
+        #: tid -> {barrier name: accumulator version already merged} for
+        #: barriers where the thread has an outstanding arrival in a
+        #: still-open generation.  A real barrier keeps such a thread
+        #: blocked until every party has arrived, so each of its
+        #: subsequent events first re-joins the open generation's
+        #: accumulator (which may have grown since the arrival); the
+        #: version gate skips the merge when it has not.  See
+        #: :meth:`_join_open_barriers`.
+        self._barrier_waiting: Dict[int, Dict[str, int]] = {}
 
         # All per-lock state (Rule (a) tables, Rule (b) log + cursors,
         # P_l / H_l, chain-taint tracking) lives in one object per lock.
@@ -355,7 +391,11 @@ class WCPDetector(Detector):
         if self._effective_prune:
             intern = self._registry.intern
             for event in trace:
-                if event.is_release():
+                # ``rrel`` threads are censused too: a write-mode rrel runs
+                # the same Rule (b) log walk a mutex release does, so its
+                # thread's cursor must gate reclamation (read-mode rrels
+                # never walk -- counting them is conservative, not wrong).
+                if event.is_release() or event.etype is EventType.RREL:
                     self._lock_state(event.lock).releasers.add(
                         intern(event.thread)
                     )
@@ -375,6 +415,7 @@ class WCPDetector(Detector):
             self._prev_release.extend([False] * grow)
             self._leak.extend([-1] * grow)
             self._open_sections.extend([None] * grow)
+            self._read_held.extend([None] * grow)
         if nt[tid] == 0:
             nt[tid] = 1
             self._pt[tid] = self._clock_cls.bottom()
@@ -383,6 +424,7 @@ class WCPDetector(Detector):
             self._prev_release[tid] = False
             self._leak[tid] = -1
             self._open_sections[tid] = []
+            self._read_held[tid] = {}
             self._thread_names.append(name)
 
     def _lock_state(self, lock: str) -> _LockState:
@@ -445,7 +487,36 @@ class WCPDetector(Detector):
             self._ht[tid].assign(tid, nt)
             self._ct[tid] = None
             self._prev_release[tid] = False
+        waiting = self._barrier_waiting.get(tid)
+        if waiting:
+            self._join_open_barriers(tid, waiting)
         return tid
+
+    def _join_open_barriers(self, tid: int, waiting: Dict[str, int]) -> None:
+        """Order a blocked arriver's next events after all arrivals so far.
+
+        Between its own arrival and the generation's close the thread was
+        really blocked inside the barrier, so any event it performs
+        afterwards is ordered after every arrival the open generation has
+        accumulated -- including arrivals recorded *after* its own.
+        Arrivals are replicated, so the accumulator content is identical
+        on every shard at every stream position and the merge stays
+        deterministic under sharding.
+        """
+        pt = self._pt[tid]
+        ht = self._ht[tid]
+        changed = False
+        for name, seen in waiting.items():
+            entry = self._barriers.get(name)
+            if entry is None or entry[3] == seen:
+                continue
+            waiting[name] = entry[3]
+            if entry[0] is not None and pt.merge(entry[0]):
+                changed = True
+            if entry[1] is not None:
+                ht.merge(entry[1])
+        if changed:
+            self._ct[tid] = None
 
     def process(self, event: Event) -> None:
         tid = self._thread_prologue(event)
@@ -463,6 +534,21 @@ class WCPDetector(Detector):
             self._fork(event, tid)
         elif etype is EventType.JOIN:
             self._join(event, tid)
+        elif etype is EventType.RACQ_R:
+            self._racq_r(event, tid)
+        elif etype is EventType.RACQ_W:
+            self._racq_w(event, tid)
+        elif etype is EventType.RREL:
+            self._rrel(event, tid)
+            self._prev_release[tid] = True
+        elif etype is EventType.BARRIER:
+            self._barrier(event, tid)
+            self._prev_release[tid] = True
+        elif etype is EventType.WAIT:
+            self._wait(event, tid)
+        elif etype is EventType.NOTIFY:
+            self._notify(event, tid)
+            self._prev_release[tid] = True
         # BEGIN / END need no clock work.
 
     # ------------------------------------------------------------------ #
@@ -839,6 +925,9 @@ class WCPDetector(Detector):
         sections = self._open_sections[tid]
         if sections:
             self._read_rule_a(event.target, tid, sections)
+        read_held = self._read_held[tid]
+        if read_held:
+            self._read_held_rule_a(event.target, tid, read_held, False)
         self._check_access(event, tid)
 
     def _read_rule_a(self, variable: str, tid: int, sections: list) -> None:
@@ -854,6 +943,11 @@ class WCPDetector(Detector):
                 pt, cell, tid, not state.tainted
             ):
                 changed = True
+            # Writes of past *read* sections conflict too; their releases
+            # are mutually unordered, so never take the chain fast path.
+            cell = state.read_lw.get(variable)
+            if cell is not None and self._join_rule_a(pt, cell, tid, False):
+                changed = True
             section_reads.add(variable)
         if changed:
             self._ct[tid] = None
@@ -862,6 +956,9 @@ class WCPDetector(Detector):
         sections = self._open_sections[tid]
         if sections:
             self._write_rule_a(event.target, tid, sections)
+        read_held = self._read_held[tid]
+        if read_held:
+            self._read_held_rule_a(event.target, tid, read_held, True)
         self._check_access(event, tid)
 
     def _write_rule_a(self, variable: str, tid: int, sections: list) -> None:
@@ -877,7 +974,46 @@ class WCPDetector(Detector):
             cell = state.lw.get(variable)
             if cell is not None and self._join_rule_a(pt, cell, tid, clean):
                 changed = True
+            # Reads and writes of past *read* sections conflict with this
+            # write; read releases are mutually unordered -- full walk.
+            cell = state.read_lr.get(variable)
+            if cell is not None and self._join_rule_a(pt, cell, tid, False):
+                changed = True
+            cell = state.read_lw.get(variable)
+            if cell is not None and self._join_rule_a(pt, cell, tid, False):
+                changed = True
             section_writes.add(variable)
+        if changed:
+            self._ct[tid] = None
+
+    def _read_held_rule_a(
+        self, variable: str, tid: int, read_held: Set[str], is_write: bool
+    ) -> None:
+        # Rule (a) for read-mode rwlock sections: a read section excludes
+        # *write* sections, so this access is ordered after every
+        # write-mode release of a read-held lock whose section accessed
+        # the same variable conflictingly.  Only the exclusive-release
+        # cells are consumed (read sections do not order each other); the
+        # access is recorded in the section's read/write sets so the
+        # read-mode ``rrel`` can publish it into the read cells consumed
+        # by later exclusive sections.
+        pt = self._pt[tid]
+        changed = False
+        for lock, section_sets in read_held.items():
+            state = self._lock_state(lock)
+            clean = not state.tainted
+            if is_write:
+                cell = state.lr.get(variable)
+                if cell is not None and self._join_rule_a(
+                    pt, cell, tid, clean
+                ):
+                    changed = True
+                section_sets[1].add(variable)
+            else:
+                section_sets[0].add(variable)
+            cell = state.lw.get(variable)
+            if cell is not None and self._join_rule_a(pt, cell, tid, clean):
+                changed = True
         if changed:
             self._ct[tid] = None
 
@@ -895,12 +1031,18 @@ class WCPDetector(Detector):
         """
         tid = self._thread_prologue(event)
         sections = self._open_sections[tid]
-        if sections:
-            etype = event.etype
-            if etype is EventType.READ:
+        read_held = self._read_held[tid]
+        etype = event.etype
+        if etype is EventType.READ:
+            if sections:
                 self._read_rule_a(event.target, tid, sections)
-            elif etype is EventType.WRITE:
+            if read_held:
+                self._read_held_rule_a(event.target, tid, read_held, False)
+        elif etype is EventType.WRITE:
+            if sections:
                 self._write_rule_a(event.target, tid, sections)
+            if read_held:
+                self._read_held_rule_a(event.target, tid, read_held, True)
 
     def _fork(self, event: Event, tid: int) -> None:
         child_name = event.target
@@ -926,6 +1068,185 @@ class WCPDetector(Detector):
         self._ht[tid].assign(tid, self._nt[tid])
         # The child's mid-block C/H escaped into the parent.
         self._leak[child] = self._nt[child]
+
+    # ------------------------------------------------------------------ #
+    # Extended vocabulary: rwlocks, barriers, wait/notify
+    # ------------------------------------------------------------------ #
+
+    def _racq_r(self, event: Event, tid: int) -> None:
+        """Read-acquire: ordered after the last *write* release only.
+
+        Read sections do not order each other, so a read-acquire receives
+        the lock's ``H_l``/``P_l`` (describing the last write-mode or
+        mutex release) but never the read accumulators, opens no Rule (b)
+        log entry and no Rule (a) section.  Accesses inside the section
+        still *consume* the lock's Rule (a) cells (see
+        :meth:`_read_held_rule_a`): a read section excludes write
+        sections, so it must pick up their conflicting-release edges --
+        it just never publishes any of its own.
+        """
+        state = self._lock_state(event.target)
+        hl = state.hl
+        if hl is not None:
+            self._ht[tid].merge(hl)
+        pl = state.pl
+        if pl is not None and self._pt[tid].merge(pl):
+            self._ct[tid] = None
+        self._read_held[tid][event.target] = [set(), set()]
+
+    def _racq_w(self, event: Event, tid: int) -> None:
+        """Write-acquire: a mutex acquire that also waits for all readers.
+
+        Runs the full acquire procedure (Rule (b) log entry, Rule (a)
+        section) and additionally joins the accumulated read-release
+        clocks, then clears the accumulators: later sections are ordered
+        after those readers transitively through this writer's release.
+        """
+        state = self._lock_state(event.target)
+        read_hl = state.read_hl
+        if read_hl is not None:
+            self._ht[tid].merge(read_hl)
+        read_pl = state.read_pl
+        if read_pl is not None and self._pt[tid].merge(read_pl):
+            self._ct[tid] = None
+        state.read_hl = None
+        state.read_pl = None
+        self._acquire(event, tid)
+
+    def _rrel(self, event: Event, tid: int) -> None:
+        """Reader/writer release: mode-resolved against this thread's state.
+
+        Closing a write section is exactly a mutex release.  Closing a
+        read section publishes the thread's ``H_t``/``P_t`` into the
+        lock's read accumulators (consumed by the next write-acquire) --
+        deliberately *not* into ``H_l``/``P_l``, so concurrent read
+        sections stay unordered.
+        """
+        lock = event.target
+        read_held = self._read_held[tid]
+        section_sets = read_held.pop(lock, None)
+        if section_sets is not None:
+            state = self._lock_state(lock)
+            ht = self._ht[tid]
+            # Publish the section's accesses into the read cells: a later
+            # conflicting access under an exclusive section of this lock
+            # is Rule (a)-ordered after this release.
+            reads, writes = section_sets
+            if reads:
+                per_lock = state.read_lr
+                for variable in reads:
+                    cell = per_lock.get(variable)
+                    if cell is None:
+                        cell = per_lock[variable] = _RuleACell()
+                    self._join_release_time(cell, tid, ht)
+            if writes:
+                per_lock = state.read_lw
+                for variable in writes:
+                    cell = per_lock.get(variable)
+                    if cell is None:
+                        cell = per_lock[variable] = _RuleACell()
+                    self._join_release_time(cell, tid, ht)
+            if state.read_hl is None:
+                state.read_hl = ht.copy()
+            else:
+                state.read_hl.merge(ht)
+            pt = self._pt[tid]
+            if state.read_pl is None:
+                state.read_pl = pt.copy()
+            else:
+                state.read_pl.merge(pt)
+        else:
+            self._release(event, tid)
+
+    def _barrier(self, event: Event, tid: int) -> None:
+        """Barrier arrival: all-to-all join at each generation.
+
+        A generation's arrivals accumulate into a pair of join clocks; it
+        *closes* when some participant arrives again, at which point every
+        participant of the closed generation receives the accumulated
+        join (the all-to-all edge), and a fresh generation starts with the
+        repeat arriver as its first participant.  Arrivals also receive
+        the accumulator of the open generation so far, and while the
+        generation stays open each participant keeps re-joining the
+        accumulator at its subsequent events (a real barrier would have
+        blocked it until every recorded arrival happened) -- together
+        giving the partial order of a sequentially-consistent barrier
+        implementation without knowing the party count.
+
+        Barriers are replicated to every shard and the close fires at the
+        same stream position everywhere, so sharded runs stay
+        byte-identical to serial ones.
+        """
+        entry = self._barriers.get(event.target)
+        if entry is None:
+            entry = self._barriers[event.target] = [None, None, set(), 0]
+        participants = entry[2]
+        if tid in participants:
+            # Generation complete: deliver the all-to-all join.
+            acc_p, acc_h = entry[0], entry[1]
+            for member in participants:
+                if self._pt[member].merge(acc_p):
+                    self._ct[member] = None
+                self._ht[member].merge(acc_h)
+                waiting = self._barrier_waiting.get(member)
+                if waiting is not None:
+                    waiting.pop(event.target, None)
+            entry[0] = None
+            entry[1] = None
+            participants = entry[2] = set()
+        acc_p, acc_h = entry[0], entry[1]
+        if acc_h is not None:
+            self._ht[tid].merge(acc_h)
+        if acc_p is not None and self._pt[tid].merge(acc_p):
+            self._ct[tid] = None
+        ct = self._clock_c(tid)
+        if entry[0] is None:
+            entry[0] = ct.copy()
+            entry[1] = self._ht[tid].copy()
+        else:
+            entry[0].merge(ct)
+            entry[1].merge(self._ht[tid])
+        participants.add(tid)
+        entry[3] += 1
+        # The arriver just merged the whole accumulator, so it has seen
+        # the version its own contribution produced.
+        self._barrier_waiting.setdefault(tid, {})[event.target] = entry[3]
+
+    def _wait(self, event: Event, tid: int) -> None:
+        """Wake-side wait: re-acquire the monitor plus the notify edge.
+
+        Producers desugar ``wait(m)`` into ``rel(m)`` at wait-start and
+        ``wait(m)`` at wake (the RVPredict convention), so this event
+        runs the full acquire procedure and additionally joins the
+        accumulated notify clocks -- a *hard* edge: the waiter provably
+        resumed because of a notify, and ``C_t`` (not just ``P_l``) of
+        every notifier is ordered before everything after the wake.
+        """
+        state = self._lock_state(event.target)
+        notify_h = state.notify_h
+        if notify_h is not None:
+            self._ht[tid].merge(notify_h)
+        notify_p = state.notify_p
+        if notify_p is not None and self._pt[tid].merge(notify_p):
+            self._ct[tid] = None
+        self._acquire(event, tid)
+
+    def _notify(self, event: Event, tid: int) -> None:
+        """Publish ``C_t``/``H_t`` into the monitor's notify accumulators.
+
+        The accumulators are never cleared (notifyAll semantics: every
+        later waiter on the monitor is ordered after every notify), and a
+        notify is release-like -- the caller marks the deferred ``N_t``
+        bump, keeping access epochs exact.
+        """
+        state = self._lock_state(event.target)
+        ct = self._clock_c(tid)
+        if state.notify_p is None:
+            state.notify_p = ct.copy()
+            state.notify_h = self._ht[tid].copy()
+        else:
+            state.notify_p.merge(ct)
+            state.notify_h.merge(self._ht[tid])
 
     # ------------------------------------------------------------------ #
     # Race checking
@@ -1034,8 +1355,20 @@ class WCPDetector(Detector):
                     variable: self._cell_state(cell)
                     for variable, cell in state.lw.items()
                 },
+                "read_lr": {
+                    variable: self._cell_state(cell)
+                    for variable, cell in state.read_lr.items()
+                },
+                "read_lw": {
+                    variable: self._cell_state(cell)
+                    for variable, cell in state.read_lw.items()
+                },
                 "evicted_acq": state.evicted_acq,
                 "evicted_rel": state.evicted_rel,
+                "read_pl": state.read_pl,
+                "read_hl": state.read_hl,
+                "notify_p": state.notify_p,
+                "notify_h": state.notify_h,
             }
         state_dict = {
             "names": self._registry.names(),
@@ -1052,6 +1385,22 @@ class WCPDetector(Detector):
                 for sections in self._open_sections
             ],
             "thread_names": list(self._thread_names),
+            "read_held": [
+                None if held is None else {
+                    lock: (sets[0], sets[1])
+                    for lock, sets in held.items()
+                }
+                for held in self._read_held
+            ],
+            "barriers": {
+                barrier: (entry[0], entry[1], set(entry[2]), entry[3])
+                for barrier, entry in self._barriers.items()
+            },
+            "barrier_waiting": {
+                tid: dict(waiting)
+                for tid, waiting in self._barrier_waiting.items()
+                if waiting
+            },
             "locks": locks,
             "history": self._history.state_dict(),
             "report": report.state_dict(),
@@ -1105,10 +1454,38 @@ class WCPDetector(Detector):
                 variable: self._cell_from_state(cell)
                 for variable, cell in entry["lw"].items()
             }
+            lock_state.read_lr = {
+                variable: self._cell_from_state(cell)
+                for variable, cell in entry["read_lr"].items()
+            }
+            lock_state.read_lw = {
+                variable: self._cell_from_state(cell)
+                for variable, cell in entry["read_lw"].items()
+            }
             lock_state.evicted_acq = entry["evicted_acq"]
             lock_state.evicted_rel = entry["evicted_rel"]
+            lock_state.read_pl = entry["read_pl"]
+            lock_state.read_hl = entry["read_hl"]
+            lock_state.notify_p = entry["notify_p"]
+            lock_state.notify_h = entry["notify_h"]
             locks[lock] = lock_state
         self._locks = locks
+        self._read_held = [
+            None if held is None else {
+                lock: [set(reads), set(writes)]
+                for lock, (reads, writes) in held.items()
+            }
+            for held in state["read_held"]
+        ]
+        self._barriers = {
+            barrier: [acc_p, acc_h, set(participants), version]
+            for barrier, (acc_p, acc_h, participants, version)
+            in state["barriers"].items()
+        }
+        self._barrier_waiting = {
+            tid: dict(waiting)
+            for tid, waiting in dict(state.get("barrier_waiting", {})).items()
+        }
 
         # Re-link open sections to their (just rebuilt) lock states.
         self._open_sections = [

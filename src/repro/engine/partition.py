@@ -21,11 +21,14 @@ relies on:
     ``owner_of``), which race-checks and records it exactly once.
 
 ``ROUTE_CLOCK`` -- clock-relevant accesses
-    Two kinds of read/write events move detector clocks even though they
-    are plain accesses: an access performed under at least one held lock
-    (WCP's Rule (a): the access joins the enclosing locks'
-    ``L^r``/``L^w`` cells into ``P_t`` and feeds the section read/write
-    sets), and a thread's *first* event after a release/fork/join when
+    Three kinds of read/write events move detector clocks even though
+    they are plain accesses: an access performed under at least one held
+    lock -- exclusive or read-mode -- (WCP's Rule (a): the access joins
+    the enclosing locks' ``L^r``/``L^w`` cells into ``P_t`` and feeds the
+    section read/write sets), an access by a thread with an outstanding
+    arrival in a still-open barrier generation (it re-joins the
+    generation's grown accumulator: the blocked-arriver edge), and a
+    thread's *first* event after a release/fork/join when
     that event is an access (it carries the deferred local-interval bump
     of ``N_t`` / the HB clock, whose visibility must advance identically
     on every shard before the next replicated fork/join snapshots the
@@ -54,7 +57,8 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Optional, Tuple, Union
 
-from repro.trace.event import ACCESS_EVENTS, Event, EventType
+from repro.trace.event import ACCESS_EVENTS, BARRIER_EVENTS, Event
+from repro.trace.semantics import REGISTRY
 
 #: Taxonomy tags returned by :meth:`StreamPartitioner.classify`.
 REPLICATE = "replicate"
@@ -221,22 +225,54 @@ class StreamPartitioner:
         self.policy = policy
         self._depth: Dict[str, int] = {}
         #: Threads whose next event carries a deferred local-clock bump
-        #: (the event right after a release/fork, or the first post-join
-        #: event of the joined thread).
+        #: (the event right after a release-like event -- release, rrel,
+        #: barrier, notify, fork -- or the first post-join event of the
+        #: joined thread).  Derived from the registry's ``bumps`` field.
         self._pending_bump: set = set()
+        #: Per-thread set of rwlocks currently held in read mode: accesses
+        #: inside consume WCP Rule (a) cells (so they are clock-relevant,
+        #: ROUTE_CLOCK) and their ``rrel`` must not decrement the
+        #: exclusive depth.
+        self._read_held: Dict[str, set] = {}
+        #: Open barrier generations: barrier -> set of arrived threads.  A
+        #: thread with an outstanding arrival re-joins the generation's
+        #: accumulator at each subsequent event (the blocked-arriver
+        #: edge), so its accesses are clock-relevant until the generation
+        #: closes.
+        self._barrier_open: Dict[str, set] = {}
+        #: Threads with at least one outstanding open-generation arrival
+        #: (the per-thread index of ``_barrier_open``, as a multiset count).
+        self._barrier_waiting: Dict[str, int] = {}
         #: Taxonomy census: events per class.
         self.replicated = 0
         self.routed = 0
         self.routed_clock = 0
 
     def classify(self, event: Event) -> Tuple[str, int]:
-        """Return ``(kind, owner)``; ``owner`` is -1 for replicated events."""
+        """Return ``(kind, owner)``; ``owner`` is -1 for replicated events.
+
+        Everything except the access fast path is derived from the
+        declarative registry: ``shard_class`` decides route-vs-replicate,
+        ``opens``/``closes`` drive the held-lock depth (read-mode
+        sections tracked separately), ``bumps`` drives the pending-bump
+        set -- so a new event kind registered in
+        :mod:`repro.trace.semantics` is classified correctly with no
+        change here.
+        """
         etype = event.etype
         thread = event.thread
         pending = self._pending_bump
         if etype in ACCESS_EVENTS:
             owner = self.policy.owner_of(event.target)
             if self._depth.get(thread, 0) > 0:
+                pending.discard(thread)
+                self.routed_clock += 1
+                return ROUTE_CLOCK, owner
+            if self._read_held.get(thread):
+                pending.discard(thread)
+                self.routed_clock += 1
+                return ROUTE_CLOCK, owner
+            if self._barrier_waiting.get(thread):
                 pending.discard(thread)
                 self.routed_clock += 1
                 return ROUTE_CLOCK, owner
@@ -249,19 +285,49 @@ class StreamPartitioner:
         # Sync events are replicated, so every shard applies a pending
         # bump at the same point when one is outstanding.
         pending.discard(thread)
-        if etype is EventType.ACQUIRE:
-            depth = self._depth
-            depth[thread] = depth.get(thread, 0) + 1
-        elif etype is EventType.RELEASE:
-            depth = self._depth
-            current = depth.get(thread, 0)
-            if current > 0:
-                depth[thread] = current - 1
+        semantics = REGISTRY[etype]
+        opens = semantics.opens
+        if opens is not None:
+            if opens == "read":
+                self._read_held.setdefault(thread, set()).add(event.target)
+            else:
+                depth = self._depth
+                depth[thread] = depth.get(thread, 0) + 1
+        closes = semantics.closes
+        if closes is not None:
+            exclusive = True
+            if closes == "rw":
+                held = self._read_held.get(thread)
+                if held is not None and event.target in held:
+                    held.discard(event.target)
+                    exclusive = False
+            if exclusive:
+                depth = self._depth
+                current = depth.get(thread, 0)
+                if current > 0:
+                    depth[thread] = current - 1
+        bumps = semantics.bumps
+        if bumps == "self":
             pending.add(thread)
-        elif etype is EventType.FORK:
-            pending.add(thread)
-        elif etype is EventType.JOIN:
+        elif bumps == "target":
             pending.add(event.target)
+        if etype in BARRIER_EVENTS:
+            arrived = self._barrier_open.setdefault(event.target, set())
+            if thread in arrived:
+                # Repeat arrival closes the generation: its members stop
+                # carrying the blocked-arriver edge.
+                waiting = self._barrier_waiting
+                for member in arrived:
+                    count = waiting.get(member, 0) - 1
+                    if count > 0:
+                        waiting[member] = count
+                    else:
+                        waiting.pop(member, None)
+                arrived = self._barrier_open[event.target] = set()
+            arrived.add(thread)
+            self._barrier_waiting[thread] = (
+                self._barrier_waiting.get(thread, 0) + 1
+            )
         self.replicated += 1
         return REPLICATE, -1
 
@@ -289,13 +355,40 @@ class StreamPartitioner:
         return {
             "depth": dict(self._depth),
             "pending": set(self._pending_bump),
+            "read_held": {
+                thread: set(locks)
+                for thread, locks in self._read_held.items()
+                if locks
+            },
+            "barrier_open": {
+                barrier: set(threads)
+                for barrier, threads in self._barrier_open.items()
+                if threads
+            },
             "census": (self.replicated, self.routed, self.routed_clock),
             "policy": self.policy.state_dict(),
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
-        """Inverse of :meth:`state_dict`."""
+        """Inverse of :meth:`state_dict`.
+
+        ``read_held`` defaults to empty for checkpoints written before
+        the rwlock vocabulary existed.
+        """
         self._depth = dict(state["depth"])
         self._pending_bump = set(state["pending"])
+        self._read_held = {
+            thread: set(locks)
+            for thread, locks in dict(state.get("read_held", {})).items()
+        }
+        self._barrier_open = {
+            barrier: set(threads)
+            for barrier, threads in dict(state.get("barrier_open", {})).items()
+        }
+        waiting: Dict[str, int] = {}
+        for threads in self._barrier_open.values():
+            for thread in threads:
+                waiting[thread] = waiting.get(thread, 0) + 1
+        self._barrier_waiting = waiting
         self.replicated, self.routed, self.routed_clock = state["census"]
         self.policy.load_state(state["policy"])

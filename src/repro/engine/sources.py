@@ -141,13 +141,20 @@ class FileSource(EventSource):
     The file is re-opened on every iteration, so the source is replayable,
     but the engine only ever takes a single pass.  Format is dispatched on
     the file extension exactly like
-    :func:`repro.trace.parsers.load_trace`.
+    :func:`repro.trace.parsers.load_trace`, unless ``format`` names one of
+    :data:`repro.trace.parsers.FORMAT_NAMES` explicitly.
     """
 
-    def __init__(self, path: Union[str, Path], name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        name: Optional[str] = None,
+        format: Optional[str] = None,
+    ) -> None:
         self.path = Path(path)
         self.name = name or self.path.stem
         self.registry = ThreadRegistry()
+        self.format = format
         self._skip = 0
 
     def __iter__(self) -> Iterator[Event]:
@@ -155,7 +162,10 @@ class FileSource(EventSource):
         # yielded; skipped events still intern their threads, in the
         # same first-appearance order a restored snapshot expects.
         return _skip_prefix(
-            iter_trace_file(self.path, registry=self.registry), self._skip
+            iter_trace_file(
+                self.path, registry=self.registry, format=self.format
+            ),
+            self._skip,
         )
 
     def seek_events(self, events: int) -> None:

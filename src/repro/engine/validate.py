@@ -28,11 +28,12 @@ subcommand applies it to every client connection.
 
 from __future__ import annotations
 
-from typing import AsyncIterator, Dict, Iterator, List, Optional, Tuple
+from typing import AsyncIterator, Iterator, Optional
 
 from repro.engine.sources import EventSource, as_async_source, as_source
 from repro.trace.event import Event
-from repro.trace.trace import LockSemanticsError, WellNestednessError
+from repro.trace.semantics import LockDiscipline
+from repro.trace.trace import LockSemanticsError, WellNestednessError  # noqa: F401  (re-exported API)
 
 __all__ = ["OnlineValidator", "ValidatingSource", "validate_events"]
 
@@ -45,71 +46,35 @@ class OnlineValidator:
     the engine apply), so error messages quote the same event indices a
     batch ``Trace(validate=True)`` would.
 
-    The state is exactly what the checks need and nothing more:
-
-    ``_holder``
-        lock -> ``(thread, acquire position)`` for locks currently held
-        anywhere in the stream (detects overlapping critical sections
-        and re-entrant acquires);
-    ``_open``
-        thread -> stack of ``(lock, acquire position)`` open critical
-        sections (detects unnested releases); a thread's entry is
-        removed as soon as its stack empties, so lock-free stream
-        suffixes hold zero validator state.
+    The checks themselves live in one place -- the
+    :class:`~repro.trace.semantics.LockDiscipline` state machine that
+    ``Trace._index`` drives too, so both paths raise the identical
+    exception class and message by construction.  State is proportional
+    to the number of *currently open* critical sections (exclusive and
+    read-mode) -- never to the length of the stream -- and shrinks back
+    as sections close.
     """
 
     def __init__(self) -> None:
-        self._holder: Dict[str, Tuple[str, int]] = {}
-        self._open: Dict[str, List[Tuple[str, int]]] = {}
+        self._discipline = LockDiscipline()
         #: Events checked so far == the position assigned to the next event.
         self.events_checked = 0
 
     def check(self, event: Event) -> None:
         """Validate one event; raises on the first violation.
 
-        Raises :class:`~repro.trace.trace.LockSemanticsError` for
+        Raises :class:`~repro.trace.semantics.LockSemanticsError` for
         overlapping/re-entrant acquires and releases with no open
-        section, :class:`~repro.trace.trace.WellNestednessError` for a
-        release that does not match the innermost open acquire.
+        section, :class:`~repro.trace.semantics.WellNestednessError`
+        for a release that does not match the innermost open acquire
+        (including a release of the wrong kind, e.g. ``rel`` closing a
+        reader/writer section).
         """
         index = self.events_checked
         self.events_checked = index + 1
-        if event.is_acquire():
-            lock = event.lock
-            thread = event.thread
-            held = self._holder.get(lock)
-            if held is not None:
-                if held[0] != thread:
-                    raise LockSemanticsError(
-                        "lock %r acquired at event %d while held by thread %r "
-                        "(acquired at event %d)" % (lock, index, held[0], held[1])
-                    )
-                raise LockSemanticsError(
-                    "re-entrant acquire of lock %r at event %d; re-entrant "
-                    "locking must be flattened by the trace producer"
-                    % (lock, index)
-                )
-            self._holder[lock] = (thread, index)
-            self._open.setdefault(thread, []).append((lock, index))
-        elif event.is_release():
-            lock = event.lock
-            thread = event.thread
-            stack = self._open.get(thread)
-            if not stack:
-                raise LockSemanticsError(
-                    "release of %r at event %d with no lock held" % (lock, index)
-                )
-            top_lock, top_index = stack[-1]
-            if top_lock != lock:
-                raise WellNestednessError(
-                    "release of %r at event %d does not match innermost "
-                    "open acquire of %r at event %d"
-                    % (lock, index, top_lock, top_index)
-                )
-            stack.pop()
-            if not stack:
-                del self._open[thread]
-            del self._holder[lock]
+        self._discipline.step(
+            event.etype, event.thread, event.target, index, validate=True
+        )
 
     # ------------------------------------------------------------------ #
     # Snapshot support (checkpoint/resume protocol)
@@ -123,21 +88,20 @@ class OnlineValidator:
         of a section opened before the checkpoint would be (wrongly)
         rejected as unmatched.
         """
-        return {
-            "holder": dict(self._holder),
-            "open": {thread: list(stack) for thread, stack in self._open.items()},
-            "events": self.events_checked,
-        }
+        state = self._discipline.state_dict()
+        state["events"] = self.events_checked
+        return state
 
     @classmethod
     def from_state(cls, state: dict) -> "OnlineValidator":
-        """Inverse of :meth:`state_dict`."""
+        """Inverse of :meth:`state_dict`.
+
+        Accepts checkpoints written before the rwlock vocabulary: their
+        open-stack entries lack the section mode (normalised to
+        exclusive) and they carry no read-holder map.
+        """
         validator = cls()
-        validator._holder = dict(state["holder"])
-        validator._open = {
-            thread: [tuple(entry) for entry in stack]
-            for thread, stack in state["open"].items()
-        }
+        validator._discipline = LockDiscipline.from_state(state)
         validator.events_checked = state["events"]
         return validator
 
@@ -148,9 +112,7 @@ class OnlineValidator:
         concurrently open critical sections, never by stream length --
         the observable form of the O(1)-per-event contract.
         """
-        return len(self._holder) + sum(
-            len(stack) for stack in self._open.values()
-        )
+        return self._discipline.state_size()
 
     def __repr__(self) -> str:
         return "OnlineValidator(events_checked=%d, state=%d)" % (

@@ -76,7 +76,7 @@ class FastTrackDetector(Detector):
     #: Epoch-compressed per-variable state is the smallest in the library;
     #: snapshots are supported in full.
     supports_snapshot = True
-    snapshot_version = 1
+    snapshot_version = 2
 
     def __init__(self, clock_backend: str = "dense") -> None:
         super().__init__()
@@ -94,6 +94,12 @@ class FastTrackDetector(Detector):
         self._clocks: List[object] = []
         self._lock_clocks: Dict[str, object] = {}
         self._variables: Dict[str, _VariableState] = {}
+        # Extended-vocabulary state (mirrors HBDetector; see hb.py).
+        self._read_rel: Dict[str, object] = {}
+        self._notify: Dict[str, object] = {}
+        self._barriers: Dict[str, list] = {}
+        self._barrier_waiting: Dict[int, Dict[str, int]] = {}
+        self._read_held: List[Optional[set]] = []
         #: Number of accesses handled entirely with O(1) epoch comparisons.
         self.fast_path_hits = 0
         #: Number of accesses that needed a vector-clock comparison.
@@ -105,10 +111,13 @@ class FastTrackDetector(Detector):
     def _ensure_thread(self, tid: int):
         clocks = self._clocks
         if tid >= len(clocks):
-            clocks.extend([None] * (tid + 1 - len(clocks)))
+            grow = tid + 1 - len(clocks)
+            clocks.extend([None] * grow)
+            self._read_held.extend([None] * grow)
         clock = clocks[tid]
         if clock is None:
             clock = clocks[tid] = self._clock_cls.single(tid, 1)
+            self._read_held[tid] = set()
         return clock
 
     def _state(self, variable: str) -> _VariableState:
@@ -131,6 +140,9 @@ class FastTrackDetector(Detector):
             if tid < len(self._clocks) and self._clocks[tid] is not None
             else self._ensure_thread(tid)
         )
+        waiting = self._barrier_waiting.get(tid)
+        if waiting:
+            self._join_open_barriers(tid, clock, waiting)
         etype = event.etype
 
         if etype is EventType.READ:
@@ -152,6 +164,84 @@ class FastTrackDetector(Detector):
             clock.merge(
                 self._ensure_thread(self._registry.intern(event.other_thread))
             )
+        elif etype is EventType.RACQ_R:
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None:
+                clock.merge(lock_clock)
+            self._read_held[tid].add(event.lock)
+        elif etype is EventType.RACQ_W:
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None:
+                clock.merge(lock_clock)
+            read_join = self._read_rel.pop(event.lock, None)
+            if read_join is not None:
+                clock.merge(read_join)
+        elif etype is EventType.RREL:
+            if event.lock in self._read_held[tid]:
+                self._read_held[tid].discard(event.lock)
+                read_join = self._read_rel.get(event.lock)
+                if read_join is None:
+                    self._read_rel[event.lock] = clock.copy()
+                else:
+                    read_join.merge(clock)
+            else:
+                self._lock_clocks[event.lock] = clock.copy()
+            clock.increment(tid)
+        elif etype is EventType.BARRIER:
+            self._barrier_arrive(event.barrier, tid, clock)
+            clock.increment(tid)
+        elif etype is EventType.WAIT:
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None:
+                clock.merge(lock_clock)
+            notify = self._notify.get(event.lock)
+            if notify is not None:
+                clock.merge(notify)
+        elif etype is EventType.NOTIFY:
+            notify = self._notify.get(event.lock)
+            if notify is None:
+                self._notify[event.lock] = clock.copy()
+            else:
+                notify.merge(clock)
+            clock.increment(tid)
+
+    def _barrier_arrive(self, barrier: str, tid: int, clock) -> None:
+        """All-to-all join at each barrier generation (see hb.py)."""
+        entry = self._barriers.get(barrier)
+        if entry is None:
+            entry = self._barriers[barrier] = [None, set(), 0]
+        participants = entry[1]
+        if tid in participants:
+            acc = entry[0]
+            for member in participants:
+                self._clocks[member].merge(acc)
+                waiting = self._barrier_waiting.get(member)
+                if waiting is not None:
+                    waiting.pop(barrier, None)
+            entry[0] = None
+            participants = entry[1] = set()
+        acc = entry[0]
+        if acc is not None:
+            clock.merge(acc)
+        if entry[0] is None:
+            entry[0] = clock.copy()
+        else:
+            entry[0].merge(clock)
+        participants.add(tid)
+        entry[2] += 1
+        self._barrier_waiting.setdefault(tid, {})[barrier] = entry[2]
+
+    def _join_open_barriers(
+        self, tid: int, clock, waiting: Dict[str, int]
+    ) -> None:
+        """Re-join the grown accumulator of each open generation (see hb.py)."""
+        for name, seen in waiting.items():
+            entry = self._barriers.get(name)
+            if entry is None or entry[2] == seen:
+                continue
+            waiting[name] = entry[2]
+            if entry[0] is not None:
+                clock.merge(entry[0])
 
     # ------------------------------------------------------------------ #
     # FastTrack access rules
@@ -250,6 +340,21 @@ class FastTrackDetector(Detector):
             "clocks": list(self._clocks),
             "lock_clocks": dict(self._lock_clocks),
             "variables": variables,
+            "read_rel": dict(self._read_rel),
+            "notify": dict(self._notify),
+            "barriers": {
+                barrier: (entry[0], set(entry[1]), entry[2])
+                for barrier, entry in self._barriers.items()
+            },
+            "barrier_waiting": {
+                tid: dict(waiting)
+                for tid, waiting in self._barrier_waiting.items()
+                if waiting
+            },
+            "read_held": [
+                None if held is None else set(held)
+                for held in self._read_held
+            ],
             "counters": (self.fast_path_hits, self.slow_path_hits),
             "report": report.state_dict(),
         }
@@ -281,6 +386,21 @@ class FastTrackDetector(Detector):
             )
             variables[variable] = var_state
         self._variables = variables
+        self._read_rel = dict(state["read_rel"])
+        self._notify = dict(state["notify"])
+        self._barriers = {
+            barrier: [acc, set(participants), version]
+            for barrier, (acc, participants, version)
+            in state["barriers"].items()
+        }
+        self._barrier_waiting = {
+            tid: dict(waiting)
+            for tid, waiting in dict(state.get("barrier_waiting", {})).items()
+        }
+        self._read_held = [
+            None if held is None else set(held)
+            for held in state["read_held"]
+        ]
         self.fast_path_hits, self.slow_path_hits = state["counters"]
         self._report = RaceReport.from_state(state["report"])
         self.restore_pending = False

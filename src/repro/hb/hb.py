@@ -63,7 +63,7 @@ class HBDetector(Detector):
     #: Per-thread/per-lock clocks plus the access history: all bounded,
     #: all incrementally maintained, so snapshots are supported in full.
     supports_snapshot = True
-    snapshot_version = 1
+    snapshot_version = 2
 
     def __init__(self, clock_backend: str = "dense") -> None:
         super().__init__()
@@ -87,6 +87,21 @@ class HBDetector(Detector):
         # after any mutation of the live clock.
         self._snap: List[object] = []
         self._lock_clocks: Dict[str, object] = {}
+        # Joined clocks of read-mode rwlock releases per lock, consumed and
+        # cleared by the next write-acquire (read sections stay unordered).
+        self._read_rel: Dict[str, object] = {}
+        # Joined clocks of every notify per monitor (never cleared).
+        self._notify: Dict[str, object] = {}
+        # Per-barrier generation state:
+        # [accumulator clock, participant tids, accumulator version].
+        self._barriers: Dict[str, list] = {}
+        # tid -> {barrier: accumulator version already merged} while the
+        # thread has an outstanding arrival in a still-open generation: a
+        # real barrier keeps it blocked until every party arrives, so its
+        # subsequent events re-join the grown accumulator (version-gated).
+        self._barrier_waiting: Dict[int, Dict[str, int]] = {}
+        # Per-thread set of rwlocks currently held in read mode.
+        self._read_held: List[Optional[set]] = []
         self._history = AccessHistory()
         intern = self._registry.intern
         for thread in trace.threads:
@@ -99,9 +114,11 @@ class HBDetector(Detector):
             clocks.extend([None] * grow)
             self._pending.extend([False] * grow)
             self._snap.extend([None] * grow)
+            self._read_held.extend([None] * grow)
         clock = clocks[tid]
         if clock is None:
             clock = clocks[tid] = self._clock_cls.single(tid, 1)
+            self._read_held[tid] = set()
         return clock
 
     # ------------------------------------------------------------------ #
@@ -120,6 +137,9 @@ class HBDetector(Detector):
             clock.increment(tid)
             self._pending[tid] = False
             self._snap[tid] = None
+        waiting = self._barrier_waiting.get(tid)
+        if waiting:
+            self._join_open_barriers(tid, clock, waiting)
         etype = event.etype
 
         if etype is EventType.READ or etype is EventType.WRITE:
@@ -154,7 +174,109 @@ class HBDetector(Detector):
             self._snap[tid] = None
             # Any (unusual) child events after the join start a new interval.
             self._pending[child_tid] = True
+        elif etype is EventType.RACQ_R:
+            # Ordered after the last write-mode/mutex release only; read
+            # sections do not order each other.
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None and clock.merge(lock_clock):
+                self._snap[tid] = None
+            self._read_held[tid].add(event.lock)
+        elif etype is EventType.RACQ_W:
+            # A mutex acquire that also waits for all published readers.
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None and clock.merge(lock_clock):
+                self._snap[tid] = None
+            read_join = self._read_rel.pop(event.lock, None)
+            if read_join is not None and clock.merge(read_join):
+                self._snap[tid] = None
+        elif etype is EventType.RREL:
+            if event.lock in self._read_held[tid]:
+                # Read sections publish into the read accumulator (seen by
+                # the next write-acquire), not into the lock clock.
+                self._read_held[tid].discard(event.lock)
+                read_join = self._read_rel.get(event.lock)
+                if read_join is None:
+                    self._read_rel[event.lock] = clock.copy()
+                else:
+                    read_join.merge(clock)
+            else:
+                self._lock_clocks[event.lock] = clock.copy()
+            self._pending[tid] = True
+        elif etype is EventType.BARRIER:
+            self._barrier_arrive(event.barrier, tid, clock)
+            self._pending[tid] = True
+        elif etype is EventType.WAIT:
+            # Wake-side re-acquire plus the notify edge (the producer
+            # emitted rel(m) at wait-start, the RVPredict desugaring).
+            merged = False
+            lock_clock = self._lock_clocks.get(event.lock)
+            if lock_clock is not None and clock.merge(lock_clock):
+                merged = True
+            notify = self._notify.get(event.lock)
+            if notify is not None and clock.merge(notify):
+                merged = True
+            if merged:
+                self._snap[tid] = None
+        elif etype is EventType.NOTIFY:
+            notify = self._notify.get(event.lock)
+            if notify is None:
+                self._notify[event.lock] = clock.copy()
+            else:
+                notify.merge(clock)
+            self._pending[tid] = True
         # BEGIN / END: no clock effect.
+
+    def _barrier_arrive(self, barrier: str, tid: int, clock) -> None:
+        """All-to-all join at each barrier generation (see WCP counterpart).
+
+        A generation closes when some participant arrives again: every
+        participant of the closed generation receives the accumulated join
+        of all its arrival clocks, then a fresh generation starts with the
+        repeat arriver.  Arrivals also merge the open generation's
+        accumulator so far.
+        """
+        entry = self._barriers.get(barrier)
+        if entry is None:
+            entry = self._barriers[barrier] = [None, set(), 0]
+        participants = entry[1]
+        if tid in participants:
+            acc = entry[0]
+            for member in participants:
+                if self._clocks[member].merge(acc):
+                    self._snap[member] = None
+                waiting = self._barrier_waiting.get(member)
+                if waiting is not None:
+                    waiting.pop(barrier, None)
+            entry[0] = None
+            participants = entry[1] = set()
+        acc = entry[0]
+        if acc is not None and clock.merge(acc):
+            self._snap[tid] = None
+        if entry[0] is None:
+            entry[0] = clock.copy()
+        else:
+            entry[0].merge(clock)
+        participants.add(tid)
+        entry[2] += 1
+        self._barrier_waiting.setdefault(tid, {})[barrier] = entry[2]
+
+    def _join_open_barriers(
+        self, tid: int, clock, waiting: Dict[str, int]
+    ) -> None:
+        """Re-join the (grown) accumulator of each open generation.
+
+        A thread with an outstanding arrival was really blocked until the
+        generation completed, so every event it performs afterwards is
+        ordered after all arrivals recorded so far -- also the ones that
+        appear in the stream after its own (see the WCP counterpart).
+        """
+        for name, seen in waiting.items():
+            entry = self._barriers.get(name)
+            if entry is None or entry[2] == seen:
+                continue
+            waiting[name] = entry[2]
+            if entry[0] is not None and clock.merge(entry[0]):
+                self._snap[tid] = None
 
     def process_foreign(self, event: Event) -> None:
         """Apply a foreign access's clock effects: only the deferred bump.
@@ -179,6 +301,9 @@ class HBDetector(Detector):
             clock.increment(tid)
             self._pending[tid] = False
             self._snap[tid] = None
+        waiting = self._barrier_waiting.get(tid)
+        if waiting:
+            self._join_open_barriers(tid, clock, waiting)
 
     # ------------------------------------------------------------------ #
     # Snapshot protocol (checkpoint/resume, sharded worker restore)
@@ -194,6 +319,21 @@ class HBDetector(Detector):
             "clocks": list(self._clocks),
             "pending": list(self._pending),
             "lock_clocks": dict(self._lock_clocks),
+            "read_rel": dict(self._read_rel),
+            "notify": dict(self._notify),
+            "barriers": {
+                barrier: (entry[0], set(entry[1]), entry[2])
+                for barrier, entry in self._barriers.items()
+            },
+            "barrier_waiting": {
+                tid: dict(waiting)
+                for tid, waiting in self._barrier_waiting.items()
+                if waiting
+            },
+            "read_held": [
+                None if held is None else set(held)
+                for held in self._read_held
+            ],
             "history": self._history.state_dict(),
             "report": report.state_dict(),
         }
@@ -216,6 +356,21 @@ class HBDetector(Detector):
         # access of each thread takes a fresh copy.
         self._snap = [None] * len(self._clocks)
         self._lock_clocks = dict(state["lock_clocks"])
+        self._read_rel = dict(state["read_rel"])
+        self._notify = dict(state["notify"])
+        self._barriers = {
+            barrier: [acc, set(participants), version]
+            for barrier, (acc, participants, version)
+            in state["barriers"].items()
+        }
+        self._barrier_waiting = {
+            tid: dict(waiting)
+            for tid, waiting in dict(state.get("barrier_waiting", {})).items()
+        }
+        self._read_held = [
+            None if held is None else set(held)
+            for held in state["read_held"]
+        ]
         self._history = AccessHistory.from_state(state["history"])
         self._report = RaceReport.from_state(state["report"])
         self.restore_pending = False

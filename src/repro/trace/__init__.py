@@ -11,27 +11,62 @@ consumes:
   the paper) plus derived lookups such as critical sections and projections.
 * :class:`~repro.trace.builder.TraceBuilder` -- a small DSL for writing the
   paper's example traces by hand.
+* :mod:`~repro.trace.semantics` -- the declarative event-semantics
+  registry: every event kind's wire tokens, operand arity, validator
+  role, clock action and sharding class in one table, plus the
+  :class:`~repro.trace.semantics.LockDiscipline` state machine both the
+  batch and streaming validators drive.
 * :mod:`~repro.trace.parsers` / :mod:`~repro.trace.writers` -- the STD text
   format (one event per line, RAPID-compatible) and a CSV format.
+* :mod:`~repro.trace.adapters` -- ingest adapters for real-world trace
+  formats (mtrace-style kernel lock logs, a TSan-like format).
 """
 
 from repro.trace.event import Event, EventType
+from repro.trace.semantics import (
+    EventSemantics,
+    LockDiscipline,
+    REGISTRY,
+    TOKEN_TO_ETYPE,
+)
 from repro.trace.trace import Trace, TraceError, LockSemanticsError, WellNestednessError
 from repro.trace.builder import TraceBuilder
-from repro.trace.parsers import parse_std, parse_csv, load_trace
+from repro.trace.parsers import (
+    FORMAT_NAMES,
+    TraceParseError,
+    detect_format,
+    event_iterator,
+    iter_trace_file,
+    load_trace,
+    parse_csv,
+    parse_std,
+)
+from repro.trace.adapters import ADAPTERS, iter_mtrace_events, iter_tsan_events
 from repro.trace.writers import write_std, write_csv, dump_trace
 
 __all__ = [
     "Event",
     "EventType",
+    "EventSemantics",
+    "LockDiscipline",
+    "REGISTRY",
+    "TOKEN_TO_ETYPE",
     "Trace",
     "TraceError",
     "LockSemanticsError",
     "WellNestednessError",
     "TraceBuilder",
+    "FORMAT_NAMES",
+    "TraceParseError",
+    "detect_format",
+    "event_iterator",
+    "iter_trace_file",
     "parse_std",
     "parse_csv",
     "load_trace",
+    "ADAPTERS",
+    "iter_mtrace_events",
+    "iter_tsan_events",
     "write_std",
     "write_csv",
     "dump_trace",

@@ -64,6 +64,35 @@ class TraceBuilder:
         """Append a ``join(child)`` event by ``thread``."""
         return self._add(thread, EventType.JOIN, child, loc)
 
+    def read_acquire(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``racq_r(lock)`` event: open a read-mode rwlock section."""
+        return self._add(thread, EventType.RACQ_R, lock, loc)
+
+    def write_acquire(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``racq_w(lock)`` event: open a write-mode rwlock section."""
+        return self._add(thread, EventType.RACQ_W, lock, loc)
+
+    def rw_release(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append an ``rrel(lock)`` event closing the rwlock section."""
+        return self._add(thread, EventType.RREL, lock, loc)
+
+    def barrier(self, thread: str, barrier: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``barrier(barrier)`` arrival by ``thread``."""
+        return self._add(thread, EventType.BARRIER, barrier, loc)
+
+    def wait(self, thread: str, monitor: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``wait(monitor)`` wake-up (reacquire) by ``thread``.
+
+        Producers desugar a blocking wait as ``rel(monitor)`` at
+        wait-start plus ``wait(monitor)`` at wake, so the monitor must be
+        free when this event appears.
+        """
+        return self._add(thread, EventType.WAIT, monitor, loc)
+
+    def notify(self, thread: str, monitor: str, loc: Optional[str] = None) -> "TraceBuilder":
+        """Append a ``notify(monitor)`` event by ``thread``."""
+        return self._add(thread, EventType.NOTIFY, monitor, loc)
+
     def begin(self, thread: str, loc: Optional[str] = None) -> "TraceBuilder":
         """Append a thread-begin marker."""
         return self._add(thread, EventType.BEGIN, None, loc)

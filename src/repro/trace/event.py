@@ -5,7 +5,10 @@ model (Section 2.1) uses lock acquire/release and variable read/write
 events; the RAPID implementation additionally consumes thread fork/join
 events from the RVPredict logger, and we support those too (they induce
 happens-before edges between the forking/forked and joined/joining
-threads).
+threads).  The extended vocabulary (reader/writer locks, barriers,
+wait/notify) is declared in :mod:`repro.trace.semantics`; this module
+re-exports the :class:`EventType` enum and the derived classification
+sets from there, so the registry stays the single source of truth.
 
 Every event may carry an optional *program location* (``loc``), a string
 identifying the source line that produced it.  Race pairs are reported as
@@ -15,34 +18,22 @@ unordered pairs of program locations, exactly as in the paper's Table 1
 
 from __future__ import annotations
 
-import enum
 from typing import Optional
 
+from repro.trace.semantics import (
+    ACCESS_EVENTS,
+    BARRIER_EVENTS,
+    LOCK_EVENTS,
+    OPERAND_ERRORS,
+    REGISTRY,
+    THREAD_EVENTS,
+    EventType,
+)
 
-class EventType(enum.Enum):
-    """The kind of operation an event performs."""
-
-    ACQUIRE = "acq"
-    RELEASE = "rel"
-    READ = "r"
-    WRITE = "w"
-    FORK = "fork"
-    JOIN = "join"
-    BEGIN = "begin"
-    END = "end"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
-
-
-#: Event types that operate on a lock.
-LOCK_EVENTS = frozenset({EventType.ACQUIRE, EventType.RELEASE})
-
-#: Event types that access a shared variable.
-ACCESS_EVENTS = frozenset({EventType.READ, EventType.WRITE})
-
-#: Event types that reference another thread.
-THREAD_EVENTS = frozenset({EventType.FORK, EventType.JOIN})
+__all__ = [
+    "Event", "EventType",
+    "LOCK_EVENTS", "ACCESS_EVENTS", "THREAD_EVENTS", "BARRIER_EVENTS",
+]
 
 
 class Event:
@@ -59,9 +50,11 @@ class Event:
     etype:
         The :class:`EventType`.
     target:
-        The object operated on: a lock name for acquire/release, a variable
-        name for read/write, the child/peer thread for fork/join, ``None``
-        for begin/end.
+        The object operated on: a lock name for lock events (including
+        rwlock and wait/notify events), a variable name for read/write, the
+        child/peer thread for fork/join, a barrier name for barrier events,
+        ``None`` for begin/end.  Arity is validated against the event
+        kind's declared operand in :data:`repro.trace.semantics.REGISTRY`.
     loc:
         Optional program location (source line) used for race de-duplication.
     tid:
@@ -83,12 +76,10 @@ class Event:
         loc: Optional[str] = None,
         tid: Optional[int] = None,
     ) -> None:
-        if etype in LOCK_EVENTS and target is None:
-            raise ValueError("lock events require a lock target")
-        if etype in ACCESS_EVENTS and target is None:
-            raise ValueError("read/write events require a variable target")
-        if etype in THREAD_EVENTS and target is None:
-            raise ValueError("fork/join events require a thread target")
+        if target is None:
+            operand = REGISTRY[etype].operand
+            if operand is not None:
+                raise ValueError(OPERAND_ERRORS[operand])
         self.index = index
         self.thread = thread
         self.etype = etype
@@ -121,7 +112,8 @@ class Event:
         return self.etype in ACCESS_EVENTS
 
     def is_lock_event(self) -> bool:
-        """Return True for acquire or release events."""
+        """Return True for events operating on a lock (acquire/release,
+        rwlock and wait/notify events)."""
         return self.etype in LOCK_EVENTS
 
     def is_fork(self) -> bool:
@@ -132,9 +124,13 @@ class Event:
         """Return True for join events."""
         return self.etype is EventType.JOIN
 
+    def is_barrier(self) -> bool:
+        """Return True for barrier events."""
+        return self.etype is EventType.BARRIER
+
     @property
     def lock(self) -> str:
-        """The lock operated on (``l(e)``); only valid for acquire/release."""
+        """The lock operated on (``l(e)``); only valid for lock events."""
         if not self.is_lock_event():
             raise AttributeError("event %r is not a lock event" % (self,))
         return self.target  # type: ignore[return-value]
@@ -151,6 +147,13 @@ class Event:
         """The forked/joined thread; only valid for fork/join events."""
         if self.etype not in THREAD_EVENTS:
             raise AttributeError("event %r is not a fork/join event" % (self,))
+        return self.target  # type: ignore[return-value]
+
+    @property
+    def barrier(self) -> str:
+        """The barrier arrived at; only valid for barrier events."""
+        if self.etype not in BARRIER_EVENTS:
+            raise AttributeError("event %r is not a barrier event" % (self,))
         return self.target  # type: ignore[return-value]
 
     def conflicts_with(self, other: "Event") -> bool:

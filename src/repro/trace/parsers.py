@@ -1,17 +1,27 @@
 """Trace parsers.
 
-Two on-disk formats are supported:
+Four on-disk formats are supported:
 
 * **STD** -- the RAPID-compatible one-event-per-line text format::
 
       t1|acq(l)|42
-      t1|r(x)|43
-      t2|fork(t3)|44
+      t1|racq_r(rw)|43
+      t2|barrier(b0)|44
 
   Each line is ``thread|operation|location`` where the location field is
   optional.  Blank lines and lines starting with ``#`` are ignored.
 
 * **CSV** -- ``thread,etype,target,loc`` with a header row.
+
+* **mtrace** / **tsan** -- real-trace ingest adapters for kernel-style
+  lock logs and a ThreadSanitizer-like format, mapped onto the same
+  event vocabulary; see :mod:`repro.trace.adapters`.
+
+Every format resolves wire tokens through the declarative
+:data:`repro.trace.semantics.TOKEN_TO_ETYPE` map, so a new event kind
+registered in :mod:`repro.trace.semantics` is automatically parseable
+everywhere.  Parse errors always name the line (or row) number and the
+offending token.
 
 Two layers of entry points:
 
@@ -25,7 +35,8 @@ Two layers of entry points:
   :class:`~repro.trace.trace.Trace` on top of the streaming layer.
 
 :func:`load_trace` / :func:`iter_trace_file` dispatch on the file
-extension (``.std``/``.txt`` vs ``.csv``).
+extension (``.csv``/``.mtrace``/``.tsan`` vs STD) unless an explicit
+``format`` is given.
 """
 
 from __future__ import annotations
@@ -34,34 +45,41 @@ import csv
 import io
 import re
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.trace.event import Event, EventType
+from repro.trace.semantics import REGISTRY, TOKEN_TO_ETYPE, TraceError
 from repro.trace.trace import Trace
 from repro.vectorclock.registry import ThreadRegistry
 
 _OP_PATTERN = re.compile(r"^\s*(\w+)\s*\(\s*([^)]*?)\s*\)\s*$")
 
-_OP_NAMES = {
-    "acq": EventType.ACQUIRE,
-    "acquire": EventType.ACQUIRE,
-    "lock": EventType.ACQUIRE,
-    "rel": EventType.RELEASE,
-    "release": EventType.RELEASE,
-    "unlock": EventType.RELEASE,
-    "r": EventType.READ,
-    "read": EventType.READ,
-    "w": EventType.WRITE,
-    "write": EventType.WRITE,
-    "fork": EventType.FORK,
-    "join": EventType.JOIN,
-    "begin": EventType.BEGIN,
-    "end": EventType.END,
-}
+#: The formats ``--format`` / the extension dispatch understand.
+FORMAT_NAMES = ("std", "csv", "mtrace", "tsan")
+
+#: file extension -> format name (anything else parses as STD).
+_EXTENSION_FORMATS = {".csv": "csv", ".mtrace": "mtrace", ".tsan": "tsan"}
 
 
-class TraceParseError(ValueError):
-    """Raised when a trace file cannot be parsed."""
+class TraceParseError(TraceError):
+    """Raised when a trace file cannot be parsed.
+
+    A :class:`~repro.trace.semantics.TraceError` subclass: malformed
+    input and semantically invalid input surface through one exception
+    hierarchy.  Messages are one-line and actionable -- they always name
+    the line (or CSV row) number and the offending token.
+    """
+
+
+def _check_operand(
+    etype: EventType, target: Optional[str], token: str, where: str
+) -> None:
+    operand = REGISTRY[etype].operand
+    if operand is not None and target is None:
+        raise TraceParseError(
+            "%s: %r requires a %s operand, e.g. %r"
+            % (where, token, operand, "%s(%s0)" % (token, operand[0]))
+        )
 
 
 def _parse_operation(text: str, line_number: int) -> "tuple[EventType, Optional[str]]":
@@ -71,11 +89,14 @@ def _parse_operation(text: str, line_number: int) -> "tuple[EventType, Optional[
         name, argument = match.group(1).lower(), match.group(2) or None
     else:
         name, argument = text.lower(), None
-    if name not in _OP_NAMES:
+    etype = TOKEN_TO_ETYPE.get(name)
+    if etype is None:
         raise TraceParseError(
-            "line %d: unknown operation %r" % (line_number, text)
+            "line %d: unknown operation token %r in %r"
+            % (line_number, name, text)
         )
-    return _OP_NAMES[name], argument
+    _check_operand(etype, argument, name, "line %d" % line_number)
+    return etype, argument
 
 
 # --------------------------------------------------------------------- #
@@ -150,37 +171,67 @@ def iter_csv_events(
         if row.get("thread") is None or row.get("etype") is None:
             raise TraceParseError("row %d: missing thread/etype column" % row_number)
         etype_name = row["etype"].strip().lower()
-        if etype_name not in _OP_NAMES:
+        etype = TOKEN_TO_ETYPE.get(etype_name)
+        if etype is None:
             raise TraceParseError(
-                "row %d: unknown event type %r" % (row_number, row["etype"])
+                "row %d: unknown event type token %r" % (row_number, row["etype"])
             )
         target = (row.get("target") or "").strip() or None
+        _check_operand(etype, target, etype_name, "row %d" % row_number)
         loc = (row.get("loc") or "").strip() or None
         thread = row["thread"].strip()
         yield Event(
-            index, thread, _OP_NAMES[etype_name], target, loc,
+            index, thread, etype, target, loc,
             tid=intern(thread) if intern is not None else None,
         )
         index += 1
 
 
+def event_iterator(
+    format: Optional[str],
+) -> Callable[..., Iterator[Event]]:
+    """Resolve a format name to its ``(lines, registry=...)`` iterator.
+
+    ``None`` means STD.  The mtrace/tsan adapters are imported lazily so
+    the core parser has no import-time dependency on the adapter layer.
+    """
+    if format in (None, "std"):
+        return iter_std_events
+    if format == "csv":
+        return iter_csv_events
+    from repro.trace.adapters import ADAPTERS
+
+    try:
+        return ADAPTERS[format]
+    except KeyError:
+        raise ValueError(
+            "unknown trace format %r; available: %s"
+            % (format, ", ".join(FORMAT_NAMES))
+        )
+
+
+def detect_format(path: Union[str, Path]) -> str:
+    """Return the format implied by ``path``'s extension (STD otherwise)."""
+    return _EXTENSION_FORMATS.get(Path(path).suffix.lower(), "std")
+
+
 def iter_trace_file(
-    path: Union[str, Path], registry: Optional[ThreadRegistry] = None
+    path: Union[str, Path],
+    registry: Optional[ThreadRegistry] = None,
+    format: Optional[str] = None,
 ) -> Iterator[Event]:
     """Lazily stream the events of a trace file, one line at a time.
 
     The file is opened when iteration starts and closed when the iterator
     is exhausted; at no point is the whole file (or a ``Trace``) held in
-    memory.  Dispatches on the file extension like :func:`load_trace`;
-    ``registry`` stamps interned thread tids at parse time.
+    memory.  Dispatches on the file extension like :func:`load_trace`
+    unless ``format`` names one of :data:`FORMAT_NAMES`; ``registry``
+    stamps interned thread tids at parse time.
     """
     path = Path(path)
+    parse_events = event_iterator(format or detect_format(path))
     with path.open("r", newline="") as handle:
-        if path.suffix.lower() == ".csv":
-            parse = iter_csv_events(handle, registry=registry)
-        else:
-            parse = iter_std_events(handle, registry=registry)
-        for event in parse:
+        for event in parse_events(handle, registry=registry):
             yield event
 
 
@@ -212,14 +263,23 @@ def parse_csv(source: Union[str, Iterable[str]], name: Optional[str] = None,
                  validate=validate, name=name, registry=registry)
 
 
-def load_trace(path: Union[str, Path], validate: bool = True) -> Trace:
+def load_trace(
+    path: Union[str, Path],
+    validate: bool = True,
+    format: Optional[str] = None,
+) -> Trace:
     """Load a trace from ``path``, dispatching on the file extension.
 
     The file is parsed line by line through the streaming layer, so only
-    the event objects (never the raw text) are held in memory.
+    the event objects (never the raw text) are held in memory.  Pass
+    ``format`` (one of :data:`FORMAT_NAMES`) to override the extension
+    dispatch -- e.g. to ingest an mtrace-style log from a ``.txt`` file.
     """
     path = Path(path)
+    parse_events = event_iterator(format or detect_format(path))
+    registry = ThreadRegistry()
     with path.open("r", newline="") as handle:
-        if path.suffix.lower() == ".csv":
-            return parse_csv(handle, name=path.stem, validate=validate)
-        return parse_std(handle, name=path.stem, validate=validate)
+        return Trace(
+            parse_events(handle, registry=registry),
+            validate=validate, name=path.stem, registry=registry,
+        )

@@ -23,20 +23,24 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.trace.event import Event, EventType
+from repro.trace.event import Event
+from repro.trace.semantics import (
+    BARRIER_EVENTS,
+    REGISTRY,
+    THREAD_EVENTS,
+    LockDiscipline,
+    LockSemanticsError,
+    TraceError,
+    WellNestednessError,
+)
 from repro.vectorclock.registry import ThreadRegistry
 
-
-class TraceError(ValueError):
-    """Base class for trace well-formedness violations."""
-
-
-class LockSemanticsError(TraceError):
-    """Raised when two critical sections over the same lock overlap."""
-
-
-class WellNestednessError(TraceError):
-    """Raised when critical sections of a thread are not properly nested."""
+# Re-exported for backward compatibility: the error classes are defined in
+# :mod:`repro.trace.semantics` (next to the shared LockDiscipline state
+# machine that raises them) but have always been importable from here.
+__all__ = [
+    "Trace", "TraceError", "LockSemanticsError", "WellNestednessError",
+]
 
 
 class Trace:
@@ -97,10 +101,12 @@ class Trace:
         self._threads: List[str] = []
         self._locks: List[str] = []
         self._variables: List[str] = []
+        self._barriers: List[str] = []
         self._by_thread: Dict[str, List[int]] = defaultdict(list)
         self._match: Dict[int, Optional[int]] = {}
         self._held_locks: List[Tuple[str, ...]] = []
         self._acquire_of_lock_at: List[Dict[str, int]] = []
+        self._census: Dict[str, int] = {}
 
         self._index(validate)
 
@@ -112,94 +118,67 @@ class Trace:
         seen_threads: Dict[str, None] = {}
         seen_locks: Dict[str, None] = {}
         seen_vars: Dict[str, None] = {}
+        seen_barriers: Dict[str, None] = {}
+        census: Dict[str, int] = {}
 
-        # Per-thread stack of open acquires (for matching + nestedness).
-        open_stack: Dict[str, List[int]] = defaultdict(list)
-        # lock -> (thread, acquire index) currently holding it.
-        holder: Dict[str, Tuple[str, int]] = {}
+        # The shared lock-semantics / well-nestedness state machine; the
+        # streaming OnlineValidator drives the identical machine, so both
+        # paths raise the same exception class and message by construction.
+        discipline = LockDiscipline()
 
         for event in self._events:
             thread = event.thread
+            etype = event.etype
             seen_threads.setdefault(thread, None)
             self._by_thread[thread].append(event.index)
+            census[etype.value] = census.get(etype.value, 0) + 1
 
             if event.is_access():
                 seen_vars.setdefault(event.variable, None)
             elif event.is_lock_event():
                 seen_locks.setdefault(event.lock, None)
-            elif event.etype in (EventType.FORK, EventType.JOIN):
+            elif etype in THREAD_EVENTS:
                 seen_threads.setdefault(event.other_thread, None)
+            elif etype in BARRIER_EVENTS:
+                seen_barriers.setdefault(event.barrier, None)
 
             # Locks currently held by this thread (innermost last).
-            stack = open_stack[thread]
-            held = tuple(self._events[i].lock for i in stack)
+            # Read-mode rwlock sections participate in nestedness checking
+            # but do not confer mutual exclusion, so they are excluded from
+            # ``held_locks`` (the detectors' rule (a)/(b) machinery).
+            sections = discipline.open_sections(thread)
+            held = tuple(lock for lock, _, mode in sections if mode != "read")
             self._held_locks.append(held)
             self._acquire_of_lock_at.append(
-                {self._events[i].lock: i for i in stack}
+                {lock: i for lock, i, mode in sections if mode != "read"}
             )
 
-            if event.is_acquire():
-                lock = event.lock
-                if validate and lock in holder and holder[lock][0] != thread:
-                    raise LockSemanticsError(
-                        "lock %r acquired at event %d while held by thread %r "
-                        "(acquired at event %d)"
-                        % (lock, event.index, holder[lock][0], holder[lock][1])
-                    )
-                if validate and lock in holder and holder[lock][0] == thread:
-                    raise LockSemanticsError(
-                        "re-entrant acquire of lock %r at event %d; re-entrant "
-                        "locking must be flattened by the trace producer"
-                        % (lock, event.index)
-                    )
-                holder[lock] = (thread, event.index)
-                stack.append(event.index)
+            result = discipline.step(
+                etype, thread, event.target, event.index, validate
+            )
+            if result is None:
+                continue
+            action = result[0]
+            if action == "open":
                 self._match[event.index] = None
-                # The acquire itself is inside its own critical section.
-                self._held_locks[-1] = held + (lock,)
-                self._acquire_of_lock_at[-1][lock] = event.index
-
-            elif event.is_release():
-                lock = event.lock
-                if not stack:
-                    if validate:
-                        raise LockSemanticsError(
-                            "release of %r at event %d with no lock held"
-                            % (lock, event.index)
-                        )
-                    self._match[event.index] = None
-                    continue
-                top = stack[-1]
-                top_lock = self._events[top].lock
-                if top_lock != lock:
-                    if validate:
-                        raise WellNestednessError(
-                            "release of %r at event %d does not match innermost "
-                            "open acquire of %r at event %d"
-                            % (lock, event.index, top_lock, top)
-                        )
-                    # Best-effort: find the matching open acquire anywhere.
-                    for candidate in reversed(stack):
-                        if self._events[candidate].lock == lock:
-                            stack.remove(candidate)
-                            self._match[candidate] = event.index
-                            self._match[event.index] = candidate
-                            break
-                    else:
-                        self._match[event.index] = None
-                    holder.pop(lock, None)
-                    continue
-                stack.pop()
-                self._match[top] = event.index
-                self._match[event.index] = top
-                holder.pop(lock, None)
-                # The release is still inside its own critical section.
-                self._held_locks[-1] = held
-                self._acquire_of_lock_at[-1][lock] = top
+                if result[1] != "read":
+                    # The acquire itself is inside its own critical section.
+                    self._held_locks[-1] = held + (event.target,)
+                    self._acquire_of_lock_at[-1][event.target] = event.index
+            elif action == "close":
+                self._match[result[1]] = event.index
+                self._match[event.index] = result[1]
+                # The release is still inside its own critical section: the
+                # pre-step ``held``/``_acquire_of_lock_at`` snapshots above
+                # already include the section being closed.
+            else:  # "unmatched" (best-effort, validate=False only)
+                self._match[event.index] = None
 
         self._threads = list(seen_threads)
         self._locks = list(seen_locks)
         self._variables = list(seen_vars)
+        self._barriers = list(seen_barriers)
+        self._census = census
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -233,6 +212,11 @@ class Trace:
     def variables(self) -> List[str]:
         """Variable identifiers in order of first appearance."""
         return list(self._variables)
+
+    @property
+    def barriers(self) -> List[str]:
+        """Barrier identifiers in order of first appearance."""
+        return list(self._barriers)
 
     def thread_events(self, thread: str) -> List[Event]:
         """Return the projection of the trace onto ``thread`` (sigma|t)."""
@@ -275,13 +259,15 @@ class Trace:
     def critical_section(self, event: Event) -> List[Event]:
         """Return the events of the critical section started/ended at ``event``.
 
-        ``event`` must be an acquire or a release.  When the matching
+        ``event`` must open or close a critical section (acquire/release,
+        including their rwlock and wait counterparts).  When the matching
         release is absent (the lock is never released), the critical section
         extends to the end of the thread.
         """
-        if not event.is_lock_event():
+        semantics = REGISTRY[event.etype]
+        if semantics.opens is None and semantics.closes is None:
             raise ValueError("critical_section expects an acquire or release event")
-        if event.is_acquire():
+        if semantics.opens is not None:
             acquire = event
             release = self.match(event)
         else:
@@ -382,6 +368,14 @@ class Trace:
             "variables": len(self._variables),
             "accesses": accesses,
         }
+
+    def census(self) -> Dict[str, int]:
+        """Return the per-event-type census (canonical token -> count).
+
+        Only event kinds that actually occur appear; computed during
+        indexing, so this is O(1) per call.
+        """
+        return dict(self._census)
 
     def __repr__(self) -> str:
         return "Trace(%r, events=%d, threads=%d, locks=%d)" % (

@@ -1216,3 +1216,75 @@ class TestResumableLoad:
                     if not line.strip().startswith("stat ")]
 
         assert races(resumed) == races(full)
+
+
+# --------------------------------------------------------------------- #
+# Extended vocabulary (rwlocks, barriers, wait/notify)
+# --------------------------------------------------------------------- #
+
+
+class TestMixedVocabularyCheckpoints:
+    """Checkpoint/resume parity when traces use the full event vocabulary.
+
+    The new kinds carry extra detector state (read accumulators, open
+    barrier generations, notify clocks, per-thread read-held sets) that
+    must survive a snapshot boundary placed at an *arbitrary* offset --
+    including mid-read-section and mid-barrier-generation.
+    """
+
+    @pytest.mark.parametrize("factory", DETECTOR_FACTORIES)
+    @pytest.mark.parametrize("fraction", [0.15, 0.5, 0.85])
+    def test_detector_round_trip_parity(self, factory, fraction):
+        from repro.bench.generators import mixed_vocabulary_trace
+
+        trace = mixed_vocabulary_trace(3, steps=180)
+        reference = factory().run(trace)
+        split = int(len(trace) * fraction)
+
+        original = factory()
+        original.reset(trace)
+        for event in trace.events[:split]:
+            original.process(event)
+        blob = original.state_snapshot()
+
+        resumed = factory()
+        resumed.reset(trace)
+        resumed.restore_state(blob)
+        for event in trace.events[split:]:
+            resumed.process(event)
+        resumed.finish()
+        assert _fingerprint(resumed.report) == _fingerprint(reference)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_engine_resume_parity(self, tmp_path, seed):
+        from repro.bench.generators import mixed_vocabulary_trace
+
+        trace = mixed_vocabulary_trace(seed, steps=160)
+        reference = run_engine(trace, detectors=["wcp", "hb", "fasttrack"])
+        resumed = _partial_then_resume(
+            tmp_path, trace, TraceSource, stop_at=len(trace) // 3,
+            detectors=("wcp", "hb", "fasttrack"),
+        )
+        for name in reference.keys():
+            assert _fingerprint(resumed[name]) == _fingerprint(
+                reference[name]
+            )
+
+    def test_validated_stream_resume_parity(self, tmp_path):
+        # The online validator's rwlock state (read-holder map, section
+        # modes) must ride the checkpoint too: the resumed suffix releases
+        # read sections the prefix opened.
+        from repro.bench.generators import mixed_vocabulary_trace
+
+        trace = mixed_vocabulary_trace(2, steps=140)
+        path = tmp_path / "mixed.std"
+        dump_trace(trace, path)
+        reference = run_engine(trace, detectors=["wcp"])
+        resumed = _partial_then_resume(
+            tmp_path, path,
+            lambda p: ValidatingSource(FileSource(p)),
+            stop_at=len(trace) // 2, detectors=("wcp",),
+        )
+        assert _fingerprint(resumed["WCP"]) == _fingerprint(
+            reference["WCP"]
+        )

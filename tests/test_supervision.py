@@ -745,3 +745,29 @@ class TestThreadStallDetection:
         _assert_parity(trace, result)
         assert result.supervision["heartbeat_timeouts"] >= 1
         assert result.supervision["worker_restarts"] >= 1
+
+
+class TestMixedVocabularyFaults:
+    """Fault-injection parity when the trace uses the full vocabulary.
+
+    Replicated rwlock/barrier/wait/notify events land in every worker's
+    snapshot, so a worker killed mid-read-section or mid-barrier
+    generation must restore and replay to a byte-identical report.
+    """
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_worker_kill_parity(self, mode):
+        from repro.bench.generators import mixed_vocabulary_trace
+
+        trace = mixed_vocabulary_trace(1, steps=160)
+        result = _sharded(trace, FaultPlan.kill(0, at_event=40), mode=mode)
+        _assert_parity(trace, result)
+
+    def test_kill_at_late_offset_parity(self):
+        from repro.bench.generators import mixed_vocabulary_trace
+
+        trace = mixed_vocabulary_trace(4, steps=160)
+        result = _sharded(
+            trace, FaultPlan.kill(1, at_event=len(trace) - 30), mode="serial"
+        )
+        _assert_parity(trace, result)
