@@ -43,6 +43,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.compare import run_table
@@ -376,6 +377,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "accounting table (races, attributed time, events/s, "
              "serialized state size)",
     )
+    stats.add_argument(
+        "--timing", action="store_true",
+        help="report the parse-vs-detect wall-clock split with events/sec "
+             "per phase (detect uses --detectors, defaulting to wcp), so "
+             "decode-bound vs detector-bound workloads are diagnosable "
+             "without a profiler",
+    )
 
     witness = subparsers.add_parser(
         "witness", help="search for a reordering witnessing the first race"
@@ -430,8 +438,9 @@ def _add_shard_arguments(subparser: argparse.ArgumentParser) -> None:
     )
     subparser.add_argument(
         "--shard-mode", default="process",
-        choices=("process", "thread", "serial"),
+        choices=("process", "ring", "thread", "serial"),
         help="shard transport: separate processes (multi-core, default), "
+             "processes fed through zero-copy shared-memory rings (ring), "
              "threads, or inline serial workers (deterministic debugging)",
     )
     subparser.add_argument(
@@ -675,6 +684,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     # The shared load path: stats validates by default exactly like
     # analyze/compare, so a malformed trace errors consistently across
     # subcommands instead of being silently summarised.
+    parse_started = time.perf_counter()
     try:
         trace = load_trace(
             args.trace,
@@ -684,6 +694,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
+    parse_s = time.perf_counter() - parse_started
     for key, value in sorted(trace_summary(trace).items()):
         print("%-10s %d" % (key, value))
     census = event_census(trace)
@@ -692,9 +703,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("event census:")
         for token, count in sorted(census.items()):
             print("  %-10s %d" % (token, count))
-    if args.detectors:
+    result = None
+    detectors = None
+    if args.detectors or args.timing:
         try:
-            names = _split_detector_names(args.detectors)
+            # --timing without an explicit selection still needs a detect
+            # phase to split against; WCP is the paper's primary detector.
+            names = _split_detector_names(args.detectors or "wcp")
             detectors = [make_detector(name) for name in names]
         except ValueError as error:
             print(str(error), file=sys.stderr)
@@ -703,6 +718,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         # table's time column is the detector's own cost, not the pass's.
         config = EngineConfig().with_cost_accounting(True)
         result = run_engine(trace, detectors=detectors, config=config)
+    if args.detectors:
         headers = ["detector", "races", "raw", "time(s)", "events/s",
                    "state(B)"]
         rows = []
@@ -722,6 +738,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print("per-detector cost over %d event(s), one pass:" % result.events)
         print(format_table(headers, rows))
+    if args.timing:
+        # The parse phase covers decode + interning (+ validation unless
+        # --no-validate); the detect phase is the engine pass above.
+        events = result.events
+        detect_s = result.elapsed_s
+        total_s = parse_s + detect_s
+
+        def rate(seconds: float) -> str:
+            return "%.0f" % (events / seconds) if seconds > 0 else "-"
+
+        def share(seconds: float) -> str:
+            return "%.1f%%" % (100.0 * seconds / total_s) if total_s > 0 else "-"
+
+        print()
+        print("phase timing over %d event(s)%s:" % (
+            events,
+            " (validation skipped)" if args.no_validate else "",
+        ))
+        print(format_table(
+            ["phase", "time(s)", "events/s", "share"],
+            [
+                ["parse", "%.3f" % parse_s, rate(parse_s), share(parse_s)],
+                ["detect [%s]" % ",".join(d.name for d in detectors),
+                 "%.3f" % detect_s, rate(detect_s), share(detect_s)],
+                ["total", "%.3f" % total_s, rate(total_s), "100.0%"],
+            ],
+        ))
     return 0
 
 

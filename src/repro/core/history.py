@@ -64,6 +64,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.races import RaceReport
 from repro.trace.event import Event
+from repro.vectorclock.dense import DenseClock
 
 # (event, clock) of the latest access at one (thread, location).
 _Cell = Tuple[Event, object]
@@ -143,16 +144,49 @@ class VariableHistory:
         private copy); ``key`` is the component key of the accessing thread
         inside ``clock`` (its tid, or its name for name-keyed clocks).
         """
-        if self._writes_ordered(clock):
+        # Ordering checks inlined from _writes_ordered/_reads_ordered:
+        # this is the per-access hot path and the epoch comparison must
+        # stay a handful of bytecodes.  On the dense backend the epoch
+        # lookups index the raw component buffer instead of bouncing
+        # through ``clock.get`` (one method call per lookup otherwise).
+        times = clock._times if type(clock) is DenseClock else None
+        if self.w_fast:
+            tid = self.w_tid
+            if times is not None:
+                writes_ordered = (
+                    self.w_time <= times[tid] if tid < len(times)
+                    else self.w_time <= 0
+                )
+            else:
+                writes_ordered = self.w_time <= clock.get(tid)
+        else:
+            join = self.write_join
+            writes_ordered = join is None or join <= clock
+        if writes_ordered:
             racy: List[Event] = []
         else:
             racy = self._unordered_cells(self.writes, event, clock)
 
-        if self._reads_ordered(clock):
+        if self.r_fast:
+            tid = self.r_tid
+            if times is not None:
+                reads_ordered = (
+                    self.r_time <= times[tid] if tid < len(times)
+                    else self.r_time <= 0
+                )
+            else:
+                reads_ordered = self.r_time <= clock.get(tid)
+        else:
+            join = self.read_join
+            reads_ordered = join is None or join <= clock
+        if reads_ordered:
             # The join collapses to this clock: alias it and (re)arm the epoch.
             self.read_join = clock
             self._rj_owned = False
-            time = clock.get(key)
+            if times is not None:
+                time = times[key] if key < len(times) else 0
+            else:
+                time = clock.get(key)
             self.r_tid = key
             self.r_time = time
             self.r_fast = exact and time > 0
@@ -172,17 +206,45 @@ class VariableHistory:
 
     def observe_write(self, event: Event, clock, key, exact: bool) -> List[Event]:
         """Check a write against earlier reads and writes, then record it."""
-        writes_ordered = self._writes_ordered(clock)
+        # Dense-backend epoch lookups index the raw buffer (see observe_read).
+        times = clock._times if type(clock) is DenseClock else None
+        if self.w_fast:
+            tid = self.w_tid
+            if times is not None:
+                writes_ordered = (
+                    self.w_time <= times[tid] if tid < len(times)
+                    else self.w_time <= 0
+                )
+            else:
+                writes_ordered = self.w_time <= clock.get(tid)
+        else:
+            join = self.write_join
+            writes_ordered = join is None or join <= clock
+        if self.r_fast:
+            tid = self.r_tid
+            if times is not None:
+                reads_ordered = (
+                    self.r_time <= times[tid] if tid < len(times)
+                    else self.r_time <= 0
+                )
+            else:
+                reads_ordered = self.r_time <= clock.get(tid)
+        else:
+            join = self.read_join
+            reads_ordered = join is None or join <= clock
         racy: List[Event] = []
         if not writes_ordered:
             racy.extend(self._unordered_cells(self.writes, event, clock))
-        if not self._reads_ordered(clock):
+        if not reads_ordered:
             racy.extend(self._unordered_cells(self.reads, event, clock))
 
         if writes_ordered:
             self.write_join = clock
             self._wj_owned = False
-            time = clock.get(key)
+            if times is not None:
+                time = times[key] if key < len(times) else 0
+            else:
+                time = clock.get(key)
             self.w_tid = key
             self.w_time = time
             self.w_fast = exact and time > 0

@@ -107,16 +107,18 @@ comparable with the paper.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Deque, Dict, List, Optional, Set
 
 from repro.core.detector import Detector
-from repro.core.history import AccessHistory
+from repro.core.history import AccessHistory, VariableHistory
 from repro.core.races import RaceReport
 from repro.core.snapshot import adopt_registry_names, pack_state, unpack_for
 from repro.trace.event import Event, EventType
 from repro.trace.trace import Trace
 from repro.vectorclock import clock_class
 from repro.vectorclock.clock import VectorClock
+from repro.vectorclock.dense import DenseClock
 from repro.vectorclock.registry import ThreadRegistry
 
 
@@ -183,11 +185,20 @@ class _LockState:
         "evicted_acq", "evicted_rel",
         "read_lr", "read_lw",
         "read_pl", "read_hl", "notify_p", "notify_h",
+        "reclaim_blocker",
     )
 
     def __init__(self) -> None:
         #: Shared critical-section log: [acquire clock, release HB-time or
-        #: None while open, owning tid] per entry.
+        #: None while open, owning tid, acquire epoch] per entry.  The
+        #: epoch (the owner's ``N_o`` at acquire) is set when no mid-block
+        #: snapshot of the owner's block escaped before the acquire, in
+        #: which case the Rule (b) gate ``A <= C_t`` reduces to the O(1)
+        #: comparison ``N_o <= C_t(o)`` (same exactness lemma as the
+        #: access history's epoch fast path); None forces the full
+        #: comparison.  Snapshots strip the field (it is a pure
+        #: accelerator), so restored detectors walk pre-snapshot entries
+        #: with the full comparison and identical verdicts.
         self.log: Deque[list] = deque()
         #: Absolute index of the log's first retained entry.
         self.base = 0
@@ -231,6 +242,11 @@ class _LockState:
         #: cleared: notifies wake all present and future waiters).
         self.notify_p = None
         self.notify_h = None
+        #: Consumer that blocked the last reclaim scan (transient
+        #: accelerator: while its cursor still sits at the log base and it
+        #: does not own the front entry, rescanning is pointless).  Never
+        #: serialized; restore starts from None.
+        self.reclaim_blocker: Optional[int] = None
 
 
 class WCPDetector(Detector):
@@ -390,15 +406,20 @@ class WCPDetector(Detector):
         self._stream_reclaimed = 0
         if self._effective_prune:
             intern = self._registry.intern
+            locks = self._locks
+            release = EventType.RELEASE
+            rrel = EventType.RREL
             for event in trace:
                 # ``rrel`` threads are censused too: a write-mode rrel runs
                 # the same Rule (b) log walk a mutex release does, so its
                 # thread's cursor must gate reclamation (read-mode rrels
                 # never walk -- counting them is conservative, not wrong).
-                if event.is_release() or event.etype is EventType.RREL:
-                    self._lock_state(event.lock).releasers.add(
-                        intern(event.thread)
-                    )
+                etype = event.etype
+                if etype is release or etype is rrel:
+                    state = locks.get(event.target)
+                    if state is None:
+                        state = locks[event.target] = _LockState()
+                    state.releasers.add(intern(event.thread))
 
         intern = self._registry.intern
         for thread in trace.threads:
@@ -469,27 +490,30 @@ class WCPDetector(Detector):
     def _thread_prologue(self, event: Event) -> int:
         """Shared per-event prologue: intern, initialise, apply the bump.
 
-        Returns the event's tid.  Used identically by :meth:`process` and
-        :meth:`process_foreign` -- the deferred ``N_t`` bump must advance
-        at the same event on every shard, so the two paths share one
-        implementation by construction.
+        Returns the event's tid.  :meth:`process_foreign` calls this;
+        :meth:`process` inlines a copy of it for speed -- the deferred
+        ``N_t`` bump must advance at the same event on every shard, so any
+        change here must be mirrored there.
         """
         self._processed_events += 1
         tid = event.tid
         if tid is None or not self._trust_tids:
             tid = self._registry.intern(event.thread)
-        if tid >= len(self._nt) or self._nt[tid] == 0:
+        nt_list = self._nt
+        if tid >= len(nt_list) or nt_list[tid] == 0:
             self._ensure_thread(tid, event.thread)
-        if self._prev_release[tid]:
+        prev = self._prev_release
+        if prev[tid]:
             # The previous event of this thread was a release: bump N_t.
-            nt = self._nt[tid] + 1
-            self._nt[tid] = nt
+            nt = nt_list[tid] + 1
+            nt_list[tid] = nt
             self._ht[tid].assign(tid, nt)
             self._ct[tid] = None
-            self._prev_release[tid] = False
-        waiting = self._barrier_waiting.get(tid)
-        if waiting:
-            self._join_open_barriers(tid, waiting)
+            prev[tid] = False
+        if self._barrier_waiting:
+            waiting = self._barrier_waiting.get(tid)
+            if waiting:
+                self._join_open_barriers(tid, waiting)
         return tid
 
     def _join_open_barriers(self, tid: int, waiting: Dict[str, int]) -> None:
@@ -519,7 +543,28 @@ class WCPDetector(Detector):
             self._ct[tid] = None
 
     def process(self, event: Event) -> None:
-        tid = self._thread_prologue(event)
+        # Per-event prologue, inlined from _thread_prologue (which
+        # process_foreign still calls): the deferred N_t bump must advance
+        # at the same event on both paths, so keep the copies in sync.
+        self._processed_events += 1
+        tid = event.tid
+        if tid is None or not self._trust_tids:
+            tid = self._registry.intern(event.thread)
+        nt_list = self._nt
+        if tid >= len(nt_list) or nt_list[tid] == 0:
+            self._ensure_thread(tid, event.thread)
+        prev = self._prev_release
+        if prev[tid]:
+            # The previous event of this thread was a release: bump N_t.
+            nt = nt_list[tid] + 1
+            nt_list[tid] = nt
+            self._ht[tid].assign(tid, nt)
+            self._ct[tid] = None
+            prev[tid] = False
+        if self._barrier_waiting:
+            waiting = self._barrier_waiting.get(tid)
+            if waiting:
+                self._join_open_barriers(tid, waiting)
         etype = event.etype
         if etype is EventType.READ:
             self._read(event, tid)
@@ -557,7 +602,9 @@ class WCPDetector(Detector):
 
     def _acquire(self, event: Event, tid: int) -> None:
         lock = event.target
-        state = self._lock_state(lock)
+        state = self._locks.get(lock)
+        if state is None:
+            state = self._locks[lock] = _LockState()
         # Overlapping critical sections break the release chain the
         # Rule (a) fast path relies on; fall back to the full walk then.
         if state.holder is not None:
@@ -567,28 +614,48 @@ class WCPDetector(Detector):
         hl = state.hl
         if hl is not None:
             self._ht[tid].merge(hl)
+        ct_cache = self._ct
         pl = state.pl
         if pl is not None and self._pt[tid].merge(pl):
-            self._ct[tid] = None
+            ct_cache[tid] = None
         # Line 3: advertise this acquire's timestamp by opening a log entry
         # (the pseudocode appends to every other thread's Acq queue; the
-        # shared log defers that fan-out to the consumers' cursors).
+        # shared log defers that fan-out to the consumers' cursors).  The
+        # acquire epoch arms the consumers' O(1) gate unless a fork/join
+        # already leaked a snapshot of this block (see _LockState.log).
+        nt = self._nt[tid]
+        ct = ct_cache[tid]
+        if ct is None:
+            ct = ct_cache[tid] = self._pt[tid].copy().assign(tid, nt)
         log = state.log
         state.open_entry[tid] = state.base + len(log)
-        log.append([self._clock_c(tid), None, tid])
+        log.append([ct, None, tid, nt if self._leak[tid] != nt else None])
         if self._track_queue_stats:
-            self._bump_queue_total(self._audience_size(state, tid))
+            # Inlined _bump_queue_total(_audience_size(...)).
+            if self._effective_prune:
+                audience = state.releasers
+                delta = len(audience) - (1 if tid in audience else 0)
+            else:
+                delta = len(self._thread_names) - 1
+            total = self._queue_total + delta
+            self._queue_total = total
+            if total > self._max_queue_total:
+                self._max_queue_total = total
         # Track the opening of the critical section for R/W collection.
         self._open_sections[tid].append((lock, set(), set(), state))
 
     def _release(self, event: Event, tid: int) -> None:
         lock = event.target
-        state = self._lock_state(lock)
+        state = self._locks.get(lock)
+        if state is None:
+            state = self._locks[lock] = _LockState()
         if state.holder == tid:
             state.holder = None
         else:
             state.tainted = True
         pt = self._pt[tid]
+        nt = self._nt[tid]
+        ct_cache = self._ct
 
         # Lines 4-6: apply Rule (b) for every earlier critical section of
         # this lock (by another thread) whose acquire is WCP-ordered before
@@ -620,24 +687,50 @@ class WCPDetector(Detector):
             else:
                 walk_allowed = False
         if walk_allowed and cursor - base < len(log):
-            ct = self._clock_c(tid)
+            # The walk never appends to the log, so a one-pass iterator
+            # (O(1) steps on the deque) replaces repeated O(k) indexing;
+            # the cached C_t is rebuilt in place only when P_t grew.
+            ct = ct_cache[tid]
+            if ct is None:
+                ct = ct_cache[tid] = pt.copy().assign(tid, nt)
+            # Epoch gates compare one component; on the dense backend the
+            # raw buffer is indexed directly instead of bouncing through
+            # clock.get per entry.
+            ct_times = ct._times if type(ct) is DenseClock else None
+            nct = len(ct_times) if ct_times is not None else 0
             consumed = 0
             if not state.tainted:
                 pending = None
-                while cursor - base < len(log):
-                    acq_clock, release_time, owner = log[cursor - base]
+                for entry in islice(log, cursor - base, None):
+                    owner = entry[2]
                     if owner == tid:
                         cursor += 1
                         continue
-                    if not (acq_clock <= ct):
+                    gate = entry[3]
+                    if gate is None:
+                        ordered = entry[0] <= ct
+                    elif ct_times is not None:
+                        ordered = owner < nct and gate <= ct_times[owner]
+                    else:
+                        ordered = gate <= ct.get(owner)
+                    if not ordered:
                         if pending is None:
                             break
                         if pt.merge(pending):
-                            self._ct[tid] = None
-                            ct = self._clock_c(tid)
+                            ct = ct_cache[tid] = pt.copy().assign(tid, nt)
+                            if ct_times is not None:
+                                ct_times = ct._times
+                                nct = len(ct_times)
                         pending = None
-                        if not (acq_clock <= ct):
+                        if gate is None:
+                            ordered = entry[0] <= ct
+                        elif ct_times is not None:
+                            ordered = owner < nct and gate <= ct_times[owner]
+                        else:
+                            ordered = gate <= ct.get(owner)
+                        if not ordered:
                             break
+                    release_time = entry[1]
                     if release_time is None:
                         # The earlier critical section is still open (only
                         # possible on malformed, e.g. windowed, traces).
@@ -646,24 +739,35 @@ class WCPDetector(Detector):
                     consumed += 1
                     cursor += 1
                 if pending is not None and pt.merge(pending):
-                    self._ct[tid] = None
+                    ct_cache[tid] = None
             else:
-                while cursor - base < len(log):
-                    acq_clock, release_time, owner = log[cursor - base]
+                for entry in islice(log, cursor - base, None):
+                    owner = entry[2]
                     if owner == tid:
                         cursor += 1
                         continue
-                    if not (acq_clock <= ct):
+                    gate = entry[3]
+                    if gate is None:
+                        ordered = entry[0] <= ct
+                    elif ct_times is not None:
+                        ordered = owner < nct and gate <= ct_times[owner]
+                    else:
+                        ordered = gate <= ct.get(owner)
+                    if not ordered:
                         break
+                    release_time = entry[1]
                     if release_time is None:
                         break
                     if pt.merge(release_time):
-                        self._ct[tid] = None
-                        ct = self._clock_c(tid)
+                        ct = ct_cache[tid] = pt.copy().assign(tid, nt)
+                        if ct_times is not None:
+                            ct_times = ct._times
+                            nct = len(ct_times)
                     consumed += 1
                     cursor += 1
             if consumed and self._track_queue_stats:
-                self._bump_queue_total(-2 * consumed)
+                # A negative delta can never raise the max: plain decrement.
+                self._queue_total -= 2 * consumed
         state.cursor[tid] = cursor
 
         # Close the critical section and fetch its accessed variables.
@@ -680,33 +784,46 @@ class WCPDetector(Detector):
                         _, reads, writes, _ = stack.pop(position)
                         break
 
-        ht_full = self._ht[tid]
+        # One frozen snapshot of this release's HB time serves the
+        # Rule (a) cells, the per-lock ``H_l`` and the log entry -- every
+        # consumer only ever reads it.
+        release_snapshot = self._ht[tid].copy()
         # Lines 7-8: remember this release's HB time for Rule (a).
         if reads:
             per_lock = state.lr
+            publish = self._join_release_time
             for variable in reads:
                 cell = per_lock.get(variable)
                 if cell is None:
                     cell = per_lock[variable] = _RuleACell()
-                self._join_release_time(cell, tid, ht_full)
+                publish(cell, tid, release_snapshot)
         if writes:
             per_lock = state.lw
+            publish = self._join_release_time
             for variable in writes:
                 cell = per_lock.get(variable)
                 if cell is None:
                     cell = per_lock[variable] = _RuleACell()
-                self._join_release_time(cell, tid, ht_full)
+                publish(cell, tid, release_snapshot)
 
-        # Line 9: per-lock clocks now describe this (latest) release.
-        state.hl = ht_full.copy()
+        # Lines 9-10: per-lock clocks now describe this (latest) release,
+        # and the log entry closes with the same HB time.
+        state.hl = release_snapshot
         state.pl = pt.copy()
-
-        # Line 10: advertise this release's HB time (close the log entry).
         open_index = state.open_entry.pop(tid, None)
         if open_index is not None and open_index >= state.base:
-            log[open_index - state.base][1] = ht_full.copy()
+            log[open_index - state.base][1] = release_snapshot
         if self._track_queue_stats:
-            self._bump_queue_total(self._audience_size(state, tid))
+            # Inlined _bump_queue_total(_audience_size(...)).
+            if self._effective_prune:
+                audience = state.releasers
+                delta = len(audience) - (1 if tid in audience else 0)
+            else:
+                delta = len(self._thread_names) - 1
+            total = self._queue_total + delta
+            self._queue_total = total
+            if total > self._max_queue_total:
+                self._max_queue_total = total
 
         if self._effective_prune:
             self._reclaim(state)
@@ -738,20 +855,47 @@ class WCPDetector(Detector):
         never be read again.
         """
         log = state.log
+        if not log or log[0][1] is None:
+            return
         base = state.base
-        releasers = state.releasers
-        cursor = state.cursor
+        cursor_at = state.cursor.get
+        # O(1) fast-out: the consumer that blocked the previous scan still
+        # blocks this one unless its cursor advanced past the base or the
+        # front entry is now its own.
+        blocker = state.reclaim_blocker
+        if (
+            blocker is not None
+            and blocker != log[0][2]
+            and cursor_at(blocker, 0) <= base
+        ):
+            return
+        # One scan finds the two smallest consumer cursors (and their
+        # holders); each pop then checks its owner-adjusted bound in O(1)
+        # instead of rescanning every releaser.
+        min1 = min2 = 0
+        arg1 = arg2 = None
+        for consumer in state.releasers:
+            c = cursor_at(consumer, 0)
+            if arg1 is None or c < min1:
+                min2 = min1
+                arg2 = arg1
+                min1 = c
+                arg1 = consumer
+            elif arg2 is None or c < min2:
+                min2 = c
+                arg2 = consumer
         while log:
             entry = log[0]
             if entry[1] is None:
                 break
-            owner = entry[2]
-            blocked = False
-            for consumer in releasers:
-                if consumer != owner and cursor.get(consumer, 0) <= base:
-                    blocked = True
-                    break
-            if blocked:
+            if entry[2] == arg1:
+                bound = min2
+                holder = arg2
+            else:
+                bound = min1
+                holder = arg1
+            if holder is not None and bound <= base:
+                state.reclaim_blocker = holder
                 break
             log.popleft()
             base += 1
@@ -866,13 +1010,16 @@ class WCPDetector(Detector):
         return True
 
     @staticmethod
-    def _join_release_time(cell: _RuleACell, tid: int, time) -> None:
-        by_tid = cell.by_tid
-        existing = by_tid.get(tid)
-        if existing is None:
-            existing = by_tid[tid] = time.copy()
-        else:
-            existing.merge(time)
+    def _join_release_time(cell: _RuleACell, tid: int, frozen_time) -> None:
+        """Publish ``frozen_time`` as ``tid``'s latest release HB-time.
+
+        ``H_t`` is monotone, so the per-thread join of a thread's release
+        times always equals its *latest* release time: the join collapses
+        to replacement.  The caller passes a frozen snapshot (shared
+        across every cell this release publishes to) that is never
+        mutated afterwards.
+        """
+        cell.by_tid[tid] = frozen_time
         # This release is the lock's most recent, so (on chain-clean locks)
         # its entry now dominates the whole cell.
         top_tid = cell.top_tid
@@ -880,7 +1027,7 @@ class WCPDetector(Detector):
             cell.second_tid = top_tid
             cell.second = cell.top
             cell.top_tid = tid
-        cell.top = existing
+        cell.top = frozen_time
         # Invalidate every thread's visit memo (see _join_rule_a).
         cell.version += 1
 
@@ -928,7 +1075,21 @@ class WCPDetector(Detector):
         read_held = self._read_held[tid]
         if read_held:
             self._read_held_rule_a(event.target, tid, read_held, False)
-        self._check_access(event, tid)
+        # Race check, inlined from _check_access (the per-access hot path).
+        ct = self._ct[tid]
+        if ct is None:
+            ct = self._ct[tid] = self._pt[tid].copy().assign(tid, self._nt[tid])
+        variables = self._history._variables
+        history = variables.get(event.target)
+        if history is None:
+            history = variables[event.target] = VariableHistory()
+        racy = history.observe_read(
+            event, ct, tid, self._leak[tid] != self._nt[tid]
+        )
+        if racy:
+            report = self.report
+            for earlier in racy:
+                report.add(earlier, event)
 
     def _read_rule_a(self, variable: str, tid: int, sections: list) -> None:
         # Line 11: Rule (a) -- order this read after every release of an
@@ -938,14 +1099,16 @@ class WCPDetector(Detector):
         pt = self._pt[tid]
         changed = False
         for _lock, section_reads, _section_writes, state in sections:
-            cell = state.lw.get(variable)
+            cell = state.lw.get(variable) if state.lw else None
             if cell is not None and self._join_rule_a(
                 pt, cell, tid, not state.tainted
             ):
                 changed = True
             # Writes of past *read* sections conflict too; their releases
             # are mutually unordered, so never take the chain fast path.
-            cell = state.read_lw.get(variable)
+            # (The read cells only exist on rwlock traces -- the truthiness
+            # probe skips the dict lookup entirely for plain mutexes.)
+            cell = state.read_lw.get(variable) if state.read_lw else None
             if cell is not None and self._join_rule_a(pt, cell, tid, False):
                 changed = True
             section_reads.add(variable)
@@ -959,7 +1122,21 @@ class WCPDetector(Detector):
         read_held = self._read_held[tid]
         if read_held:
             self._read_held_rule_a(event.target, tid, read_held, True)
-        self._check_access(event, tid)
+        # Race check, inlined from _check_access (the per-access hot path).
+        ct = self._ct[tid]
+        if ct is None:
+            ct = self._ct[tid] = self._pt[tid].copy().assign(tid, self._nt[tid])
+        variables = self._history._variables
+        history = variables.get(event.target)
+        if history is None:
+            history = variables[event.target] = VariableHistory()
+        racy = history.observe_write(
+            event, ct, tid, self._leak[tid] != self._nt[tid]
+        )
+        if racy:
+            report = self.report
+            for earlier in racy:
+                report.add(earlier, event)
 
     def _write_rule_a(self, variable: str, tid: int, sections: list) -> None:
         # Line 12: Rule (a) for writes -- conflicting accesses are both
@@ -968,18 +1145,19 @@ class WCPDetector(Detector):
         changed = False
         for _lock, _section_reads, section_writes, state in sections:
             clean = not state.tainted
-            cell = state.lr.get(variable)
+            cell = state.lr.get(variable) if state.lr else None
             if cell is not None and self._join_rule_a(pt, cell, tid, clean):
                 changed = True
-            cell = state.lw.get(variable)
+            cell = state.lw.get(variable) if state.lw else None
             if cell is not None and self._join_rule_a(pt, cell, tid, clean):
                 changed = True
             # Reads and writes of past *read* sections conflict with this
             # write; read releases are mutually unordered -- full walk.
-            cell = state.read_lr.get(variable)
+            # (Read cells only exist on rwlock traces: truthiness probe.)
+            cell = state.read_lr.get(variable) if state.read_lr else None
             if cell is not None and self._join_rule_a(pt, cell, tid, False):
                 changed = True
-            cell = state.read_lw.get(variable)
+            cell = state.read_lw.get(variable) if state.read_lw else None
             if cell is not None and self._join_rule_a(pt, cell, tid, False):
                 changed = True
             section_writes.add(variable)
@@ -1132,20 +1310,21 @@ class WCPDetector(Detector):
             # conflicting access under an exclusive section of this lock
             # is Rule (a)-ordered after this release.
             reads, writes = section_sets
+            snapshot = ht.copy() if (reads or writes) else None
             if reads:
                 per_lock = state.read_lr
                 for variable in reads:
                     cell = per_lock.get(variable)
                     if cell is None:
                         cell = per_lock[variable] = _RuleACell()
-                    self._join_release_time(cell, tid, ht)
+                    self._join_release_time(cell, tid, snapshot)
             if writes:
                 per_lock = state.read_lw
                 for variable in writes:
                     cell = per_lock.get(variable)
                     if cell is None:
                         cell = per_lock[variable] = _RuleACell()
-                    self._join_release_time(cell, tid, ht)
+                    self._join_release_time(cell, tid, snapshot)
             if state.read_hl is None:
                 state.read_hl = ht.copy()
             else:
@@ -1324,9 +1503,8 @@ class WCPDetector(Detector):
         cell.by_tid = dict(state["by_tid"])
         cell.top_tid = state["top_tid"]
         cell.second_tid = state["second_tid"]
-        # top/second must *alias* the by_tid entries (they keep growing via
-        # in-place merges at later releases), so they are re-linked rather
-        # than stored.
+        # top/second alias the by_tid entries, so they are re-linked
+        # rather than stored twice.
         cell.top = cell.by_tid.get(cell.top_tid)
         cell.second = cell.by_tid.get(cell.second_tid)
         cell.version = state["version"]
@@ -1338,7 +1516,10 @@ class WCPDetector(Detector):
         locks: Dict[str, object] = {}
         for lock, state in self._locks.items():
             locks[lock] = {
-                "log": [tuple(entry) for entry in state.log],
+                # The acquire epoch (entry[3]) is a pure accelerator and
+                # is rebuilt as "unknown" on restore; stripping it keeps
+                # the wire format stable across detector versions.
+                "log": [(entry[0], entry[1], entry[2]) for entry in state.log],
                 "base": state.base,
                 "cursor": dict(state.cursor),
                 "open_entry": dict(state.open_entry),
@@ -1437,7 +1618,11 @@ class WCPDetector(Detector):
         locks: Dict[str, _LockState] = {}
         for lock, entry in state["locks"].items():
             lock_state = _LockState()
-            lock_state.log = deque(list(item) for item in entry["log"])
+            # Pad the stripped acquire-epoch field: None takes the full
+            # Rule (b) comparison, which is verdict-identical.
+            lock_state.log = deque(
+                [item[0], item[1], item[2], None] for item in entry["log"]
+            )
             lock_state.base = entry["base"]
             lock_state.cursor = dict(entry["cursor"])
             lock_state.open_entry = dict(entry["open_entry"])

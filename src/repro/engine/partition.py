@@ -243,6 +243,13 @@ class StreamPartitioner:
         #: Threads with at least one outstanding open-generation arrival
         #: (the per-thread index of ``_barrier_open``, as a multiset count).
         self._barrier_waiting: Dict[str, int] = {}
+        #: Routing memo: variable -> owning shard, filled on first sight.
+        #: Policies are stateless or append-only (ownership of a seen
+        #: variable never changes -- the checkpoint/resume protocol
+        #: already relies on this), so the coordinator's per-event
+        #: routing collapses to one int-valued table lookup instead of a
+        #: policy method call that re-hashes the name.
+        self._owner_memo: Dict[str, int] = {}
         #: Taxonomy census: events per class.
         self.replicated = 0
         self.routed = 0
@@ -263,7 +270,10 @@ class StreamPartitioner:
         thread = event.thread
         pending = self._pending_bump
         if etype in ACCESS_EVENTS:
-            owner = self.policy.owner_of(event.target)
+            memo = self._owner_memo
+            owner = memo.get(event.target)
+            if owner is None:
+                owner = memo[event.target] = self.policy.owner_of(event.target)
             if self._depth.get(thread, 0) > 0:
                 pending.discard(thread)
                 self.routed_clock += 1
@@ -392,3 +402,7 @@ class StreamPartitioner:
         self._barrier_waiting = waiting
         self.replicated, self.routed, self.routed_clock = state["census"]
         self.policy.load_state(state["policy"])
+        # The memo is derived state: drop it so a restored policy (which
+        # may answer differently than the pre-restore instance did) is
+        # re-consulted on first sight of each variable.
+        self._owner_memo = {}

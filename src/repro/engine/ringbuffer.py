@@ -1,0 +1,311 @@
+"""A shared-memory SPSC byte ring for the zero-copy shard transport.
+
+The process transport's original wire format pickled every batch of
+event tuples into a pipe: one serialization pass, one kernel copy into
+the pipe buffer, one copy out, one unpickle -- per batch, on the
+coordinator's hot path.  :class:`ShmRing` replaces the data path with a
+single-producer/single-consumer ring buffer living in
+:mod:`multiprocessing.shared_memory`: the producer copies an
+already-encoded payload straight into the mapped segment and the
+consumer reads it straight out, with no intermediate pickling and no
+kernel round-trip for the bulk bytes.
+
+Layout of the segment::
+
+    [0:8)    write_pos -- total bytes ever published (monotonic, little-endian)
+    [8:16)   read_pos  -- total bytes ever consumed (monotonic)
+    [16:16+capacity)   data region; position p lives at offset p % capacity
+
+Monotonic positions (instead of wrapped offsets) make the full/empty
+distinction trivial: ``write_pos - read_pos`` is the exact number of
+unread bytes, ``capacity - (write_pos - read_pos)`` the free space.
+Each side writes only its own position -- the producer publishes
+``write_pos`` after the record bytes are in place, the consumer
+publishes ``read_pos`` after it has copied a record out -- so the
+single-producer/single-consumer discipline needs no lock.  (An aligned
+8-byte store is a single ``memcpy`` under CPython; on the supported
+platforms that store is not observed torn.)
+
+Records are framed per segment::
+
+    [4 bytes little-endian: payload length | CONTINUATION bit]
+    [4 bytes little-endian: crc32 of the segment payload]
+    [payload bytes, wrapping around the data region]
+
+Payloads larger than half the ring are split into segments so a single
+oversized batch can stream through a smaller ring (producer and
+consumer advance in lockstep segment by segment).  The CRC is cheap
+insurance on a transport whose failure mode is a worker dying mid-write:
+a torn or corrupted record surfaces as :class:`RingCorruption` at the
+consumer instead of as a garbled batch decoding into wrong events.
+
+A note on Python 3.11's resource tracker:
+:class:`~multiprocessing.shared_memory.SharedMemory` registers segments
+with the tracker on *attach* as well as on create (bpo-39959).  That is
+harmless here -- shard workers are ``multiprocessing`` children, which
+inherit the coordinator's tracker fd (under fork and spawn alike), and
+the tracker's per-type cache is a set, so the duplicate registration is
+idempotent and :meth:`ShmRing.unlink` on the owning side retires the
+name exactly once.  Do **not** "fix" the duplicate by unregistering on
+attach: with the shared tracker that cancels the owner's registration
+and the eventual unlink trips a KeyError inside the tracker process.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import zlib
+from multiprocessing import shared_memory
+from typing import Callable, Optional
+
+__all__ = [
+    "DEFAULT_RING_BYTES",
+    "RingCorruption",
+    "RingTimeout",
+    "ShmRing",
+]
+
+#: Default data-region size of a shard ring (per direction).  Sized for
+#: several in-flight batches of a few thousand encoded events.
+DEFAULT_RING_BYTES = 1 << 20
+
+_HEADER = 16
+_FRAME = struct.Struct("<II")
+#: High bit of the frame length word: more segments of this record follow.
+_CONTINUATION = 0x80000000
+_POS = struct.Struct("<Q")
+
+
+class RingCorruption(RuntimeError):
+    """A record failed its CRC or framing check (torn or corrupted write)."""
+
+
+class RingTimeout(TimeoutError):
+    """The peer made no progress within the allowed wait."""
+
+
+class ShmRing:
+    """One single-producer/single-consumer byte ring in shared memory.
+
+    Create with :meth:`create` on the owning side, open with
+    :meth:`attach` (by name) on the peer.  Exactly one process may call
+    :meth:`push` and exactly one may call :meth:`pop`; both block with a
+    progressive backoff and poll the optional ``liveness`` callback so a
+    dead peer turns into an exception instead of a hang.
+    """
+
+    __slots__ = ("_shm", "capacity", "name", "_owner", "_closed")
+
+    def __init__(self, shm, capacity: int, owner: bool) -> None:
+        self._shm = shm
+        self.capacity = capacity
+        self.name = shm.name
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_BYTES) -> "ShmRing":
+        """Allocate a fresh zeroed ring of ``capacity`` data bytes."""
+        if capacity < 64:
+            raise ValueError("ring capacity must be at least 64 bytes")
+        shm = shared_memory.SharedMemory(create=True, size=_HEADER + capacity)
+        shm.buf[:_HEADER] = b"\x00" * _HEADER
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShmRing":
+        """Open an existing ring by name (the peer side).
+
+        The attach-side resource-tracker registration this triggers is
+        deliberately left in place -- see the module docstring.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, capacity, owner=False)
+
+    def close(self) -> None:
+        """Unmap the segment from this process."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after both ends closed)."""
+        self.close()
+        if self._owner:
+            self._owner = False
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Position words
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _write_pos(self) -> int:
+        return _POS.unpack_from(self._shm.buf, 0)[0]
+
+    @_write_pos.setter
+    def _write_pos(self, value: int) -> None:
+        _POS.pack_into(self._shm.buf, 0, value)
+
+    @property
+    def _read_pos(self) -> int:
+        return _POS.unpack_from(self._shm.buf, 8)[0]
+
+    @_read_pos.setter
+    def _read_pos(self, value: int) -> None:
+        _POS.pack_into(self._shm.buf, 8, value)
+
+    def pending_bytes(self) -> int:
+        """Unread bytes currently in the ring (diagnostic)."""
+        return self._write_pos - self._read_pos
+
+    # ------------------------------------------------------------------ #
+    # Blocking helpers
+    # ------------------------------------------------------------------ #
+
+    def _wait(
+        self,
+        ready: Callable[[], bool],
+        timeout: Optional[float],
+        liveness: Optional[Callable[[], bool]],
+        what: str,
+    ) -> None:
+        """Spin-then-sleep until ``ready()``; police liveness and timeout."""
+        for _ in range(64):
+            if ready():
+                return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        delay = 0.0002
+        while True:
+            if ready():
+                return
+            if liveness is not None and not liveness():
+                raise BrokenPipeError(
+                    "ring peer died while waiting for %s" % what
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise RingTimeout(
+                    "no ring progress for %.1fs waiting for %s"
+                    % (timeout, what)
+                )
+            time.sleep(delay)
+            if delay < 0.002:
+                delay *= 2
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+
+    def _copy_in(self, pos: int, data) -> None:
+        capacity = self.capacity
+        buf = self._shm.buf
+        offset = pos % capacity
+        first = capacity - offset
+        if len(data) <= first:
+            buf[_HEADER + offset:_HEADER + offset + len(data)] = data
+        else:
+            buf[_HEADER + offset:_HEADER + capacity] = data[:first]
+            buf[_HEADER:_HEADER + len(data) - first] = data[first:]
+
+    def _copy_out(self, pos: int, length: int) -> bytes:
+        capacity = self.capacity
+        buf = self._shm.buf
+        offset = pos % capacity
+        first = capacity - offset
+        if length <= first:
+            return bytes(buf[_HEADER + offset:_HEADER + offset + length])
+        return bytes(buf[_HEADER + offset:_HEADER + capacity]) + bytes(
+            buf[_HEADER:_HEADER + length - first]
+        )
+
+    def push(
+        self,
+        payload: bytes,
+        timeout: Optional[float] = None,
+        liveness: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Publish one record (producer side), blocking while the ring is full.
+
+        Payloads larger than half the ring are streamed as multiple
+        CRC-framed segments; the record is reassembled transparently by
+        :meth:`pop`.
+        """
+        capacity = self.capacity
+        max_segment = capacity // 2
+        view = memoryview(payload)
+        total = len(view)
+        start = 0
+        while True:
+            segment = view[start:start + max_segment]
+            start += len(segment)
+            length_word = len(segment)
+            if start < total:
+                length_word |= _CONTINUATION
+            need = 8 + len(segment)
+            write = self._write_pos
+            self._wait(
+                lambda: capacity - (write - self._read_pos) >= need,
+                timeout, liveness, "free space",
+            )
+            frame = _FRAME.pack(length_word, zlib.crc32(segment))
+            self._copy_in(write, frame)
+            self._copy_in(write + 8, segment)
+            # Publish after the bytes are in place: the consumer never
+            # observes a partially written record.
+            self._write_pos = write + need
+            if start >= total:
+                return
+
+    def pop(
+        self,
+        timeout: Optional[float] = None,
+        liveness: Optional[Callable[[], bool]] = None,
+    ) -> bytes:
+        """Take the next record (consumer side), blocking while empty."""
+        parts = []
+        while True:
+            read = self._read_pos
+            self._wait(
+                lambda: self._write_pos - read >= 8,
+                timeout, liveness, "a record",
+            )
+            length_word, crc = _FRAME.unpack(self._copy_out(read, 8))
+            more = bool(length_word & _CONTINUATION)
+            length = length_word & ~_CONTINUATION
+            if length > self.capacity - 8:
+                raise RingCorruption(
+                    "frame claims %d bytes in a %d-byte ring"
+                    % (length, self.capacity)
+                )
+            # The producer publishes a whole segment at once, so once the
+            # header is visible the payload is too.
+            if self._write_pos - read < 8 + length:
+                raise RingCorruption(
+                    "truncated segment: %d bytes visible of %d"
+                    % (self._write_pos - read - 8, length)
+                )
+            segment = self._copy_out(read + 8, length)
+            if zlib.crc32(segment) != crc:
+                raise RingCorruption(
+                    "crc mismatch on a %d-byte segment (torn write?)"
+                    % length
+                )
+            self._read_pos = read + 8 + length
+            if not more and not parts:
+                return segment
+            parts.append(segment)
+            if not more:
+                return b"".join(parts)
+
+    def __repr__(self) -> str:
+        return "ShmRing(name=%r, capacity=%d, pending=%d)" % (
+            self.name, self.capacity, self.pending_bytes(),
+        )

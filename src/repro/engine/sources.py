@@ -24,10 +24,10 @@ An :class:`EventSource` is anything that can hand the
   plain ``for`` loop or an ``async for`` loop;
 * :class:`LineProtocolSource` -- an asyncio-native source decoding the
   STD line protocol off an :class:`asyncio.StreamReader` (an accepted
-  socket connection, a pipe) through
-  :func:`repro.trace.parsers.parse_std_line`; backpressure comes from the
-  stream's own flow control (the transport pauses the peer when the
-  reader's buffer fills).
+  socket connection, a pipe) through the batched
+  :func:`repro.trace.parsers.parse_std_batch` decoder; backpressure
+  comes from the stream's own flow control (the transport pauses the
+  peer when the reader's buffer fills).
 
 :func:`as_source` coerces plain traces, paths and iterables, so the
 public API accepts all of them interchangeably;
@@ -51,7 +51,7 @@ from pathlib import Path
 from typing import AsyncIterator, Iterable, Iterator, Optional, Union
 
 from repro.trace.event import Event
-from repro.trace.parsers import iter_trace_file, parse_std_line
+from repro.trace.parsers import iter_trace_file, parse_std_batch
 from repro.trace.trace import Trace
 from repro.vectorclock.registry import ThreadRegistry
 
@@ -504,8 +504,7 @@ class AsyncEventSource:
 class LineProtocolSource(AsyncEventSource):
     """Decode the STD line protocol off an :class:`asyncio.StreamReader`.
 
-    One ``thread|op(arg)[|loc]`` event per line, parsed incrementally by
-    :func:`repro.trace.parsers.parse_std_line` -- the exact grammar of
+    One ``thread|op(arg)[|loc]`` event per line -- the exact grammar of
     the on-disk STD format, so a logger can pipe the same bytes to a
     file or a socket.  The reader may come from an accepted server
     connection (``repro-race serve``), ``asyncio.open_connection``, or a
@@ -513,7 +512,20 @@ class LineProtocolSource(AsyncEventSource):
     flow control provides the backpressure: when the engine falls
     behind, the transport pauses the peer instead of buffering
     unboundedly.
+
+    Decoding is batched: whatever span of complete lines one socket read
+    delivers is split and fed to
+    :func:`repro.trace.parsers.parse_std_batch` as a single block, so a
+    fast producer pays the per-line Python overhead once per *batch*
+    while a trickling producer still sees per-line latency (a read
+    returns as soon as any bytes arrive).
     """
+
+    #: Longest accepted line (bytes, newline excluded).  Replaces the
+    #: StreamReader per-line limit the readline-based decoder relied on:
+    #: a peer spraying an endless unterminated line is cut off instead of
+    #: growing the pending buffer without bound.
+    MAX_LINE_BYTES = 1 << 20
 
     def __init__(self, reader, name: str = "socket",
                  registry: Optional[ThreadRegistry] = None,
@@ -543,48 +555,67 @@ class LineProtocolSource(AsyncEventSource):
         return self._decode()
 
     async def _decode(self) -> AsyncIterator[Event]:
-        readline = self.reader.readline
+        import asyncio
+
+        read = self.reader.read
         registry = self.registry
         on_line = self.on_line
         index = 0
-        line_number = 0
-        for raw in self.initial_lines:
-            line_number += 1
-            if on_line is not None:
-                on_line(raw if isinstance(raw, bytes) else raw.encode("utf-8"))
-            event = parse_std_line(
-                raw.decode("utf-8", "replace") if isinstance(raw, bytes)
-                else raw,
-                index, line_number, registry=registry,
+        line_number = 1
+        op_cache: dict = {}
+        if self.initial_lines:
+            block = []
+            for raw in self.initial_lines:
+                data = raw if isinstance(raw, bytes) else raw.encode("utf-8")
+                if on_line is not None:
+                    on_line(data)
+                block.append(
+                    raw.decode("utf-8", "replace")
+                    if isinstance(raw, bytes) else raw
+                )
+            events, index, line_number = parse_std_batch(
+                block, index, line_number,
+                registry=registry, op_cache=op_cache,
             )
-            if event is not None:
+            for event in events:
                 yield event
-                index += 1
+        pending = b""
+        max_line = self.MAX_LINE_BYTES
         while True:
-            raw = await readline()
-            if not raw:
+            chunk = await read(65536)
+            if not chunk:
+                if pending:
+                    # The peer vanished mid-line.  Surface it as the
+                    # disconnect it is (the serve tier counts it in
+                    # ``disconnected``) instead of parsing half a record
+                    # or raising a grammar error for bytes the client
+                    # never finished sending.
+                    raise asyncio.IncompleteReadError(pending, None)
                 return
-            if not raw.endswith(b"\n"):
-                # readline() only returns a non-terminated tail at EOF:
-                # the peer vanished mid-line.  Surface it as the
-                # disconnect it is (the serve tier counts it in
-                # ``disconnected``) instead of parsing half a record or
-                # raising a grammar error for bytes the client never
-                # finished sending.
-                import asyncio
-
-                raise asyncio.IncompleteReadError(raw, None)
-            line_number += 1
-            if on_line is not None:
-                on_line(raw)
-            event = parse_std_line(
-                raw.decode("utf-8", "replace"), index, line_number,
-                registry=registry,
-            )
-            if event is None:
+            pending += chunk
+            if b"\n" not in chunk:
+                if len(pending) > max_line:
+                    raise ValueError(
+                        "line protocol: %d bytes without a newline "
+                        "(limit %d)" % (len(pending), max_line)
+                    )
                 continue
-            yield event
-            index += 1
+            raw_lines = pending.split(b"\n")
+            pending = raw_lines.pop()
+            if len(pending) > max_line:
+                raise ValueError(
+                    "line protocol: %d bytes without a newline (limit %d)"
+                    % (len(pending), max_line)
+                )
+            if on_line is not None:
+                for raw in raw_lines:
+                    on_line(raw + b"\n")
+            events, index, line_number = parse_std_batch(
+                [raw.decode("utf-8", "replace") for raw in raw_lines],
+                index, line_number, registry=registry, op_cache=op_cache,
+            )
+            for event in events:
+                yield event
 
 
 def _skip_prefix(events: Iterator[Event], skip: int) -> Iterator[Event]:

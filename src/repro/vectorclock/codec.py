@@ -303,9 +303,11 @@ def _decode_from(reader: _Reader) -> Any:
 
 def _decode_dense(reader: _Reader) -> DenseClock:
     count = reader.read_uvarint()
-    clock = DenseClock.__new__(DenseClock)
-    clock._times = [reader.read_uvarint() for _ in range(count)]
-    return clock
+    # _from_times builds the active backend's backing buffer (list or
+    # array('q')) without re-validating components the codec produced.
+    return DenseClock._from_times(
+        reader.read_uvarint() for _ in range(count)
+    )
 
 
 def decode(data: bytes) -> Any:

@@ -1,0 +1,236 @@
+"""Tests for the shared-memory ring and the zero-copy shard transport.
+
+Unit level: the SPSC ring's wraparound, backpressure, CRC framing and
+peer-death behaviour.  Integration level: ``mode="ring"`` sharded runs
+must be fingerprint-identical to the unsharded engine across batch
+sizes, ring sizes (including rings smaller than one batch, which forces
+segment streaming), supervised worker death, and checkpoint/resume.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import EngineConfig, RaceEngine, ShardedEngine
+from repro.engine.faults import Fault, FaultPlan
+from repro.engine.ringbuffer import (
+    DEFAULT_RING_BYTES,
+    RingCorruption,
+    RingTimeout,
+    ShmRing,
+)
+from repro.engine.sharding import _TRANSPORT_MODES
+
+from conftest import random_trace
+from test_sharding import _fingerprint
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing.create(256)
+    yield ring
+    ring.unlink()
+
+
+class TestShmRing:
+    def test_round_trip(self, ring):
+        ring.push(b"hello")
+        ring.push(b"")
+        ring.push(b"world")
+        assert ring.pop() == b"hello"
+        assert ring.pop() == b""
+        assert ring.pop() == b"world"
+        assert ring.pending_bytes() == 0
+
+    def test_wraparound(self, ring):
+        # Cycle far more bytes than the capacity through the ring so
+        # every record boundary position (including frames straddling
+        # the wrap point) is exercised.
+        for i in range(300):
+            payload = bytes([i % 251]) * (i % 97 + 1)
+            ring.push(payload)
+            assert ring.pop() == payload
+
+    def test_attach_by_name(self, ring):
+        peer = ShmRing.attach(ring.name, ring.capacity)
+        try:
+            ring.push(b"cross-mapping")
+            assert peer.pop() == b"cross-mapping"
+        finally:
+            peer.close()
+
+    def test_backpressure_blocks_until_drained(self, ring):
+        # Fill the ring, then show the next push completes only after a
+        # consumer makes room.
+        filler = b"x" * 100
+        ring.push(filler)
+        ring.push(filler)  # 216 of 256 bytes used; a third cannot fit
+        released = threading.Event()
+
+        def producer():
+            ring.push(filler)
+            released.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            assert not released.wait(0.05), "push must block on a full ring"
+            assert ring.pop() == filler
+            assert released.wait(2.0), "push must resume once space frees"
+        finally:
+            thread.join()
+        assert ring.pop() == filler
+        assert ring.pop() == filler
+
+    def test_push_timeout(self, ring):
+        ring.push(b"y" * 120)
+        ring.push(b"y" * 100)
+        with pytest.raises(RingTimeout):
+            ring.push(b"y" * 120, timeout=0.05)
+
+    def test_pop_timeout(self, ring):
+        with pytest.raises(RingTimeout):
+            ring.pop(timeout=0.05)
+
+    def test_dead_peer_breaks_the_wait(self, ring):
+        ring.push(b"z" * 120)
+        ring.push(b"z" * 100)
+        # Producer waiting for space notices the dead consumer...
+        with pytest.raises(BrokenPipeError):
+            ring.push(b"z" * 120, liveness=lambda: False)
+        ring.pop()
+        ring.pop()
+        # ... and a consumer waiting on an empty ring notices the dead
+        # producer.
+        with pytest.raises(BrokenPipeError):
+            ring.pop(liveness=lambda: False)
+
+    def test_torn_write_rejected_by_crc(self, ring):
+        ring.push(b"abcdef")
+        # Corrupt one payload byte in place -- the shape of a torn write
+        # from a producer that died mid-copy.
+        offset = (ring._read_pos + 8) % ring.capacity
+        ring._shm.buf[16 + offset] ^= 0xFF
+        with pytest.raises(RingCorruption):
+            ring.pop()
+
+    def test_corrupt_frame_length_rejected(self, ring):
+        ring.push(b"abcdef")
+        # Stamp an absurd length into the frame header.
+        import struct
+
+        offset = ring._read_pos % ring.capacity
+        struct.pack_into("<I", ring._shm.buf, 16 + offset, 0x7FFFFFF0)
+        with pytest.raises(RingCorruption):
+            ring.pop()
+
+    def test_oversize_payload_streams_in_segments(self, ring):
+        # 5000 bytes through a 256-byte ring: producer and consumer must
+        # advance in lockstep, segment by segment.
+        import os as os_module
+
+        payload = os_module.urandom(5000)
+        out = []
+        consumer = threading.Thread(target=lambda: out.append(ring.pop()))
+        consumer.start()
+        ring.push(payload)
+        consumer.join(5.0)
+        assert out and out[0] == payload
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            ShmRing.create(16)
+
+    def test_unlink_is_idempotent(self):
+        ring = ShmRing.create(256)
+        ring.unlink()
+        ring.unlink()
+        ring.close()
+
+
+class TestRingTransportParity:
+    def test_ring_mode_registered(self):
+        assert "ring" in _TRANSPORT_MODES
+
+    def test_parity_with_unsharded_engine(self):
+        trace = random_trace(13, n_events=300, n_threads=4, n_locks=3, n_vars=8)
+        single = RaceEngine().run(trace, detectors=["wcp", "hb", "fasttrack"])
+        sharded = ShardedEngine(shards=3, mode="ring", batch_size=32).run(
+            trace, detectors=["wcp", "hb", "fasttrack"]
+        )
+        assert sharded.mode == "ring"
+        for name in single.keys():
+            assert _fingerprint(single[name]) == _fingerprint(sharded[name])
+
+    def test_parity_with_process_mode(self):
+        trace = random_trace(29, n_events=260, n_threads=5, n_vars=6)
+        process = ShardedEngine(shards=2, mode="process", batch_size=64).run(
+            trace, detectors=["wcp"]
+        )
+        ring = ShardedEngine(shards=2, mode="ring", batch_size=64).run(
+            trace, detectors=["wcp"]
+        )
+        assert _fingerprint(process["WCP"]) == _fingerprint(ring["WCP"])
+
+    def test_tiny_ring_forces_segment_streaming(self):
+        # A ring far smaller than one encoded batch: every batch streams
+        # through as multiple segments and parity must still hold.
+        trace = random_trace(7, n_events=400, n_threads=4, n_vars=6)
+        single = RaceEngine().run(trace, detectors=["wcp"])
+        config = EngineConfig().with_detectors("wcp")
+        config.with_shards(2, mode="ring", batch_size=256)
+        config.shard_ring_bytes = 1024
+        sharded = ShardedEngine(config).run(trace)
+        assert _fingerprint(single["WCP"]) == _fingerprint(sharded["WCP"])
+
+    def test_default_ring_size_from_config(self):
+        assert EngineConfig().shard_ring_bytes == DEFAULT_RING_BYTES
+
+
+class TestRingTransportFaults:
+    def test_worker_death_mid_ring_recovers(self):
+        # Hard worker exit mid-run: the supervisor restores the shard
+        # from its newest snapshot, replays, and the merged report is
+        # identical to the uninterrupted run.
+        trace = random_trace(3, n_events=400, n_threads=4, n_vars=8)
+        single = RaceEngine().run(trace, detectors=["wcp", "hb"])
+        config = EngineConfig().with_detectors("wcp", "hb")
+        config.with_shards(2, mode="ring", batch_size=32)
+        config.with_shard_supervision(
+            retries=2, snapshot_every=4, backoff_s=0.01
+        )
+        config.fault_plan = FaultPlan([Fault.kill_worker(1, 150)])
+        result = ShardedEngine(config).run(trace)
+        assert result.supervision["worker_restarts"] >= 1
+        for name in single.keys():
+            assert _fingerprint(single[name]) == _fingerprint(result[name])
+
+    def test_worker_death_with_tiny_ring_recovers(self):
+        # The coordinator may be blocked in a ring push when the worker
+        # dies; the liveness probe must turn the hang into failover.
+        trace = random_trace(17, n_events=400, n_threads=4, n_vars=6)
+        single = RaceEngine().run(trace, detectors=["wcp"])
+        config = EngineConfig().with_detectors("wcp")
+        config.with_shards(2, mode="ring", batch_size=128)
+        config.shard_ring_bytes = 1024
+        config.with_shard_supervision(
+            retries=2, snapshot_every=2, backoff_s=0.01
+        )
+        config.fault_plan = FaultPlan([Fault.kill_worker(0, 100)])
+        result = ShardedEngine(config).run(trace)
+        assert result.supervision["worker_restarts"] >= 1
+        assert _fingerprint(single["WCP"]) == _fingerprint(result["WCP"])
+
+    def test_checkpoint_resume_round_trip(self, tmp_path):
+        trace = random_trace(23, n_events=500, n_threads=4, n_vars=8)
+        single = RaceEngine().run(trace, detectors=["wcp"])
+        config = EngineConfig().with_detectors("wcp")
+        config.with_shards(2, mode="ring", batch_size=32)
+        config.with_checkpoints(str(tmp_path), every=128)
+        full = ShardedEngine(config).run(trace)
+        resume_config = EngineConfig().with_detectors("wcp")
+        resume_config.with_shards(2, mode="ring", batch_size=32)
+        resumed = ShardedEngine(resume_config).resume(trace, str(tmp_path))
+        assert (_fingerprint(single["WCP"]) == _fingerprint(full["WCP"])
+                == _fingerprint(resumed["WCP"]))

@@ -142,6 +142,40 @@ class TestEventTaxonomy:
         kind, _ = partitioner.classify(Event(-1, "t2", EventType.WRITE, "x"))
         assert kind is ROUTE
 
+    @pytest.mark.parametrize("policy_name", ["hash", "rr"])
+    def test_routing_memo_matches_policy(self, policy_name):
+        """The coordinator's int-valued routing memo never diverges from
+        asking the policy directly (same stream, fresh policy)."""
+        trace = random_trace(31, n_events=200, n_threads=4, n_vars=9)
+        partitioner = StreamPartitioner(make_policy(policy_name, 3))
+        reference = make_policy(policy_name, 3)
+        for event in trace:
+            kind, owner = partitioner.classify(event)
+            if kind is not REPLICATE:
+                assert owner == reference.owner_of(event.target)
+        # Every access was memoized exactly once per variable.
+        assert set(partitioner._owner_memo) == {
+            event.target for event in trace
+            if event.etype in (EventType.READ, EventType.WRITE)
+        }
+
+    def test_routing_memo_dropped_on_restore(self):
+        """load_state must re-consult the (restored) policy, not replay
+        pre-restore memo entries."""
+        partitioner = StreamPartitioner(RoundRobinPartition(2))
+        partitioner.classify(Event(-1, "t1", EventType.WRITE, "a"))
+        partitioner.classify(Event(-1, "t1", EventType.WRITE, "b"))
+        state = partitioner.state_dict()
+        assert partitioner._owner_memo == {"a": 0, "b": 1}
+        restored = StreamPartitioner(RoundRobinPartition(2))
+        restored.load_state(state)
+        assert restored._owner_memo == {}
+        # Restored round-robin still owes "a" and "b" their original
+        # shards, and new variables continue the rotation.
+        _, owner_a = restored.classify(Event(-1, "t1", EventType.WRITE, "a"))
+        _, owner_c = restored.classify(Event(-1, "t1", EventType.WRITE, "c"))
+        assert owner_a == 0 and owner_c == 0  # c is the third variable
+
     def test_census(self):
         partitioner = StreamPartitioner(HashPartition(2))
         partitioner.classify(Event(-1, "t1", EventType.ACQUIRE, "l"))
